@@ -1,0 +1,58 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.results import FigureResult
+
+__all__ = ["run_once", "series_values", "assert_exact_is_cheapest",
+           "assert_non_increasing"]
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    The figure reproductions are far too heavy for pytest-benchmark's usual
+    auto-calibration (which would repeat them dozens of times); a single timed
+    round is what we want -- the interesting measurement is the I/O count in
+    the result, not nanosecond-level timing stability.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+def series_values(figure: FigureResult, name: str) -> List[float]:
+    """The y-values of one series in x order."""
+    return [y for _, y in sorted(figure.series[name])]
+
+
+def assert_exact_is_cheapest(figure: FigureResult) -> None:
+    """ExactMaxRS must transfer the fewest blocks at every swept point."""
+    for x in figure.x_values():
+        exact = figure.value_at("ExactMaxRS", x)
+        assert exact is not None
+        for competitor in ("Naive", "aSB-Tree"):
+            other = figure.value_at(competitor, x)
+            assert other is None or exact <= other, (
+                f"{figure.figure_id}: ExactMaxRS ({exact}) not cheapest "
+                f"against {competitor} ({other}) at {figure.x_label}={x}"
+            )
+
+
+def assert_non_increasing(values: List[float], tolerance: float = 1e-9,
+                          rel_slack: float = 0.0) -> None:
+    """Assert a series never increases (e.g. I/O as the buffer grows).
+
+    ``rel_slack`` tolerates small upward jitter (a few per cent) caused by
+    boundary-selection differences between otherwise equivalent runs.
+    """
+    for earlier, later in zip(values, values[1:]):
+        assert later <= earlier * (1.0 + rel_slack) + tolerance, values
+
+
+def weights_agree(figure: FigureResult) -> Dict[float, bool]:
+    """Whether all algorithms reported the same optimum at each x."""
+    from repro.experiments.sweeps import consistency_check
+
+    return consistency_check(figure)

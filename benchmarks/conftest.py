@@ -1,0 +1,74 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark module reproduces one table or figure of the paper (plus a
+few ablations and substrate microbenchmarks).  The workload scale is
+controlled by the ``REPRO_BENCH_PRESET`` environment variable:
+
+* ``fast`` (default) -- a few thousand objects per run; the whole suite
+  finishes in a few minutes and still shows the paper's qualitative shapes;
+* ``bench`` -- the harness's standard scale (10% of the paper's
+  cardinalities);
+* ``smoke`` -- tiny; for checking the plumbing;
+* ``paper`` -- the full-scale sweeps (hours in pure Python; run selectively).
+
+Each figure benchmark prints the reproduced series (the same rows the paper
+plots) so the captured benchmark output doubles as the measured side of
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import PRESETS, ExperimentScale
+
+#: The default benchmark scale: small enough for minutes-long runs, large
+#: enough that ExactMaxRS still recurses and the baselines' curves separate.
+FAST_SCALE = ExperimentScale(
+    cardinality_scale=0.02,
+    buffer_scale=0.08,
+    simulate_baselines=True,
+    quality_cardinality_scale=0.008,
+)
+
+_PRESETS = dict(PRESETS)
+_PRESETS["fast"] = FAST_SCALE
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    """The experiment scale selected via ``REPRO_BENCH_PRESET``."""
+    name = os.environ.get("REPRO_BENCH_PRESET", "fast")
+    try:
+        return _PRESETS[name]
+    except KeyError:  # pragma: no cover - defensive
+        raise RuntimeError(
+            f"unknown REPRO_BENCH_PRESET {name!r}; choose from {sorted(_PRESETS)}"
+        ) from None
+
+
+@pytest.fixture(scope="session")
+def report(request):
+    """Print a reproduced artefact so it lands in the benchmark output.
+
+    Output capturing is temporarily disabled so the reproduced tables and
+    series appear in the terminal (and in any ``tee``'d benchmark log) even
+    for passing tests; they are also appended to
+    ``benchmarks/reproduced_artefacts.txt`` for later reference.
+    """
+    capture_manager = request.config.pluginmanager.getplugin("capturemanager")
+    results_path = os.path.join(os.path.dirname(__file__), "reproduced_artefacts.txt")
+
+    def _print(text: str) -> None:
+        block = "\n" + text + "\n"
+        if capture_manager is not None:
+            with capture_manager.global_and_fixture_disabled():
+                print(block)
+        else:  # pragma: no cover - capture plugin always present under pytest
+            print(block)
+        with open(results_path, "a") as handle:
+            handle.write(block)
+
+    return _print

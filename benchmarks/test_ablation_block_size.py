@@ -1,0 +1,52 @@
+"""Ablation: effect of the disk block size on all three MaxRS algorithms.
+
+The paper fixes 4 KB blocks (Table 3).  This ablation varies the block size at
+a fixed buffer size: larger blocks mean fewer, bigger transfers for the
+sequential algorithms, so every algorithm's transferred-block count should
+drop, with ExactMaxRS staying the cheapest throughout.
+"""
+
+from _bench_utils import run_once
+
+from repro.datasets import DatasetSpec, Distribution, load_dataset
+from repro.experiments.config import PaperDefaults
+from repro.experiments.runner import run_maxrs
+
+_DEFAULTS = PaperDefaults()
+_BLOCK_SIZES = (2048, 4096, 8192)
+
+
+def _run_block_size_sweep(scale):
+    objects = load_dataset(DatasetSpec(Distribution.UNIFORM,
+                                       scale.cardinality(_DEFAULTS.cardinality),
+                                       seed=11))
+    buffer_size = scale.buffer_size(_DEFAULTS.buffer_size_synthetic, 8192)
+    table = {}
+    for block_size in _BLOCK_SIZES:
+        for algorithm in ("Naive", "aSB-Tree", "ExactMaxRS"):
+            record = run_maxrs(
+                algorithm, objects, dataset_name="uniform-ablation",
+                width=_DEFAULTS.rectangle_size, height=_DEFAULTS.rectangle_size,
+                block_size=block_size, buffer_size=buffer_size,
+                simulate_baselines=scale.simulate_baselines)
+            table[(block_size, algorithm)] = record.io_total
+    return table
+
+
+def test_ablation_block_size(benchmark, scale, report):
+    table = run_once(benchmark, _run_block_size_sweep, scale)
+    lines = ["Ablation: I/O cost vs disk block size (fixed buffer)",
+             "----------------------------------------------------",
+             f"{'block size':>10}  {'Naive':>12}  {'aSB-Tree':>12}  {'ExactMaxRS':>12}"]
+    for block_size in _BLOCK_SIZES:
+        lines.append(
+            f"{block_size:>10}  {table[(block_size, 'Naive')]:>12,}  "
+            f"{table[(block_size, 'aSB-Tree')]:>12,}  "
+            f"{table[(block_size, 'ExactMaxRS')]:>12,}")
+    report("\n".join(lines))
+
+    for block_size in _BLOCK_SIZES:
+        assert table[(block_size, "ExactMaxRS")] <= table[(block_size, "Naive")]
+    # Bigger blocks never increase ExactMaxRS's transferred-block count.
+    exact = [table[(b, "ExactMaxRS")] for b in _BLOCK_SIZES]
+    assert exact[-1] <= exact[0]

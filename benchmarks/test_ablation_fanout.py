@@ -1,0 +1,59 @@
+"""Ablation: effect of the slab fan-out ``m`` on ExactMaxRS.
+
+The paper fixes ``m = Θ(M/B)``.  This ablation sweeps smaller fan-outs on the
+same workload and environment: with fewer slabs per division the recursion is
+deeper and the algorithm pays more linear passes, so the I/O cost should fall
+(or at least not rise) as the fan-out approaches the memory-derived value.
+"""
+
+from _bench_utils import assert_non_increasing, run_once
+
+from repro.datasets import DatasetSpec, Distribution, dataset_to_em_file, load_dataset
+from repro.core import ExactMaxRS
+from repro.em import EMConfig, EMContext
+from repro.experiments.config import PaperDefaults
+
+_DEFAULTS = PaperDefaults()
+
+
+def _run_with_fanouts(scale):
+    objects = load_dataset(DatasetSpec(Distribution.UNIFORM,
+                                       scale.cardinality(_DEFAULTS.cardinality),
+                                       seed=7))
+    buffer_size = scale.buffer_size(_DEFAULTS.buffer_size_synthetic,
+                                    _DEFAULTS.block_size)
+    results = {}
+    for fanout in (2, 4, None):   # None = the Θ(M/B) default
+        ctx = EMContext(EMConfig(block_size=_DEFAULTS.block_size,
+                                 buffer_size=buffer_size))
+        file = dataset_to_em_file(ctx, objects)
+        ctx.reset_io()
+        ctx.clear_cache()
+        solver = ExactMaxRS(ctx, _DEFAULTS.rectangle_size, _DEFAULTS.rectangle_size,
+                            fanout=fanout)
+        result = solver.solve_objects_file(file)
+        label = fanout if fanout is not None else solver.fanout
+        results[label] = (result.io.total, result.recursion_levels,
+                          result.total_weight)
+    return results
+
+
+def test_ablation_slab_fanout(benchmark, scale, report):
+    results = run_once(benchmark, _run_with_fanouts, scale)
+    lines = ["Ablation: ExactMaxRS I/O cost vs slab fan-out m",
+             "-----------------------------------------------",
+             f"{'fan-out':>8}  {'I/O cost':>10}  {'recursion levels':>17}"]
+    for fanout in sorted(results):
+        io_total, levels, _ = results[fanout]
+        lines.append(f"{fanout:>8}  {io_total:>10,}  {levels:>17}")
+    report("\n".join(lines))
+
+    fanouts = sorted(results)
+    costs = [results[f][0] for f in fanouts]
+    levels = [results[f][1] for f in fanouts]
+    weights = {round(results[f][2], 6) for f in fanouts}
+    # The answer is independent of the fan-out.
+    assert len(weights) == 1
+    # Larger fan-out means shallower recursion and no more I/O.
+    assert_non_increasing([float(v) for v in levels])
+    assert_non_increasing([float(c) for c in costs], tolerance=0.05 * costs[0])

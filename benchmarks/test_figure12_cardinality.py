@@ -1,0 +1,28 @@
+"""Figure 12: I/O cost vs dataset cardinality (Gaussian and uniform).
+
+Paper behaviour to reproduce: ExactMaxRS transfers dramatically fewer blocks
+than both plane-sweep baselines at every cardinality, its cost growing only
+gently with the dataset, while the naive sweep's cost explodes quadratically.
+"""
+
+from _bench_utils import assert_exact_is_cheapest, run_once, series_values, weights_agree
+
+from repro.experiments import figures, reporting
+
+
+def test_figure12_effect_of_cardinality(benchmark, scale, report):
+    results = run_once(benchmark, figures.figure12, scale)
+    assert len(results) == 2
+    for figure in results:
+        report(reporting.format_figure(figure))
+        assert_exact_is_cheapest(figure)
+        # All three algorithms found the same optimum at every cardinality.
+        assert all(weights_agree(figure).values())
+        # The absolute gap between the naive sweep and ExactMaxRS widens as
+        # the dataset grows (it reaches two orders of magnitude at the
+        # paper's 250k-object scale).
+        naive = series_values(figure, "Naive")
+        exact = series_values(figure, "ExactMaxRS")
+        assert naive[-1] - exact[-1] > naive[0] - exact[0]
+        # At the largest cardinality the gap is clearly a multiple.
+        assert naive[-1] >= 5 * exact[-1]

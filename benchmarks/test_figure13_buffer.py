@@ -1,0 +1,26 @@
+"""Figure 13: I/O cost vs buffer size on the synthetic datasets.
+
+Paper behaviour to reproduce: every algorithm benefits from a larger buffer
+(never gets worse), ExactMaxRS remains the cheapest throughout, and its curve
+flattens once the dataset-to-memory ratio stops shrinking the recursion.
+"""
+
+from _bench_utils import assert_exact_is_cheapest, assert_non_increasing, run_once, \
+    series_values
+
+from repro.experiments import figures, reporting
+
+
+def test_figure13_effect_of_buffer_size(benchmark, scale, report):
+    results = run_once(benchmark, figures.figure13, scale)
+    assert len(results) == 2
+    for figure in results:
+        report(reporting.format_figure(figure))
+        assert_exact_is_cheapest(figure)
+        for algorithm in figure.series:
+            # Allow some jitter between adjacent buffer sizes: runs can pick
+            # slightly different slab boundaries and recursion shapes.
+            assert_non_increasing(series_values(figure, algorithm), rel_slack=0.10)
+        # Growing the buffer by 8x helps ExactMaxRS substantially.
+        exact = series_values(figure, "ExactMaxRS")
+        assert exact[-1] <= exact[0]

@@ -1,0 +1,26 @@
+"""Figure 14: I/O cost vs query range size on the synthetic datasets.
+
+Paper behaviour to reproduce: the plane-sweep baselines get more expensive as
+the range grows (more rectangle overlap means more interval work), while
+ExactMaxRS is barely affected by the overlap probability.
+"""
+
+from _bench_utils import assert_exact_is_cheapest, run_once, series_values
+
+from repro.experiments import figures, reporting
+
+
+def test_figure14_effect_of_range_size(benchmark, scale, report):
+    results = run_once(benchmark, figures.figure14, scale)
+    assert len(results) == 2
+    for figure in results:
+        report(reporting.format_figure(figure))
+        assert_exact_is_cheapest(figure)
+        exact = series_values(figure, "ExactMaxRS")
+        asb = series_values(figure, "aSB-Tree")
+        # The aSB-tree's relative growth with the range size exceeds
+        # ExactMaxRS's (whose cost is essentially flat in the range size).
+        exact_growth = exact[-1] / exact[0]
+        asb_growth = asb[-1] / asb[0]
+        assert exact_growth <= asb_growth + 1e-9
+        assert exact_growth < 2.0

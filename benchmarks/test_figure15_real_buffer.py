@@ -1,0 +1,36 @@
+"""Figure 15: I/O cost vs buffer size on the real datasets (UX and NE).
+
+Paper behaviour to reproduce: on the small, sparse UX dataset the curves
+converge once the whole input fits in the buffer (the naive single scan
+becomes competitive), while on the six-times-larger NE dataset ExactMaxRS
+keeps a clear advantage across the whole buffer range.
+"""
+
+from _bench_utils import assert_non_increasing, run_once, series_values
+
+from repro.experiments import figures, reporting
+
+
+def test_figure15_effect_of_buffer_size_on_real_datasets(benchmark, scale, report):
+    results = run_once(benchmark, figures.figure15, scale)
+    assert len(results) == 2
+    ux_figure, ne_figure = results
+    for figure in results:
+        report(reporting.format_figure(figure))
+        for algorithm in figure.series:
+            assert_non_increasing(series_values(figure, algorithm), rel_slack=0.10)
+
+    # NE is the larger dataset, so every algorithm moves more blocks on it.
+    for algorithm in ("Naive", "aSB-Tree", "ExactMaxRS"):
+        assert max(series_values(ne_figure, algorithm)) > \
+            max(series_values(ux_figure, algorithm))
+
+    # On NE, ExactMaxRS stays the cheapest at every buffer size.
+    for x in ne_figure.x_values():
+        assert ne_figure.value_at("ExactMaxRS", x) <= ne_figure.value_at("Naive", x)
+        assert ne_figure.value_at("ExactMaxRS", x) <= ne_figure.value_at("aSB-Tree", x)
+
+    # On UX, the naive scan gets close to (or matches) the others once the
+    # buffer is large: its worst-to-best improvement is substantial.
+    naive_ux = series_values(ux_figure, "Naive")
+    assert naive_ux[-1] <= naive_ux[0]

@@ -1,0 +1,27 @@
+"""Figure 16: I/O cost vs query range size on the real datasets (UX and NE)."""
+
+from _bench_utils import assert_exact_is_cheapest, run_once, series_values, weights_agree
+
+from repro.experiments import figures, reporting
+
+
+def test_figure16_effect_of_range_size_on_real_datasets(benchmark, scale, report):
+    results = run_once(benchmark, figures.figure16, scale)
+    assert len(results) == 2
+    ux_figure, ne_figure = results
+    for figure in results:
+        report(reporting.format_figure(figure))
+        # All algorithms agree on the optimum at every range size.
+        assert all(weights_agree(figure).values())
+
+    # On the larger NE dataset ExactMaxRS is the cheapest at every range size
+    # and is barely affected by the growing overlap.
+    assert_exact_is_cheapest(ne_figure)
+    exact_ne = series_values(ne_figure, "ExactMaxRS")
+    naive_ne = series_values(ne_figure, "Naive")
+    assert exact_ne[-1] / exact_ne[0] < naive_ne[-1] / naive_ne[0] + 1e-9
+
+    # NE costs dominate UX costs for every algorithm (bigger dataset).
+    for algorithm in ("Naive", "aSB-Tree", "ExactMaxRS"):
+        assert max(series_values(ne_figure, algorithm)) > \
+            max(series_values(ux_figure, algorithm))

@@ -1,0 +1,32 @@
+"""Figure 17: approximation quality of ApproxMaxCRS vs circle diameter.
+
+Paper behaviour to reproduce: the measured ratio W(c_hat)/W(c*) is far above
+the theoretical 1/4 guarantee (the paper reports an average close to 0.9) and
+becomes higher and more stable as the diameter grows.
+"""
+
+import statistics
+
+from _bench_utils import run_once
+
+from repro.experiments import figures, reporting
+
+
+def test_figure17_approximation_quality(benchmark, scale, report):
+    figure = run_once(benchmark, figures.figure17, scale)
+    report(reporting.format_figure(figure))
+
+    assert set(figure.series) == {"Uniform", "Gaussian", "UX", "NE"}
+    all_ratios = []
+    for name, points in figure.series.items():
+        ratios = [ratio for _, ratio in points]
+        all_ratios.extend(ratios)
+        # Theorem 3's guarantee holds everywhere.
+        assert all(ratio >= 0.25 - 1e-9 for ratio in ratios), (name, ratios)
+        assert all(ratio <= 1.0 + 1e-9 for ratio in ratios)
+
+    # "The average approximation ratio is much larger than 1/4 in practice."
+    # (The paper reports ~0.9 at 250k objects; scaled-down workloads cover
+    # fewer objects per circle, which makes individual ratios noisier, so the
+    # threshold here is deliberately conservative.)
+    assert statistics.mean(all_ratios) >= 0.5

@@ -1,0 +1,15 @@
+"""Table 2: cardinalities of the real datasets (and their stand-ins)."""
+
+from _bench_utils import run_once
+
+from repro.experiments import figures, reporting
+
+
+def test_table2_real_dataset_cardinalities(benchmark, scale, report):
+    table = run_once(benchmark, figures.table2, scale)
+    report(reporting.format_table(table))
+    assert [row[0] for row in table.rows] == ["UX", "NE"]
+    # Paper cardinalities are reported verbatim; the stand-ins scale them.
+    assert table.rows[0][1] == 19_499
+    assert table.rows[1][1] == 123_593
+    assert table.rows[1][2] > table.rows[0][2]

@@ -1,0 +1,17 @@
+"""Table 3: default parameter values of the empirical study."""
+
+from _bench_utils import run_once
+
+from repro.experiments import figures, reporting
+
+
+def test_table3_default_parameters(benchmark, scale, report):
+    table = run_once(benchmark, figures.table3, scale)
+    report(reporting.format_table(table))
+    parameters = {row[0]: row[1] for row in table.rows}
+    assert parameters["Cardinality (|O|)"] == "250,000"
+    assert parameters["Block size"] == "4KB"
+    assert "256KB" in parameters["Buffer size"]
+    assert "1024KB" in parameters["Buffer size"]
+    assert parameters["Rectangle size (d1 x d2)"] == "1K x 1K"
+    assert parameters["Circle diameter (d)"] == "1K"

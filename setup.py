@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The project metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed editable (``pip install -e .``) in fully offline
+environments whose toolchain predates PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

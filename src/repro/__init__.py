@@ -1,0 +1,65 @@
+"""repro -- a reproduction of "A Scalable Algorithm for Maximizing Range Sum
+in Spatial Databases" (Choi, Chung, Tao; PVLDB 2012).
+
+The package provides:
+
+* :class:`~repro.core.exact_maxrs.ExactMaxRS` -- the paper's external-memory
+  MaxRS algorithm, running on a fully simulated external-memory substrate
+  (:mod:`repro.em`) that counts block transfers exactly like the paper's
+  experiments do;
+* :class:`~repro.circles.approx_maxcrs.ApproxMaxCRS` -- the (1/4)-approximate
+  MaxCRS algorithm, plus an exact MaxCRS solver used to measure the practical
+  approximation ratio;
+* the two baselines of the empirical study (naive external plane sweep and the
+  aSB-tree) in :mod:`repro.baselines`;
+* dataset generators (:mod:`repro.datasets`) and the experiment harness that
+  regenerates every table and figure of the paper (:mod:`repro.experiments`).
+
+For most uses the high-level API in :mod:`repro.api` is the entry point::
+
+    from repro import MaxRSSolver
+    from repro.geometry import WeightedPoint
+
+    solver = MaxRSSolver(width=1000.0, height=1000.0)
+    result = solver.solve([WeightedPoint(x, y) for x, y in locations])
+    print(result.location, result.total_weight)
+"""
+
+from repro.core import ExactMaxRS, MaxCRSResult, MaxRegion, MaxRSResult
+from repro.em import EMConfig, EMContext
+from repro.errors import ReproError
+from repro.geometry import Circle, Interval, Point, Rect, WeightedPoint
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circle",
+    "EMConfig",
+    "EMContext",
+    "ExactMaxRS",
+    "Interval",
+    "MaxCRSResult",
+    "MaxCRSSolver",
+    "MaxRSResult",
+    "MaxRSSolver",
+    "MaxRegion",
+    "Point",
+    "Rect",
+    "ReproError",
+    "WeightedPoint",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    """Lazily expose the high-level solvers.
+
+    ``MaxRSSolver`` and ``MaxCRSSolver`` live in :mod:`repro.api`, which pulls
+    in the circle subsystem; importing them lazily keeps ``import repro``
+    light and avoids import cycles for code that only needs the core types.
+    """
+    if name in ("MaxRSSolver", "MaxCRSSolver"):
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

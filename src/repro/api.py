@@ -1,0 +1,133 @@
+"""High-level, batteries-included entry points.
+
+The classes here wrap the lower-level machinery (external-memory context
+creation, dataset loading, algorithm selection) behind two small façades:
+
+* :class:`MaxRSSolver` -- solve MaxRS with ExactMaxRS (or purely in memory for
+  small inputs);
+* :class:`MaxCRSSolver` -- solve MaxCRS with ApproxMaxCRS, optionally also
+  computing the exact optimum for accuracy reporting.
+
+They are what the examples and most downstream users should call; research
+code that needs to control the EM environment precisely (the experiment
+harness, the benchmarks) uses :mod:`repro.core`, :mod:`repro.baselines` and
+:mod:`repro.circles` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.circles.approx_maxcrs import ApproxMaxCRS
+from repro.circles.exact_maxcrs import exact_maxcrs
+from repro.core.exact_maxrs import ExactMaxRS
+from repro.core.plane_sweep import solve_in_memory
+from repro.core.result import MaxCRSResult, MaxRSResult
+from repro.em.codecs import EVENT_CODEC
+from repro.em.config import EMConfig
+from repro.em.context import EMContext
+from repro.errors import ConfigurationError
+from repro.geometry import WeightedPoint
+
+__all__ = ["MaxRSSolver", "MaxCRSSolver"]
+
+
+class MaxRSSolver:
+    """Solve MaxRS instances: where should a ``width x height`` rectangle go?
+
+    Parameters
+    ----------
+    width, height:
+        The query rectangle size ``d1 x d2``.
+    config:
+        Optional external-memory configuration.  When omitted the paper's
+        defaults (4 KB blocks, 1 MB buffer) are used.
+    force_external:
+        Always run the external-memory algorithm, even for datasets that fit
+        in the configured memory.  By default small inputs take the in-memory
+        plane-sweep fast path, exactly as Algorithm 2 does.
+
+    Examples
+    --------
+    >>> solver = MaxRSSolver(width=4.0, height=4.0)
+    >>> objs = [WeightedPoint(0, 0), WeightedPoint(1, 1), WeightedPoint(50, 50)]
+    >>> solver.solve(objs).total_weight
+    2.0
+    """
+
+    def __init__(self, width: float, height: float, *,
+                 config: Optional[EMConfig] = None,
+                 force_external: bool = False) -> None:
+        if width <= 0 or height <= 0:
+            raise ConfigurationError(
+                f"query rectangle must have positive extent, got {width} x {height}"
+            )
+        self.width = width
+        self.height = height
+        self.config = config if config is not None else EMConfig()
+        self.force_external = force_external
+
+    def solve(self, objects: Sequence[WeightedPoint]) -> MaxRSResult:
+        """Return the optimal placement of the query rectangle over ``objects``."""
+        if not self.force_external and self._fits_in_memory(objects):
+            return solve_in_memory(objects, self.width, self.height)
+        ctx = EMContext(self.config)
+        solver = ExactMaxRS(ctx, self.width, self.height)
+        return solver.solve(objects)
+
+    def solve_top_k(self, objects: Sequence[WeightedPoint], k: int) -> list[MaxRSResult]:
+        """Return the ``k`` best vertically-disjoint placements (MaxkRS)."""
+        ctx = EMContext(self.config)
+        solver = ExactMaxRS(ctx, self.width, self.height)
+        return solver.solve_topk(objects, k)
+
+    def _fits_in_memory(self, objects: Sequence[WeightedPoint]) -> bool:
+        capacity = self.config.memory_capacity_records(EVENT_CODEC.record_size)
+        return 2 * len(objects) <= capacity
+
+
+class MaxCRSSolver:
+    """Solve MaxCRS instances: where should a circle of a given diameter go?
+
+    Uses ApproxMaxCRS (the paper's (1/4)-approximation); optionally also runs
+    the exact ``O(n^2 log n)`` solver to report the achieved approximation
+    ratio, which is what the paper's Figure 17 measures.
+
+    Parameters
+    ----------
+    diameter:
+        The circle diameter ``d``.
+    config:
+        Optional external-memory configuration (defaults to the paper's).
+    sigma:
+        Optional shift distance for the four extra candidates (defaults to
+        ``sqrt(2) d / 4``).
+    """
+
+    def __init__(self, diameter: float, *, config: Optional[EMConfig] = None,
+                 sigma: Optional[float] = None) -> None:
+        if diameter <= 0:
+            raise ConfigurationError(f"diameter must be positive, got {diameter}")
+        self.diameter = diameter
+        self.config = config if config is not None else EMConfig()
+        self.sigma = sigma
+
+    def solve(self, objects: Sequence[WeightedPoint]) -> MaxCRSResult:
+        """Return the (approximately) optimal circle placement over ``objects``."""
+        ctx = EMContext(self.config)
+        solver = ApproxMaxCRS(ctx, self.diameter, sigma=self.sigma)
+        return solver.solve(objects)
+
+    def solve_with_ratio(self, objects: Sequence[WeightedPoint]
+                         ) -> tuple[MaxCRSResult, float]:
+        """Solve approximately and report the achieved approximation ratio.
+
+        Returns ``(result, ratio)`` where ``ratio = W(c_hat) / W(c*)`` (1.0
+        for empty datasets).  Note the exact solver is quadratic: reserve this
+        for validation-sized inputs, as the paper did.
+        """
+        result = self.solve(objects)
+        _, optimum = exact_maxcrs(objects, self.diameter)
+        if optimum <= 0:
+            return result, 1.0
+        return result, min(1.0, result.total_weight / optimum)

@@ -1,0 +1,31 @@
+"""Baseline algorithms the paper compares ExactMaxRS against.
+
+* :class:`~repro.baselines.naive_sweep.NaivePlaneSweep` -- the naive
+  externalized plane sweep (interval structure kept as a flat, rescanned disk
+  file): ``O(N^2/B)`` I/Os.
+* :class:`~repro.baselines.asb_tree.ASBTreeSweep` -- the aSB-tree of Du et
+  al.: the interval structure becomes a disk-resident aggregate tree with
+  lazy range additions, ``O(N log_B N)`` I/Os.
+* :mod:`repro.baselines.oracle` -- brute-force reference solvers used by the
+  tests to validate every algorithm on small instances.
+
+Both baselines compute exactly the same optimum as ExactMaxRS; the empirical
+study (Figures 12--16) compares only their I/O cost.
+"""
+
+from repro.baselines.asb_tree import ASBTree, ASBTreeSweep, solve_asb_tree
+from repro.baselines.common import BaselineResult, SimulatedLRUCache
+from repro.baselines.naive_sweep import NaivePlaneSweep, solve_naive
+from repro.baselines.oracle import brute_force_maxcrs, brute_force_maxrs
+
+__all__ = [
+    "ASBTree",
+    "ASBTreeSweep",
+    "BaselineResult",
+    "NaivePlaneSweep",
+    "SimulatedLRUCache",
+    "brute_force_maxcrs",
+    "brute_force_maxrs",
+    "solve_asb_tree",
+    "solve_naive",
+]

@@ -1,0 +1,111 @@
+"""Brute-force oracles used to validate every solver on small instances.
+
+These are deliberately simple, obviously-correct (and slow) reference
+implementations.  They rely on the standard candidate argument: an optimal
+axis-aligned rectangle can always be translated until its right edge passes
+just right of some object's x-coordinate and its top edge just above some
+object's y-coordinate, so it suffices to test ``O(N^2)`` candidate centres;
+likewise an optimal circle can be centred at an object or arbitrarily close to
+an intersection point of two object-centred circles.
+
+The oracles evaluate the objective by scanning all objects per candidate, so
+they are ``O(N^3)``; tests only use them with a few dozen objects.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.geometry import (
+    Circle,
+    Point,
+    Rect,
+    WeightedPoint,
+    weight_in_circle,
+    weight_in_rect,
+)
+
+__all__ = ["brute_force_maxrs", "brute_force_maxcrs"]
+
+#: Relative nudge used to place candidate centres strictly past boundaries.
+_EPS = 1e-9
+
+
+def brute_force_maxrs(objects: Sequence[WeightedPoint], width: float,
+                      height: float) -> Tuple[Point, float]:
+    """Return an optimal centre and the optimal weight for a MaxRS instance.
+
+    Complexity ``O(N^3)``; intended for test instances only.
+    """
+    if not objects:
+        return Point(0.0, 0.0), 0.0
+    scale_x = max(1.0, max(abs(o.x) for o in objects))
+    scale_y = max(1.0, max(abs(o.y) for o in objects))
+    xs = sorted({o.x + width / 2.0 - _EPS * scale_x for o in objects})
+    ys = sorted({o.y + height / 2.0 - _EPS * scale_y for o in objects})
+    best_point = Point(xs[0], ys[0])
+    best_weight = -1.0
+    for cx in xs:
+        for cy in ys:
+            candidate = Point(cx, cy)
+            rect = Rect.centered_at(candidate, width, height)
+            weight = weight_in_rect(objects, rect)
+            if weight > best_weight:
+                best_weight = weight
+                best_point = candidate
+    return best_point, best_weight
+
+
+def brute_force_maxcrs(objects: Sequence[WeightedPoint],
+                       diameter: float) -> Tuple[Point, float]:
+    """Return an optimal centre and the optimal weight for a MaxCRS instance.
+
+    Candidates are the object locations themselves plus points just inside the
+    pairwise intersections of the object-centred circles (both intersection
+    points of every pair, each nudged towards both generating centres).
+    Complexity ``O(N^3)``; intended for test instances only.
+    """
+    if not objects:
+        return Point(0.0, 0.0), 0.0
+    radius = diameter / 2.0
+    candidates: List[Point] = [o.point for o in objects]
+    count = len(objects)
+    for i in range(count):
+        for j in range(i + 1, count):
+            candidates.extend(
+                _circle_intersections(objects[i].point, objects[j].point, radius))
+    best_point = candidates[0]
+    best_weight = -1.0
+    for candidate in candidates:
+        weight = weight_in_circle(objects, Circle(candidate, diameter))
+        if weight > best_weight:
+            best_weight = weight
+            best_point = candidate
+    return best_point, best_weight
+
+
+def _circle_intersections(a: Point, b: Point, radius: float) -> List[Point]:
+    """Intersection points of two radius-``radius`` circles, nudged inward.
+
+    The nudge moves each intersection point slightly towards the midpoint of
+    the two centres, so boundary-exclusion (open disks) does not discard the
+    candidate.
+    """
+    dist = a.distance_to(b)
+    if dist == 0.0 or dist > 2.0 * radius:
+        return []
+    mid = a.midpoint(b)
+    half = dist / 2.0
+    offset = math.sqrt(max(0.0, radius * radius - half * half))
+    # Unit vector perpendicular to a->b.
+    ux = -(b.y - a.y) / dist
+    uy = (b.x - a.x) / dist
+    points = [
+        Point(mid.x + ux * offset, mid.y + uy * offset),
+        Point(mid.x - ux * offset, mid.y - uy * offset),
+    ]
+    nudged = []
+    for p in points:
+        nudged.append(Point(p.x + (mid.x - p.x) * 1e-9, p.y + (mid.y - p.y) * 1e-9))
+    return nudged

@@ -1,0 +1,84 @@
+"""The paper's primary contribution: the ExactMaxRS machinery.
+
+Layout of the package (bottom-up):
+
+* :mod:`repro.core.transform` -- the dual transformation from objects to
+  query-sized rectangles (Section 4).
+* :mod:`repro.core.events` -- the sweep-event representation of rectangles
+  used throughout the recursion.
+* :mod:`repro.core.segment_tree` -- the lazy max/argmax segment tree shared by
+  the plane sweep and MergeSweep.
+* :mod:`repro.core.plane_sweep` -- the in-memory plane sweep, both the base
+  case of the recursion and the exact reference solver.
+* :mod:`repro.core.slab` -- slabs, boundary selection and the division phase.
+* :mod:`repro.core.slabfile` / :mod:`repro.core.maxinterval` -- slab-files and
+  their max-interval tuples (Definition 6).
+* :mod:`repro.core.merge_sweep` -- Algorithm 1 (MergeSweep).
+* :mod:`repro.core.exact_maxrs` -- Algorithm 2 (ExactMaxRS), the public
+  external-memory solver, plus the MaxkRS extension.
+* :mod:`repro.core.result` -- result value objects.
+"""
+
+from repro.core.beststrip import BestStrip, BestStripTracker
+from repro.core.events import SweepEvent, events_sort_key, rect_to_events
+from repro.core.exact_maxrs import ExactMaxRS
+from repro.core.maxinterval import MaxInterval
+from repro.core.merge_sweep import merge_sweep
+from repro.core.plane_sweep import solve_in_memory, sweep_events
+from repro.core.result import MaxCRSResult, MaxRegion, MaxRSResult
+from repro.core.segment_tree import MaxAddSegmentTree
+from repro.core.slab import (
+    Slab,
+    choose_boundaries,
+    collect_edge_xs,
+    make_subslabs,
+    partition_event_file,
+)
+from repro.core.slabfile import (
+    find_best_strip,
+    iter_slab_file,
+    read_slab_file,
+    validate_slab_file_records,
+    write_slab_file,
+)
+from repro.core.transform import (
+    build_event_file,
+    dual_rectangle,
+    dual_rectangles,
+    objects_file_to_event_file,
+    objects_to_event_records,
+    write_objects_file,
+)
+
+__all__ = [
+    "BestStrip",
+    "BestStripTracker",
+    "ExactMaxRS",
+    "MaxAddSegmentTree",
+    "MaxCRSResult",
+    "MaxInterval",
+    "MaxRSResult",
+    "MaxRegion",
+    "Slab",
+    "SweepEvent",
+    "build_event_file",
+    "choose_boundaries",
+    "collect_edge_xs",
+    "dual_rectangle",
+    "dual_rectangles",
+    "events_sort_key",
+    "find_best_strip",
+    "iter_slab_file",
+    "make_subslabs",
+    "merge_sweep",
+    "objects_file_to_event_file",
+    "objects_to_event_records",
+    "partition_event_file",
+    "read_slab_file",
+    "rect_to_events",
+    "solve_in_memory",
+    "sweep_events",
+    "validate_slab_file_records",
+    "write_objects_file",
+    "write_slab_file",
+]

@@ -1,0 +1,89 @@
+"""Tracking of the best strip seen during a sweep.
+
+Both the in-memory plane sweep and ``MergeSweep`` emit one max-interval tuple
+per h-line; the global answer is the emitted tuple with the largest sum, and
+the optimal *region* additionally needs the y-coordinate of the *next* emitted
+tuple (the strip extends from the best tuple's h-line up to the following
+h-line).  :class:`BestStripTracker` performs this bookkeeping incrementally so
+no second pass over the output slab-file is needed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.result import MaxRegion
+
+__all__ = ["BestStrip", "BestStripTracker"]
+
+
+@dataclass(frozen=True, slots=True)
+class BestStrip:
+    """The best (maximum location-weight) strip found by a sweep.
+
+    Attributes
+    ----------
+    weight:
+        The maximum location-weight.
+    x1, x2:
+        The x-range of the max-interval in the best strip.
+    y1, y2:
+        The strip's vertical extent: from the h-line that emitted the best
+        tuple to the next h-line (``+inf`` when the best tuple was the last).
+    """
+
+    weight: float
+    x1: float
+    x2: float
+    y1: float
+    y2: float
+
+    def to_region(self) -> MaxRegion:
+        """Convert to the public :class:`~repro.core.result.MaxRegion`."""
+        return MaxRegion(x1=self.x1, y1=self.y1, x2=self.x2, y2=self.y2,
+                         weight=self.weight)
+
+    @staticmethod
+    def empty(x1: float = -math.inf, x2: float = math.inf) -> "BestStrip":
+        """The answer for an empty input: weight 0 everywhere."""
+        return BestStrip(weight=0.0, x1=x1, x2=x2, y1=-math.inf, y2=math.inf)
+
+
+class BestStripTracker:
+    """Incrementally track the best emitted tuple and its closing h-line.
+
+    Feed every emitted tuple in y-order through :meth:`observe`; call
+    :meth:`finish` once after the sweep.  The tracker handles the fencepost:
+    a tuple's strip is closed by the y of the *next* tuple, and the last
+    tuple's strip extends to ``+inf``.
+    """
+
+    def __init__(self) -> None:
+        self._pending: Optional[Tuple[float, float, float, float]] = None
+        self._best: Optional[BestStrip] = None
+
+    def observe(self, y: float, x1: float, x2: float, weight: float) -> None:
+        """Report the tuple emitted at h-line ``y``."""
+        self._close_pending(y)
+        self._pending = (y, x1, x2, weight)
+
+    def finish(self) -> None:
+        """Close the final strip (call exactly once, after the last tuple)."""
+        self._close_pending(math.inf)
+        self._pending = None
+
+    @property
+    def best(self) -> BestStrip:
+        """The best strip observed so far (weight 0 everywhere when none)."""
+        if self._best is None:
+            return BestStrip.empty()
+        return self._best
+
+    def _close_pending(self, closing_y: float) -> None:
+        if self._pending is None:
+            return
+        y, x1, x2, weight = self._pending
+        if self._best is None or weight > self._best.weight:
+            self._best = BestStrip(weight=weight, x1=x1, x2=x2, y1=y, y2=closing_y)

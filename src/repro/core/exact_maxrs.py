@@ -1,0 +1,287 @@
+"""ExactMaxRS -- Algorithm 2 of the paper.
+
+The first external-memory algorithm for the MaxRS problem.  Its structure is
+the distribution-sweep paradigm:
+
+1. **Transform** (Section 4): every object becomes a query-sized rectangle
+   centred at the object; the MaxRS answer is the most overlapped region of
+   these dual rectangles.  The rectangles are represented as a y-sorted file
+   of sweep events (:mod:`repro.core.events`), produced by one linear pass
+   plus one external sort.
+2. **Divide** (Section 5.2.1): while the events of a sub-problem exceed the
+   memory capacity ``M``, the sub-problem's slab is split into ``m = Θ(M/B)``
+   sub-slabs receiving roughly the same number of rectangle edges.  Rectangle
+   pieces spanning whole sub-slabs are set aside in a spanning file
+   (:mod:`repro.core.slab`).
+3. **Conquer**: a sub-problem that fits in memory is solved by the in-memory
+   plane sweep (:mod:`repro.core.plane_sweep`), producing its slab-file.
+4. **Merge** (Section 5.2.3): the ``m`` slab-files and the spanning file are
+   combined by :func:`~repro.core.merge_sweep.merge_sweep` into the parent's
+   slab-file, until a single slab-file for the whole data space remains.  The
+   strip with the largest sum in that final slab-file is the max-region; any
+   of its points is an optimal placement.
+
+Total cost: ``O((N/B) log_{M/B}(N/B))`` I/Os (Theorem 2), dominated by the
+initial sort and by one linear pass per recursion level.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.beststrip import BestStrip
+from repro.core.events import events_sort_key
+from repro.core.merge_sweep import merge_sweep
+from repro.core.plane_sweep import sweep_events
+from repro.core.result import MaxRSResult
+from repro.core.slab import (
+    Slab,
+    choose_boundaries,
+    collect_edge_xs,
+    partition_event_file,
+)
+from repro.core.transform import objects_file_to_event_file, write_objects_file
+from repro.em.codecs import EVENT_CODEC, MAX_INTERVAL_CODEC
+from repro.em.context import EMContext
+from repro.em.external_sort import external_sort
+from repro.em.record_file import RecordFile
+from repro.errors import AlgorithmError, ConfigurationError
+from repro.geometry import WeightedPoint
+
+__all__ = ["ExactMaxRS"]
+
+
+class ExactMaxRS:
+    """External-memory exact solver for the MaxRS problem.
+
+    Parameters
+    ----------
+    ctx:
+        The external-memory context (disk, buffer pool, I/O counters).
+    width, height:
+        The query rectangle size ``d1 x d2``.
+    fanout:
+        Number of sub-slabs ``m`` per division step.  Defaults to the
+        EM-model value ``Θ(M/B)`` derived from the context's configuration;
+        tests override it to force deep recursions on tiny inputs.
+    memory_records:
+        Number of event records considered to "fit in memory" (the base-case
+        threshold ``M``).  Defaults to the buffer capacity for event records.
+    max_depth:
+        Hard recursion-depth safety limit; beyond it the in-memory sweep is
+        used regardless of size.
+
+    Examples
+    --------
+    >>> from repro.em import EMContext
+    >>> ctx = EMContext()
+    >>> solver = ExactMaxRS(ctx, width=2.0, height=2.0)
+    >>> objs = [WeightedPoint(0, 0), WeightedPoint(0.5, 0.5), WeightedPoint(9, 9)]
+    >>> solver.solve(objs).total_weight
+    2.0
+    """
+
+    def __init__(self, ctx: EMContext, width: float, height: float, *,
+                 fanout: Optional[int] = None,
+                 memory_records: Optional[int] = None,
+                 max_depth: int = 64) -> None:
+        if width <= 0 or height <= 0:
+            raise ConfigurationError(
+                f"query rectangle must have positive extent, got {width} x {height}"
+            )
+        self.ctx = ctx
+        self.width = width
+        self.height = height
+        self.fanout = fanout if fanout is not None else ctx.merge_fanout()
+        if self.fanout < 2:
+            raise ConfigurationError(f"fan-out must be at least 2, got {self.fanout}")
+        if memory_records is not None:
+            self.memory_records = memory_records
+        else:
+            self.memory_records = ctx.memory_capacity_records(EVENT_CODEC.record_size)
+        if self.memory_records < 2:
+            raise ConfigurationError(
+                f"memory must hold at least two event records, got {self.memory_records}"
+            )
+        self.max_depth = max_depth
+        self._leaf_count = 0
+        self._deepest_level = 0
+
+    # ------------------------------------------------------------------ #
+    # Public entry points
+    # ------------------------------------------------------------------ #
+    def solve(self, objects: Sequence[WeightedPoint]) -> MaxRSResult:
+        """Solve MaxRS for an in-memory list of objects.
+
+        The objects are first written to the simulated disk so the run is
+        charged the same I/O as a disk-resident dataset of the same size.
+        """
+        objects_file = write_objects_file(self.ctx, objects, name="maxrs-objects")
+        try:
+            return self.solve_objects_file(objects_file)
+        finally:
+            objects_file.delete()
+
+    def solve_objects_file(self, objects_file: RecordFile) -> MaxRSResult:
+        """Solve MaxRS for a dataset already stored as an object record file."""
+        start = self.ctx.stats.snapshot()
+        self._leaf_count = 0
+        self._deepest_level = 0
+
+        event_file = objects_file_to_event_file(
+            self.ctx, objects_file, self.width, self.height, name="maxrs-events")
+        sorted_events = external_sort(
+            self.ctx, event_file, EVENT_CODEC, key=events_sort_key, delete_input=True)
+        best = self._solve_root(sorted_events)
+
+        io = self.ctx.io_since(start)
+        region = best.to_region()
+        return MaxRSResult(
+            location=region.representative_point(),
+            region=region,
+            total_weight=best.weight,
+            io=io,
+            recursion_levels=self._deepest_level,
+            leaf_count=max(1, self._leaf_count),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Recursion
+    # ------------------------------------------------------------------ #
+    def _solve_root(self, event_file: RecordFile) -> BestStrip:
+        root = Slab.root()
+        if len(event_file) <= self.memory_records:
+            # The whole input fits in memory: PlaneSweep causes no further
+            # I/O and there is no slab-file to materialise (Algorithm 2,
+            # line 9, invoked at the top level).
+            records = event_file.read_all()
+            event_file.delete()
+            self._leaf_count = 1
+            _, best = sweep_events(records, root.x_range)
+            return best
+        slab_file, best = self._recurse(event_file, root, depth=1)
+        slab_file.delete()
+        return best
+
+    def _recurse(self, event_file: RecordFile, slab: Slab,
+                 depth: int) -> Tuple[RecordFile, BestStrip]:
+        """Return the slab-file of ``slab`` and the best strip found in it."""
+        self._deepest_level = max(self._deepest_level, depth)
+        total_events = len(event_file)
+        if total_events <= self.memory_records or depth > self.max_depth:
+            return self._leaf(event_file, slab)
+
+        edge_xs = collect_edge_xs(event_file, slab)
+        boundaries = choose_boundaries(edge_xs, self.fanout)
+        if not boundaries:
+            # Every edge shares one x-coordinate: division cannot separate the
+            # rectangles, so fall back to the in-memory sweep (see DESIGN.md).
+            return self._leaf(event_file, slab)
+
+        sub_files, spanning_file, sub_slabs = partition_event_file(
+            self.ctx, event_file, slab, boundaries,
+            name_prefix=f"level{depth}-slab{slab.index}")
+        event_file.delete()
+
+        child_files: List[RecordFile] = []
+        for sub_file, sub_slab in zip(sub_files, sub_slabs):
+            if len(sub_file) >= total_events:
+                # Degenerate split (all edges piled on one side): avoid an
+                # unbounded recursion by solving this child in memory.
+                child_file, _ = self._leaf(sub_file, sub_slab)
+            else:
+                child_file, _ = self._recurse(sub_file, sub_slab, depth + 1)
+            child_files.append(child_file)
+
+        merged, best = merge_sweep(
+            self.ctx, sub_slabs, child_files, spanning_file,
+            name=f"merged-level{depth}-slab{slab.index}")
+        for child in child_files:
+            child.delete()
+        spanning_file.delete()
+        return merged, best
+
+    def _leaf(self, event_file: RecordFile, slab: Slab) -> Tuple[RecordFile, BestStrip]:
+        """Solve a sub-problem that fits in memory and write its slab-file."""
+        self._leaf_count += 1
+        records = event_file.read_all()
+        event_file.delete()
+        tuples, best = sweep_events(records, slab.x_range)
+        slab_file = self.ctx.create_file(
+            MAX_INTERVAL_CODEC, name=f"slabfile-{slab.index}")
+        slab_file.write_all(tuples)
+        return slab_file, best
+
+    # ------------------------------------------------------------------ #
+    # Extensions beyond the paper
+    # ------------------------------------------------------------------ #
+    def solve_topk(self, objects: Sequence[WeightedPoint], k: int) -> List[MaxRSResult]:
+        """Return the ``k`` best *disjoint-strip* placements (MaxkRS).
+
+        This implements the MaxkRS extension sketched in the paper's future
+        work: the final slab-file already contains the best placement of every
+        horizontal strip, so the top-k answers are obtained by keeping the
+        ``k`` largest strips whose y-ranges do not overlap (greedily, best
+        first).  The I/O cost is that of a single ExactMaxRS run plus one scan
+        of the final slab-file.
+        """
+        if k < 1:
+            raise AlgorithmError(f"k must be positive, got {k}")
+        objects_file = write_objects_file(self.ctx, objects, name="maxkrs-objects")
+        try:
+            start = self.ctx.stats.snapshot()
+            event_file = objects_file_to_event_file(
+                self.ctx, objects_file, self.width, self.height, name="maxkrs-events")
+            sorted_events = external_sort(
+                self.ctx, event_file, EVENT_CODEC, key=events_sort_key,
+                delete_input=True)
+            strips = self._collect_strips(sorted_events)
+            io = self.ctx.io_since(start)
+        finally:
+            objects_file.delete()
+
+        strips.sort(key=lambda strip: strip.weight, reverse=True)
+        chosen: List[BestStrip] = []
+        for strip in strips:
+            if len(chosen) == k:
+                break
+            if all(strip.y2 <= other.y1 or strip.y1 >= other.y2 for other in chosen):
+                chosen.append(strip)
+        results = []
+        for strip in chosen:
+            region = strip.to_region()
+            results.append(MaxRSResult(
+                location=region.representative_point(),
+                region=region,
+                total_weight=strip.weight,
+                io=io,
+                recursion_levels=self._deepest_level,
+                leaf_count=max(1, self._leaf_count),
+            ))
+        return results
+
+    def _collect_strips(self, event_file: RecordFile) -> List[BestStrip]:
+        """Run the recursion and return every strip of the final slab-file."""
+        root = Slab.root()
+        self._leaf_count = 0
+        self._deepest_level = 0
+        if len(event_file) <= self.memory_records:
+            records = event_file.read_all()
+            event_file.delete()
+            self._leaf_count = 1
+            tuples, _ = sweep_events(records, root.x_range)
+            return _records_to_strips(tuples)
+        slab_file, _ = self._recurse(event_file, root, depth=1)
+        tuples = slab_file.read_all()
+        slab_file.delete()
+        return _records_to_strips(tuples)
+
+
+def _records_to_strips(records: Sequence[Tuple[float, ...]]) -> List[BestStrip]:
+    """Convert consecutive slab-file records into closed strips."""
+    strips: List[BestStrip] = []
+    for position, record in enumerate(records):
+        y, x1, x2, weight = record
+        next_y = records[position + 1][0] if position + 1 < len(records) else float("inf")
+        strips.append(BestStrip(weight=weight, x1=x1, x2=x2, y1=y, y2=next_y))
+    return strips

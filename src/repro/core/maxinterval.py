@@ -1,0 +1,85 @@
+"""Max-interval tuples -- the records of a slab-file.
+
+Definition 6 of the paper associates, with every *h-line* (a horizontal line
+through the bottom or top edge of some input rectangle) and every slab, a
+*max-interval*: the x-range within the slab on which the location-weight is
+maximal for the horizontal strip between this h-line and the next one.  A
+slab-file is the y-sorted sequence of these tuples
+
+    t = <y, [x1, x2], sum>
+
+and is the unit of data exchanged between the levels of the ExactMaxRS
+recursion.  :class:`MaxInterval` is the in-memory form of one tuple; on disk a
+tuple is stored through :data:`repro.em.codecs.MAX_INTERVAL_CODEC` as the flat
+record ``(y, x1, x2, sum)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import GeometryError
+from repro.geometry import Interval
+
+__all__ = ["MaxInterval"]
+
+
+@dataclass(frozen=True, slots=True)
+class MaxInterval:
+    """One slab-file tuple ``<y, [x1, x2], sum>``.
+
+    Parameters
+    ----------
+    y:
+        The y-coordinate of the h-line that opens the strip this tuple
+        describes.  The tuple is valid for every horizontal line with
+        y-coordinate in ``(y, y_next)`` where ``y_next`` is the y of the next
+        tuple in the same slab-file.
+    x1, x2:
+        The x-range of the max-interval (``x1 <= x2``; either endpoint may be
+        infinite for the unbounded slabs at the edges of the data space).
+    sum:
+        The location-weight shared by every point of the max-interval in this
+        strip.
+    """
+
+    y: float
+    x1: float
+    x2: float
+    sum: float
+
+    def __post_init__(self) -> None:
+        if self.x2 < self.x1:
+            raise GeometryError(
+                f"max-interval has inverted x-range [{self.x1}, {self.x2}]"
+            )
+
+    @property
+    def x_range(self) -> Interval:
+        """The x-extent of the tuple as an :class:`~repro.geometry.Interval`."""
+        return Interval(self.x1, self.x2)
+
+    # ------------------------------------------------------------------ #
+    # Disk representation
+    # ------------------------------------------------------------------ #
+    def to_record(self) -> Tuple[float, float, float, float]:
+        """Return the flat record ``(y, x1, x2, sum)`` stored in slab-files."""
+        return (self.y, self.x1, self.x2, self.sum)
+
+    @staticmethod
+    def from_record(record: Tuple[float, ...]) -> "MaxInterval":
+        """Rebuild a :class:`MaxInterval` from its disk record."""
+        y, x1, x2, total = record
+        return MaxInterval(y=y, x1=x1, x2=x2, sum=total)
+
+    # ------------------------------------------------------------------ #
+    # Convenience
+    # ------------------------------------------------------------------ #
+    def with_sum(self, new_sum: float) -> "MaxInterval":
+        """Return a copy with a different ``sum`` (upSum adjustment)."""
+        return MaxInterval(self.y, self.x1, self.x2, new_sum)
+
+    def shifted_to(self, y: float) -> "MaxInterval":
+        """Return a copy re-anchored at a different h-line ``y``."""
+        return MaxInterval(y, self.x1, self.x2, self.sum)

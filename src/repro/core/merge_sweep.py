@@ -1,0 +1,188 @@
+"""MergeSweep -- Algorithm 1 of the paper.
+
+``MergeSweep`` combines the slab-files of ``m`` adjacent sub-slabs, together
+with the rectangles that span entire sub-slabs, into the slab-file of their
+union.  It sweeps a horizontal line upward across all ``m + 1`` input streams
+simultaneously:
+
+* a *spanning* rectangle crossing sub-slab ``i`` raises (bottom edge) or
+  lowers (top edge) ``upSum[i]``, the extra weight every point of sub-slab
+  ``i`` receives from rectangles that were removed from its sub-problem;
+* a max-interval tuple arriving from sub-slab ``i``'s slab-file replaces the
+  sub-slab's current best interval and base sum;
+* after all edges and tuples sharing one y-coordinate have been applied, the
+  sub-slab with the largest *effective* sum (base sum + ``upSum``) provides
+  the output tuple for the strip above that h-line; consecutive sub-slabs
+  whose intervals touch and tie for the maximum are merged into one longer
+  max-interval (the paper's ``GetMaxInterval``).
+
+The sub-slab maxima are kept in a
+:class:`~repro.core.segment_tree.MaxAddSegmentTree` (point updates for tuples,
+range updates for spanning edges), so the CPU work per input record is
+``O(log m)`` while the I/O cost is one sequential pass over the inputs plus
+one sequential write of the output -- the ``O(K/B)`` of Lemma 3.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from bisect import bisect_left, bisect_right
+from typing import List, Sequence, Tuple
+
+from repro.core.beststrip import BestStrip, BestStripTracker
+from repro.core.segment_tree import MaxAddSegmentTree
+from repro.core.slab import Slab
+from repro.em.codecs import EVENT_BOTTOM, MAX_INTERVAL_CODEC
+from repro.em.context import EMContext
+from repro.em.record_file import RecordFile
+from repro.errors import AlgorithmError
+
+__all__ = ["merge_sweep"]
+
+#: Heap tag identifying entries that come from a slab-file stream.
+_TAG_TUPLE = 0
+#: Heap tag identifying entries that come from the spanning-event stream.
+_TAG_SPANNING = 1
+
+
+def merge_sweep(
+    ctx: EMContext,
+    sub_slabs: Sequence[Slab],
+    slab_files: Sequence[RecordFile],
+    spanning_file: RecordFile,
+    *,
+    name: str = "merged",
+) -> Tuple[RecordFile, BestStrip]:
+    """Merge ``m`` slab-files and a spanning-event file into one slab-file.
+
+    Parameters
+    ----------
+    ctx:
+        External-memory context (output file is created on its disk).
+    sub_slabs:
+        The ``m`` sub-slabs, left to right; their extents define the initial
+        (weight-0) max-intervals and the ``upSum`` ranges of spanning edges.
+    slab_files:
+        The slab-file of each sub-slab, y-sorted, aligned with ``sub_slabs``.
+    spanning_file:
+        y-sorted sweep events of the rectangles spanning whole sub-slabs.
+    name:
+        Name for the output slab-file.
+
+    Returns
+    -------
+    (output, best):
+        The merged slab-file (y-sorted) and the best strip it contains.
+    """
+    m = len(sub_slabs)
+    if m == 0:
+        raise AlgorithmError("MergeSweep needs at least one sub-slab")
+    if len(slab_files) != m:
+        raise AlgorithmError(
+            f"expected {m} slab-files, got {len(slab_files)}"
+        )
+
+    tree = MaxAddSegmentTree(m)       # effective sums (base + upSum)
+    upsum = MaxAddSegmentTree(m)      # upSum alone (range add / point query)
+    base_interval: List[Tuple[float, float]] = [(s.lo, s.hi) for s in sub_slabs]
+    slab_los = [s.lo for s in sub_slabs]
+    slab_his = [s.hi for s in sub_slabs]
+
+    readers = [f.reader() for f in slab_files]
+    spanning_reader = spanning_file.reader()
+
+    # Heap entries: (y, tag, stream index, record).  Stream indices are unique
+    # per stream so records never get compared.
+    heap: List[Tuple[float, int, int, Tuple[float, ...]]] = []
+    for idx, reader in enumerate(readers):
+        record = next(reader, None)
+        if record is not None:
+            heap.append((record[0], _TAG_TUPLE, idx, record))
+    spanning_record = next(spanning_reader, None)
+    if spanning_record is not None:
+        heap.append((spanning_record[0], _TAG_SPANNING, m, spanning_record))
+    heapq.heapify(heap)
+
+    output = ctx.create_file(MAX_INTERVAL_CODEC, name=name)
+    tracker = BestStripTracker()
+
+    with output.writer() as writer:
+        while heap:
+            y = heap[0][0]
+            while heap and heap[0][0] == y:
+                _, tag, idx, record = heapq.heappop(heap)
+                if tag == _TAG_SPANNING:
+                    _apply_spanning(record, slab_los, slab_his, tree, upsum)
+                    nxt = next(spanning_reader, None)
+                    if nxt is not None:
+                        heapq.heappush(heap, (nxt[0], _TAG_SPANNING, m, nxt))
+                else:
+                    _apply_tuple(record, idx, tree, upsum, base_interval)
+                    nxt = next(readers[idx], None)
+                    if nxt is not None:
+                        heapq.heappush(heap, (nxt[0], _TAG_TUPLE, idx, nxt))
+            x_lo, x_hi, best_value = _current_max_interval(tree, base_interval, m)
+            writer.append((y, x_lo, x_hi, best_value))
+            tracker.observe(y, x_lo, x_hi, best_value)
+
+    tracker.finish()
+    return output, tracker.best
+
+
+# ---------------------------------------------------------------------- #
+# Sweep steps
+# ---------------------------------------------------------------------- #
+def _apply_spanning(record: Tuple[float, ...], slab_los: Sequence[float],
+                    slab_his: Sequence[float], tree: MaxAddSegmentTree,
+                    upsum: MaxAddSegmentTree) -> None:
+    """Apply one spanning-rectangle edge: adjust ``upSum`` of the spanned slabs."""
+    _, kind, x1, x2, weight = record
+    first = bisect_left(slab_los, x1)
+    last = bisect_right(slab_his, x2) - 1
+    if first > last:
+        return
+    delta = weight if kind == EVENT_BOTTOM else -weight
+    tree.range_add(first, last, delta)
+    upsum.range_add(first, last, delta)
+
+
+def _apply_tuple(record: Tuple[float, ...], slab_index: int,
+                 tree: MaxAddSegmentTree, upsum: MaxAddSegmentTree,
+                 base_interval: List[Tuple[float, float]]) -> None:
+    """Apply one slab-file tuple: replace the sub-slab's base max-interval."""
+    _, x1, x2, base_sum = record
+    effective_new = base_sum + upsum.point_value(slab_index)
+    effective_old = tree.point_value(slab_index)
+    tree.range_add(slab_index, slab_index, effective_new - effective_old)
+    base_interval[slab_index] = (x1, x2)
+
+
+def _current_max_interval(tree: MaxAddSegmentTree,
+                          base_interval: Sequence[Tuple[float, float]],
+                          m: int) -> Tuple[float, float, float]:
+    """Return the merged max-interval and its sum for the current strip.
+
+    Implements ``GetMaxInterval``: the winning sub-slab's interval is extended
+    over adjacent sub-slabs whose intervals touch it and whose effective sums
+    tie with the maximum.
+    """
+    best_value = tree.global_max()
+    winner = tree.argmax_leftmost()
+    x_lo, x_hi = base_interval[winner]
+    j = winner - 1
+    while j >= 0 and base_interval[j][1] == x_lo and \
+            _ties(tree.point_value(j), best_value):
+        x_lo = base_interval[j][0]
+        j -= 1
+    j = winner + 1
+    while j < m and base_interval[j][0] == x_hi and \
+            _ties(tree.point_value(j), best_value):
+        x_hi = base_interval[j][1]
+        j += 1
+    return x_lo, x_hi, best_value
+
+
+def _ties(value: float, best: float) -> bool:
+    """Floating-point-tolerant equality used when merging tied sub-slabs."""
+    return math.isclose(value, best, rel_tol=1e-12, abs_tol=1e-12)

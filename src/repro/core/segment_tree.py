@@ -1,0 +1,191 @@
+"""Segment tree with lazy range additions and max/argmax queries.
+
+Both sweep algorithms of the reproduction need the same dynamic structure:
+
+* the in-memory plane sweep (base case of ExactMaxRS) maintains the
+  location-weight profile over the elementary x-intervals of a slab while
+  rectangles are inserted and deleted, and repeatedly asks for the maximum and
+  where it is attained;
+* ``MergeSweep`` maintains, per sub-slab, the *effective* sum (the slab's own
+  max-interval sum plus the weight of the spanning rectangles currently
+  crossing it) and repeatedly asks which sub-slab currently attains the
+  maximum.  Spanning rectangles update a contiguous *range* of sub-slabs,
+  which is exactly a lazy range addition.
+
+The tree works over ``n`` abstract cells indexed ``0 .. n-1``; mapping
+x-coordinates (or sub-slab indices) to cells is the caller's business.  All
+operations are ``O(log n)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.errors import AlgorithmError
+
+__all__ = ["MaxAddSegmentTree"]
+
+
+class MaxAddSegmentTree:
+    """Lazy segment tree supporting range add, max, argmax and point queries.
+
+    Parameters
+    ----------
+    n:
+        Number of cells (must be >= 1).  All cells start at value 0.
+
+    Examples
+    --------
+    >>> tree = MaxAddSegmentTree(4)
+    >>> tree.range_add(1, 2, 5.0)
+    >>> tree.global_max()
+    5.0
+    >>> tree.argmax_leftmost()
+    1
+    >>> tree.point_value(3)
+    0.0
+    """
+
+    __slots__ = ("n", "_max", "_min", "_add")
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise AlgorithmError(f"segment tree needs at least one cell, got {n}")
+        self.n = n
+        size = 4 * n
+        self._max: List[float] = [0.0] * size
+        self._min: List[float] = [0.0] * size
+        self._add: List[float] = [0.0] * size
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+    def range_add(self, left: int, right: int, delta: float) -> None:
+        """Add ``delta`` to every cell in ``[left, right]`` (inclusive)."""
+        if left > right:
+            return
+        if left < 0 or right >= self.n:
+            raise AlgorithmError(
+                f"range [{left}, {right}] out of bounds for {self.n} cells"
+            )
+        if delta == 0.0:
+            return
+        self._range_add(1, 0, self.n - 1, left, right, delta)
+
+    def _range_add(self, node: int, lo: int, hi: int, left: int, right: int,
+                   delta: float) -> None:
+        if left <= lo and hi <= right:
+            self._add[node] += delta
+            self._max[node] += delta
+            self._min[node] += delta
+            return
+        mid = (lo + hi) // 2
+        lchild = 2 * node
+        rchild = 2 * node + 1
+        if left <= mid:
+            self._range_add(lchild, lo, mid, left, right, delta)
+        if right > mid:
+            self._range_add(rchild, mid + 1, hi, left, right, delta)
+        own = self._add[node]
+        self._max[node] = max(self._max[lchild], self._max[rchild]) + own
+        self._min[node] = min(self._min[lchild], self._min[rchild]) + own
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def global_max(self) -> float:
+        """Return the maximum cell value."""
+        return self._max[1]
+
+    def global_min(self) -> float:
+        """Return the minimum cell value."""
+        return self._min[1]
+
+    def argmax_leftmost(self) -> int:
+        """Return the index of the leftmost cell attaining the maximum."""
+        node, lo, hi = 1, 0, self.n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            lchild = 2 * node
+            # The child's stored max excludes the current node's pending add,
+            # but the comparison between siblings is unaffected by it.
+            if self._max[lchild] >= self._max[2 * node + 1]:
+                node, hi = lchild, mid
+            else:
+                node, lo = 2 * node + 1, mid + 1
+        return lo
+
+    def point_value(self, index: int) -> float:
+        """Return the current value of one cell."""
+        if not 0 <= index < self.n:
+            raise AlgorithmError(f"cell {index} out of bounds for {self.n} cells")
+        node, lo, hi = 1, 0, self.n - 1
+        total = 0.0
+        while lo < hi:
+            total += self._add[node]
+            mid = (lo + hi) // 2
+            if index <= mid:
+                node, hi = 2 * node, mid
+            else:
+                node, lo = 2 * node + 1, mid + 1
+        return total + self._max[node]
+
+    def find_first_below(self, start: int, threshold: float) -> Optional[int]:
+        """Return the smallest cell index ``>= start`` whose value is strictly
+        below ``threshold``, or ``None`` when every such cell is ``>= threshold``.
+
+        Used to extend the leftmost maximal cell into the maximal contiguous
+        run of cells attaining the maximum (the run ends right before the
+        first cell that falls below the maximum).
+        """
+        if start >= self.n:
+            return None
+        if start < 0:
+            start = 0
+        return self._find_first_below(1, 0, self.n - 1, start, threshold, 0.0)
+
+    def _find_first_below(self, node: int, lo: int, hi: int, start: int,
+                          threshold: float, acc: float) -> Optional[int]:
+        if hi < start:
+            return None
+        if self._min[node] + acc >= threshold:
+            return None
+        if lo == hi:
+            return lo
+        mid = (lo + hi) // 2
+        acc_child = acc + self._add[node]
+        found = self._find_first_below(2 * node, lo, mid, start, threshold, acc_child)
+        if found is not None:
+            return found
+        return self._find_first_below(2 * node + 1, mid + 1, hi, start, threshold,
+                                      acc_child)
+
+    def max_run_from(self, start: int) -> int:
+        """Return the last index of the contiguous run of cells, beginning at
+        ``start``, whose values all equal the value of cell ``start``.
+
+        In the plane sweep ``start`` is the leftmost maximal cell, so the run
+        ``[start, end]`` is the maximal x-range on which the maximum
+        location-weight is attained, as required by Definition 6.
+        """
+        target = self.point_value(start)
+        below = self.find_first_below(start + 1, target - 1e-12 * max(1.0, abs(target)))
+        if below is None:
+            return self.n - 1
+        return below - 1
+
+    # ------------------------------------------------------------------ #
+    # Debug helpers
+    # ------------------------------------------------------------------ #
+    def to_list(self) -> List[float]:
+        """Return all cell values (test helper; O(n log n))."""
+        return [self.point_value(i) for i in range(self.n)]
+
+    def validate(self) -> None:
+        """Check internal max/min consistency against the cell values."""
+        values = self.to_list()
+        if not math.isclose(max(values), self.global_max(), rel_tol=1e-9, abs_tol=1e-9):
+            raise AlgorithmError("segment tree max is inconsistent with cell values")
+        if not math.isclose(min(values), self.global_min(), rel_tol=1e-9, abs_tol=1e-9):
+            raise AlgorithmError("segment tree min is inconsistent with cell values")

@@ -1,0 +1,87 @@
+"""Dataset specifications.
+
+Every workload of the empirical study is described by a :class:`DatasetSpec`:
+its distribution family, cardinality, coordinate domain and random seed.
+Specs are hashable value objects, so experiment results can be keyed by the
+exact workload that produced them and regenerating a dataset from its spec is
+always deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import DatasetError
+
+__all__ = ["Distribution", "DatasetSpec", "DEFAULT_DOMAIN"]
+
+#: The paper's normalized coordinate domain: ``[0, 1,000,000]`` per axis.
+DEFAULT_DOMAIN = 1_000_000.0
+
+
+class Distribution(str, Enum):
+    """Distribution families used in Section 7."""
+
+    #: Synthetic, uniformly distributed points (Figure 12b, 13b, 14b).
+    UNIFORM = "uniform"
+    #: Synthetic, Gaussian-clustered points (Figure 12a, 13a, 14a).
+    GAUSSIAN = "gaussian"
+    #: Stand-in for the real "United States and Mexico" dataset (Table 2).
+    UX = "ux"
+    #: Stand-in for the real "North East" dataset (Table 2).
+    NE = "ne"
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetSpec:
+    """A reproducible description of one workload.
+
+    Parameters
+    ----------
+    distribution:
+        The distribution family.
+    cardinality:
+        Number of objects ``|O|``.
+    domain:
+        Upper bound of the square coordinate domain ``[0, domain]^2``.
+    seed:
+        Seed of the deterministic generator.
+    weighted:
+        When ``True`` objects carry integer weights in ``[1, 4]``; when
+        ``False`` (the paper's experiments) every weight is 1.
+    """
+
+    distribution: Distribution
+    cardinality: int
+    domain: float = DEFAULT_DOMAIN
+    seed: int = 7
+    weighted: bool = False
+
+    def __post_init__(self) -> None:
+        if self.cardinality < 0:
+            raise DatasetError(f"cardinality must be non-negative, got {self.cardinality}")
+        if self.domain <= 0:
+            raise DatasetError(f"domain must be positive, got {self.domain}")
+
+    @property
+    def name(self) -> str:
+        """A short human-readable identifier, e.g. ``uniform-250000``."""
+        return f"{self.distribution.value}-{self.cardinality}"
+
+    def scaled(self, factor: float) -> "DatasetSpec":
+        """Return a copy with the cardinality scaled by ``factor`` (min 1).
+
+        The benchmark suite uses this to shrink the paper's workloads to sizes
+        that run in seconds while keeping every other parameter identical.
+        """
+        if factor <= 0:
+            raise DatasetError(f"scale factor must be positive, got {factor}")
+        new_cardinality = max(1, int(round(self.cardinality * factor)))
+        return DatasetSpec(
+            distribution=self.distribution,
+            cardinality=new_cardinality,
+            domain=self.domain,
+            seed=self.seed,
+            weighted=self.weighted,
+        )

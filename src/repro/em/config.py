@@ -1,0 +1,123 @@
+"""Configuration of the simulated external-memory (EM) model.
+
+The paper analyses and measures every algorithm in the standard EM model of
+Aggarwal & Vitter / Goodrich et al., parameterized by
+
+* ``N`` -- the number of objects in the database,
+* ``M`` -- the number of objects that fit in main memory, and
+* ``B`` -- the number of objects per disk block,
+
+with the assumptions ``N >> M >= 2B``.  The experiments in Section 7 control
+the model through two knobs: the *block size* (default 4 KB) and the *buffer
+size* (default 256 KB for the real datasets and 1024 KB for the synthetic
+ones).  :class:`EMConfig` captures exactly those two knobs and derives ``B``,
+``M`` and the slab fan-out ``m = Theta(M/B)`` from them for any given record
+size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["EMConfig", "KIB", "DEFAULT_BLOCK_SIZE", "DEFAULT_BUFFER_SIZE"]
+
+#: One kibibyte, used to express buffer sizes the way the paper does ("256KB").
+KIB = 1024
+
+#: The paper's default block size (Table 3).
+DEFAULT_BLOCK_SIZE = 4 * KIB
+
+#: The paper's default buffer size for synthetic datasets (Table 3).
+DEFAULT_BUFFER_SIZE = 1024 * KIB
+
+
+@dataclass(frozen=True, slots=True)
+class EMConfig:
+    """Parameters of the simulated external-memory environment.
+
+    Parameters
+    ----------
+    block_size:
+        Size of one disk block in bytes (the paper's default is 4096).
+    buffer_size:
+        Size of the main-memory buffer in bytes (the paper's defaults are
+        262144 for real datasets and 1048576 for synthetic datasets).
+
+    Raises
+    ------
+    ConfigurationError
+        If either size is non-positive, or the buffer cannot hold at least two
+        blocks (the EM-model assumption ``M >= 2B``).
+
+    Examples
+    --------
+    >>> cfg = EMConfig(block_size=4096, buffer_size=262144)
+    >>> cfg.num_buffer_blocks
+    64
+    >>> cfg.records_per_block(record_size=32)
+    128
+    """
+
+    block_size: int = DEFAULT_BLOCK_SIZE
+    buffer_size: int = DEFAULT_BUFFER_SIZE
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 0:
+            raise ConfigurationError(f"block size must be positive, got {self.block_size}")
+        if self.buffer_size <= 0:
+            raise ConfigurationError(f"buffer size must be positive, got {self.buffer_size}")
+        if self.buffer_size < 2 * self.block_size:
+            raise ConfigurationError(
+                "the EM model requires a buffer of at least two blocks "
+                f"(buffer {self.buffer_size} B < 2 x block {self.block_size} B)"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Derived model parameters
+    # ------------------------------------------------------------------ #
+    @property
+    def num_buffer_blocks(self) -> int:
+        """The number of memory blocks, ``M/B`` in the paper's notation."""
+        return self.buffer_size // self.block_size
+
+    def records_per_block(self, record_size: int) -> int:
+        """Return ``B``: how many records of ``record_size`` bytes fit in a block.
+
+        Raises
+        ------
+        ConfigurationError
+            If a single record does not fit in a block.
+        """
+        if record_size <= 0:
+            raise ConfigurationError(f"record size must be positive, got {record_size}")
+        per_block = self.block_size // record_size
+        if per_block < 1:
+            raise ConfigurationError(
+                f"a record of {record_size} B does not fit in a {self.block_size} B block"
+            )
+        return per_block
+
+    def memory_capacity_records(self, record_size: int) -> int:
+        """Return ``M``: how many records of ``record_size`` bytes fit in the buffer."""
+        return self.num_buffer_blocks * self.records_per_block(record_size)
+
+    def merge_fanout(self) -> int:
+        """Return the slab / merge fan-out ``m = Theta(M/B)``.
+
+        Two buffer blocks are reserved -- one for the spanning-rectangle input
+        stream and one for the output stream -- matching the accounting in the
+        proof of Lemma 3; the remaining blocks each buffer one input slab-file.
+        The fan-out is never smaller than 2 so the recursion always makes
+        progress.
+        """
+        return max(2, self.num_buffer_blocks - 2)
+
+    def with_buffer_size(self, buffer_size: int) -> "EMConfig":
+        """Return a copy of this configuration with a different buffer size."""
+        return EMConfig(block_size=self.block_size, buffer_size=buffer_size)
+
+    def with_block_size(self, block_size: int) -> "EMConfig":
+        """Return a copy of this configuration with a different block size."""
+        return EMConfig(block_size=block_size, buffer_size=self.buffer_size)

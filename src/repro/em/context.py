@@ -1,0 +1,113 @@
+"""Bundled external-memory environment handed to every algorithm.
+
+An :class:`EMContext` wires together the pieces of the simulated environment
+-- configuration, disk, buffer pool and I/O counters -- and offers the small
+set of operations algorithms actually need: creating record files and
+measuring the I/O cost of a code region.  Passing a single context object
+around (instead of device/pool/config triples) keeps algorithm signatures
+small and guarantees that all of them are charged against the same counters.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.em.buffer_pool import BufferPool
+from repro.em.config import EMConfig
+from repro.em.counters import IOSnapshot, IOStats
+from repro.em.device import BlockDevice
+from repro.em.record_file import RecordFile
+from repro.em.serializer import RecordCodec
+
+__all__ = ["EMContext"]
+
+
+class EMContext:
+    """The simulated external-memory environment.
+
+    Parameters
+    ----------
+    config:
+        Block and buffer sizes; defaults to the paper's synthetic-dataset
+        configuration (4 KB blocks, 1024 KB buffer).
+    capacity_blocks:
+        Optional override of the buffer-pool capacity in blocks; defaults to
+        ``config.num_buffer_blocks``.
+
+    Examples
+    --------
+    >>> from repro.em import EMContext, EMConfig
+    >>> ctx = EMContext(EMConfig(block_size=4096, buffer_size=65536))
+    >>> ctx.config.num_buffer_blocks
+    16
+    """
+
+    def __init__(self, config: Optional[EMConfig] = None,
+                 capacity_blocks: Optional[int] = None) -> None:
+        self.config = config if config is not None else EMConfig()
+        self.stats = IOStats()
+        self.device = BlockDevice(self.config, self.stats)
+        self.pool = BufferPool(self.device, capacity_blocks)
+        self._file_counter = 0
+
+    # ------------------------------------------------------------------ #
+    # File management
+    # ------------------------------------------------------------------ #
+    def create_file(self, codec: RecordCodec, name: Optional[str] = None) -> RecordFile:
+        """Create a new, empty record file on the simulated disk."""
+        self._file_counter += 1
+        if name is None:
+            name = f"file-{self._file_counter}"
+        return RecordFile(self.pool, codec, name=name)
+
+    # ------------------------------------------------------------------ #
+    # Measurement helpers
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def measure(self) -> Iterator[IOStats]:
+        """Measure the I/O cost of a ``with`` block.
+
+        Yields a fresh :class:`~repro.em.counters.IOStats` object whose
+        counters, after the block exits, hold the number of block reads and
+        writes performed inside the block (dirty buffers are flushed first so
+        deferred writes are attributed to the block that produced them).
+        """
+        measured = IOStats()
+        start = self.stats.snapshot()
+        try:
+            yield measured
+        finally:
+            self.pool.flush()
+            delta = self.stats.since(start)
+            measured.block_reads = delta.block_reads
+            measured.block_writes = delta.block_writes
+
+    def io_since(self, start: IOSnapshot) -> IOSnapshot:
+        """Return the I/O performed since ``start`` (flushing dirty buffers)."""
+        self.pool.flush()
+        return self.stats.since(start)
+
+    def reset_io(self) -> None:
+        """Flush the pool and reset the I/O counters (between experiment runs)."""
+        self.pool.flush()
+        self.stats.reset()
+
+    def clear_cache(self) -> None:
+        """Flush and drop every cached block (cold-cache experiment runs)."""
+        self.pool.evict_all()
+
+    # ------------------------------------------------------------------ #
+    # Derived model parameters (convenience passthroughs)
+    # ------------------------------------------------------------------ #
+    def memory_capacity_records(self, record_size: int) -> int:
+        """``M`` for records of ``record_size`` bytes."""
+        return self.config.memory_capacity_records(record_size)
+
+    def records_per_block(self, record_size: int) -> int:
+        """``B`` for records of ``record_size`` bytes."""
+        return self.config.records_per_block(record_size)
+
+    def merge_fanout(self) -> int:
+        """The slab / merge fan-out ``m = Theta(M/B)``."""
+        return self.config.merge_fanout()

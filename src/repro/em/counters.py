@@ -1,0 +1,94 @@
+"""I/O accounting for the simulated external-memory environment.
+
+The paper's sole performance metric is "the number of I/O's, precisely the
+number of transferred blocks during the entire process".  :class:`IOStats`
+counts exactly that: one unit per block moved between the simulated disk and
+the buffer pool, split into reads and writes.  The experiment harness snapshots
+the counters around each algorithm invocation and reports the difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["IOSnapshot", "IOStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class IOSnapshot:
+    """An immutable snapshot of the I/O counters at a point in time."""
+
+    block_reads: int
+    block_writes: int
+
+    @property
+    def total(self) -> int:
+        """Total number of transferred blocks (reads + writes)."""
+        return self.block_reads + self.block_writes
+
+    def __sub__(self, other: "IOSnapshot") -> "IOSnapshot":
+        """Return the per-counter difference ``self - other``."""
+        return IOSnapshot(
+            block_reads=self.block_reads - other.block_reads,
+            block_writes=self.block_writes - other.block_writes,
+        )
+
+
+@dataclass(slots=True)
+class IOStats:
+    """Mutable I/O counters owned by a :class:`~repro.em.device.BlockDevice`.
+
+    The storage layer increments the counters; algorithms and experiments only
+    read them (via :meth:`snapshot` / :meth:`measure`).
+
+    Examples
+    --------
+    >>> stats = IOStats()
+    >>> stats.record_read(); stats.record_write()
+    >>> stats.total_ios
+    2
+    """
+
+    block_reads: int = 0
+    block_writes: int = 0
+    #: Number of logical block accesses that were served from the buffer pool
+    #: without touching the disk.  Not part of the paper's metric, but useful
+    #: for understanding caching behaviour (e.g. Figure 15a).
+    cache_hits: int = field(default=0)
+
+    # ------------------------------------------------------------------ #
+    # Mutation (storage layer only)
+    # ------------------------------------------------------------------ #
+    def record_read(self, blocks: int = 1) -> None:
+        """Charge ``blocks`` block reads."""
+        self.block_reads += blocks
+
+    def record_write(self, blocks: int = 1) -> None:
+        """Charge ``blocks`` block writes."""
+        self.block_writes += blocks
+
+    def record_cache_hit(self, blocks: int = 1) -> None:
+        """Record ``blocks`` buffer-pool hits (no disk transfer)."""
+        self.cache_hits += blocks
+
+    def reset(self) -> None:
+        """Reset every counter to zero."""
+        self.block_reads = 0
+        self.block_writes = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+    @property
+    def total_ios(self) -> int:
+        """Total number of transferred blocks (the paper's metric)."""
+        return self.block_reads + self.block_writes
+
+    def snapshot(self) -> IOSnapshot:
+        """Return an immutable copy of the current read/write counters."""
+        return IOSnapshot(block_reads=self.block_reads, block_writes=self.block_writes)
+
+    def since(self, start: IOSnapshot) -> IOSnapshot:
+        """Return the I/O performed since ``start`` was taken."""
+        return self.snapshot() - start

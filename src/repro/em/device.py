@@ -1,0 +1,123 @@
+"""Simulated block-addressable storage device.
+
+The paper measures algorithms by the number of 4 KB blocks transferred between
+disk and memory.  :class:`BlockDevice` is the "disk" of this reproduction: a
+block-addressable byte store that charges one unit of I/O per block read or
+written.  Algorithms never talk to the device directly -- they go through a
+:class:`~repro.em.buffer_pool.BufferPool`, which is the "memory" side of the
+model and decides when a transfer actually happens.
+
+The device is deliberately an in-process simulation rather than a real file on
+the host filesystem: the metric of interest is the *count* of block transfers,
+which the simulation reproduces exactly, deterministically, and independently
+of the host's page cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.em.config import EMConfig
+from repro.em.counters import IOStats
+from repro.errors import StorageError
+
+__all__ = ["BlockDevice"]
+
+
+class BlockDevice:
+    """An in-memory simulation of a block-addressable disk.
+
+    Parameters
+    ----------
+    config:
+        The external-memory configuration; only ``config.block_size`` is used
+        by the device itself.
+    stats:
+        Optional pre-existing counters to charge I/O to; a fresh
+        :class:`~repro.em.counters.IOStats` is created when omitted.
+
+    Notes
+    -----
+    Blocks are identified by dense integer ids handed out by
+    :meth:`allocate`.  Freeing a block makes its id invalid; reading an
+    invalid or never-written block raises :class:`~repro.errors.StorageError`.
+    """
+
+    def __init__(self, config: EMConfig, stats: IOStats | None = None) -> None:
+        self.config = config
+        self.stats = stats if stats is not None else IOStats()
+        self._blocks: Dict[int, bytes] = {}
+        self._next_id = 0
+        self._free_ids: List[int] = []
+
+    # ------------------------------------------------------------------ #
+    # Allocation
+    # ------------------------------------------------------------------ #
+    def allocate(self) -> int:
+        """Allocate a new block and return its id.
+
+        Allocation itself is free (no I/O is charged until the block is
+        actually written).
+        """
+        if self._free_ids:
+            block_id = self._free_ids.pop()
+        else:
+            block_id = self._next_id
+            self._next_id += 1
+        self._blocks[block_id] = b""
+        return block_id
+
+    def free(self, block_id: int) -> None:
+        """Release a block id.  Freeing is not charged as I/O."""
+        if block_id not in self._blocks:
+            raise StorageError(f"cannot free unknown block {block_id}")
+        del self._blocks[block_id]
+        self._free_ids.append(block_id)
+
+    # ------------------------------------------------------------------ #
+    # Transfers (each call is one charged I/O)
+    # ------------------------------------------------------------------ #
+    def read_block(self, block_id: int) -> bytes:
+        """Transfer one block from disk to memory and charge one read."""
+        try:
+            data = self._blocks[block_id]
+        except KeyError:
+            raise StorageError(f"read of unknown block {block_id}") from None
+        self.stats.record_read()
+        return data
+
+    def write_block(self, block_id: int, data: bytes) -> None:
+        """Transfer one block from memory to disk and charge one write.
+
+        Raises
+        ------
+        StorageError
+            If the block id is unknown or the payload exceeds the block size.
+        """
+        if block_id not in self._blocks:
+            raise StorageError(f"write to unknown block {block_id}")
+        if len(data) > self.config.block_size:
+            raise StorageError(
+                f"payload of {len(data)} B exceeds block size {self.config.block_size} B"
+            )
+        self._blocks[block_id] = bytes(data)
+        self.stats.record_write()
+
+    # ------------------------------------------------------------------ #
+    # Introspection (free of charge; used by tests and reporting)
+    # ------------------------------------------------------------------ #
+    @property
+    def num_allocated_blocks(self) -> int:
+        """The number of currently allocated blocks."""
+        return len(self._blocks)
+
+    def peek(self, block_id: int) -> bytes:
+        """Return a block's contents without charging I/O (test helper only)."""
+        try:
+            return self._blocks[block_id]
+        except KeyError:
+            raise StorageError(f"peek of unknown block {block_id}") from None
+
+    def is_allocated(self, block_id: int) -> bool:
+        """Return ``True`` when ``block_id`` is currently allocated."""
+        return block_id in self._blocks

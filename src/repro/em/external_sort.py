@@ -1,0 +1,151 @@
+"""Multiway external merge sort.
+
+ExactMaxRS requires its input rectangles to be sorted by x-coordinate before
+the division phase ("The dataset needs to be sorted by x-coordinates before it
+is fed into Algorithm 2", proof of Theorem 2), and the plane-sweep baselines
+require their event files to be sorted by y-coordinate.  Both use the textbook
+external merge sort implemented here:
+
+1. *Run formation*: read ``M`` records at a time, sort them in memory, and
+   write each sorted chunk as a run -- ``O(N/B)`` I/Os.
+2. *Multiway merge*: repeatedly merge up to ``M/B - 1`` runs into one (one
+   input buffer block per run plus one output buffer block) until a single
+   run remains -- ``O(N/B)`` I/Os per level, ``O(log_{M/B}(N/M))`` levels.
+
+Total cost ``O((N/B) log_{M/B}(N/B))``, the sorting bound that also lower
+bounds the MaxRS problem itself (Theorem 2).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.em.context import EMContext
+from repro.em.record_file import RecordFile, RecordReader
+from repro.em.serializer import RecordCodec
+from repro.errors import AlgorithmError
+
+__all__ = ["ExternalSorter", "external_sort"]
+
+Record = Tuple[float, ...]
+KeyFunc = Callable[[Record], object]
+
+
+class ExternalSorter:
+    """External merge sort over :class:`~repro.em.record_file.RecordFile`.
+
+    Parameters
+    ----------
+    ctx:
+        The external-memory context providing disk, buffer pool and counters.
+    codec:
+        Codec of the records being sorted (also used for the temporary runs).
+    key:
+        Sort key, as for :func:`sorted`.  Defaults to the whole record.
+    """
+
+    def __init__(self, ctx: EMContext, codec: RecordCodec,
+                 key: Optional[KeyFunc] = None) -> None:
+        self.ctx = ctx
+        self.codec = codec
+        self.key: KeyFunc = key if key is not None else (lambda record: record)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def sort(self, file: RecordFile, *, delete_input: bool = False) -> RecordFile:
+        """Return a new file containing the records of ``file`` in sorted order.
+
+        Parameters
+        ----------
+        file:
+            The input file; it is left untouched unless ``delete_input`` is
+            set.
+        delete_input:
+            When ``True`` the input file's blocks are released once the runs
+            have been formed (the recursion of ExactMaxRS discards its
+            unsorted temporaries this way).
+        """
+        runs = self._form_runs(file)
+        if delete_input:
+            file.delete()
+        if not runs:
+            return self.ctx.create_file(self.codec, name=f"{file.name}.sorted")
+        while len(runs) > 1:
+            runs = self._merge_level(runs)
+        result = runs[0]
+        result.name = f"{file.name}.sorted"
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Phase 1: run formation
+    # ------------------------------------------------------------------ #
+    def _form_runs(self, file: RecordFile) -> List[RecordFile]:
+        memory_records = self.ctx.memory_capacity_records(self.codec.record_size)
+        if memory_records < 1:
+            raise AlgorithmError("memory cannot hold even one record")
+        runs: List[RecordFile] = []
+        chunk: List[Record] = []
+        for record in file.reader():
+            chunk.append(record)
+            if len(chunk) >= memory_records:
+                runs.append(self._write_run(chunk, len(runs)))
+                chunk = []
+        if chunk:
+            runs.append(self._write_run(chunk, len(runs)))
+        return runs
+
+    def _write_run(self, chunk: List[Record], index: int) -> RecordFile:
+        chunk.sort(key=self.key)
+        run = self.ctx.create_file(self.codec, name=f"sort-run-{index}")
+        run.write_all(chunk)
+        return run
+
+    # ------------------------------------------------------------------ #
+    # Phase 2: multiway merge
+    # ------------------------------------------------------------------ #
+    def _merge_level(self, runs: List[RecordFile]) -> List[RecordFile]:
+        fanout = max(2, self.ctx.config.num_buffer_blocks - 1)
+        merged: List[RecordFile] = []
+        for start in range(0, len(runs), fanout):
+            group = runs[start:start + fanout]
+            merged.append(self._merge_group(group))
+        return merged
+
+    def _merge_group(self, group: Sequence[RecordFile]) -> RecordFile:
+        if len(group) == 1:
+            return group[0]
+        output = self.ctx.create_file(self.codec, name="sort-merge")
+        readers = [run.reader() for run in group]
+        heap: List[Tuple[object, int, Record, RecordReader]] = []
+        for idx, reader in enumerate(readers):
+            record = next(reader, None)
+            if record is not None:
+                heap.append((self.key(record), idx, record, reader))
+        heapq.heapify(heap)
+        with output.writer() as writer:
+            while heap:
+                _, idx, record, reader = heapq.heappop(heap)
+                writer.append(record)
+                nxt = next(reader, None)
+                if nxt is not None:
+                    heapq.heappush(heap, (self.key(nxt), idx, nxt, reader))
+        for run in group:
+            run.delete()
+        return output
+
+
+def external_sort(ctx: EMContext, file: RecordFile, codec: RecordCodec,
+                  key: Optional[KeyFunc] = None, *,
+                  delete_input: bool = False) -> RecordFile:
+    """Convenience wrapper around :class:`ExternalSorter`.
+
+    Examples
+    --------
+    Sort a file of object records by x-coordinate::
+
+        sorted_file = external_sort(ctx, objects_file, OBJECT_CODEC,
+                                    key=lambda record: record[0])
+    """
+    return ExternalSorter(ctx, codec, key).sort(file, delete_input=delete_input)

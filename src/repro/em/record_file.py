@@ -1,0 +1,265 @@
+"""Disk-resident files of fixed-size records.
+
+A :class:`RecordFile` is an ordered sequence of records stored across disk
+blocks of the simulated :class:`~repro.em.device.BlockDevice` and accessed
+through the :class:`~repro.em.buffer_pool.BufferPool`.  It is the only way the
+algorithms touch the disk, so every I/O they incur flows through this module
+and is counted.
+
+Access patterns provided:
+
+* :class:`RecordWriter` -- append-only sequential writer.  Records are packed
+  into an in-memory output buffer of one block and written when full, so
+  writing ``n`` records costs ``ceil(n / B)`` block writes, matching the
+  ``O(n/B)`` accounting used throughout the paper's proofs.
+* :class:`RecordReader` -- sequential scanner.  Reading costs one block read
+  per block not already resident in the buffer pool.
+* :meth:`RecordFile.read_block_records` -- random access to one block, used by
+  the external merge and by the aSB-tree baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.em.buffer_pool import BufferPool
+from repro.em.serializer import RecordCodec
+from repro.errors import StorageError
+
+__all__ = ["RecordFile", "RecordReader", "RecordWriter"]
+
+Record = Tuple[float, ...]
+
+
+class RecordFile:
+    """An ordered, block-structured file of fixed-size records.
+
+    Parameters
+    ----------
+    pool:
+        The buffer pool through which all block traffic flows.
+    codec:
+        Codec describing the record layout.
+    name:
+        Optional human-readable name used in error messages and debugging.
+    """
+
+    def __init__(self, pool: BufferPool, codec: RecordCodec, name: str = "<anonymous>") -> None:
+        self.pool = pool
+        self.codec = codec
+        self.name = name
+        self.block_ids: List[int] = []
+        self.num_records = 0
+        self._deleted = False
+
+    # ------------------------------------------------------------------ #
+    # Derived sizes
+    # ------------------------------------------------------------------ #
+    @property
+    def records_per_block(self) -> int:
+        """``B`` for this file's record type."""
+        return self.pool.device.config.records_per_block(self.codec.record_size)
+
+    @property
+    def num_blocks(self) -> int:
+        """The number of blocks the file currently occupies."""
+        return len(self.block_ids)
+
+    def __len__(self) -> int:
+        return self.num_records
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def writer(self) -> "RecordWriter":
+        """Return an append-only writer positioned at the end of the file."""
+        self._check_alive()
+        if self.num_records % self.records_per_block != 0:
+            raise StorageError(
+                f"file {self.name!r} has a partially filled last block; "
+                "appending after a partial block is not supported"
+            )
+        return RecordWriter(self)
+
+    def write_all(self, records: Iterable[Record]) -> "RecordFile":
+        """Append every record in ``records`` and return ``self``."""
+        with self.writer() as writer:
+            for record in records:
+                writer.append(record)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def reader(self) -> "RecordReader":
+        """Return a sequential reader positioned at the start of the file."""
+        self._check_alive()
+        return RecordReader(self)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self.reader())
+
+    def read_all(self) -> List[Record]:
+        """Read the entire file into memory (caller is responsible for fit)."""
+        return list(self.reader())
+
+    def read_block_records(self, block_index: int) -> List[Record]:
+        """Return the records of the ``block_index``-th block of the file."""
+        self._check_alive()
+        if not 0 <= block_index < len(self.block_ids):
+            raise StorageError(
+                f"block index {block_index} out of range for file {self.name!r} "
+                f"with {len(self.block_ids)} blocks"
+            )
+        frame = self.pool.get(self.block_ids[block_index])
+        records = self.codec.decode_block(bytes(frame.data))
+        if block_index == len(self.block_ids) - 1:
+            remainder = self.num_records - block_index * self.records_per_block
+            records = records[:remainder]
+        return records
+
+    def write_block_records(self, block_index: int, records: Sequence[Record]) -> None:
+        """Overwrite the ``block_index``-th block with ``records``.
+
+        Only the aSB-tree baseline uses in-place block updates; sequential
+        algorithms always write fresh files.  The record count of the file is
+        unchanged, so ``records`` must contain exactly as many records as the
+        block previously held.
+        """
+        self._check_alive()
+        if not 0 <= block_index < len(self.block_ids):
+            raise StorageError(
+                f"block index {block_index} out of range for file {self.name!r}"
+            )
+        expected = self._records_in_block(block_index)
+        if len(records) != expected:
+            raise StorageError(
+                f"block {block_index} of file {self.name!r} holds {expected} records; "
+                f"got {len(records)}"
+            )
+        payload = self.codec.encode_block(records, self.pool.device.config.block_size)
+        self.pool.put(self.block_ids[block_index], payload)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def delete(self) -> None:
+        """Release every block of the file (temporary files of the recursion)."""
+        if self._deleted:
+            return
+        for block_id in self.block_ids:
+            self.pool.invalidate(block_id)
+            self.pool.device.free(block_id)
+        self.block_ids = []
+        self.num_records = 0
+        self._deleted = True
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+    def _records_in_block(self, block_index: int) -> int:
+        if block_index < len(self.block_ids) - 1:
+            return self.records_per_block
+        return self.num_records - block_index * self.records_per_block
+
+    def _check_alive(self) -> None:
+        if self._deleted:
+            raise StorageError(f"file {self.name!r} has been deleted")
+
+
+class RecordWriter:
+    """Append-only writer over a :class:`RecordFile`.
+
+    The writer keeps one block's worth of records in memory (the output buffer
+    of the EM model) and flushes it to a freshly allocated block when full.
+    Use it as a context manager so the final partial block is flushed:
+
+    >>> # doctest-style sketch; see tests for runnable examples
+    >>> # with file.writer() as w:
+    >>> #     w.append((1.0, 2.0, 3.0))
+    """
+
+    def __init__(self, file: RecordFile) -> None:
+        self.file = file
+        self._buffer: List[Record] = []
+        self._closed = False
+
+    def append(self, record: Record) -> None:
+        """Append one record to the file."""
+        if self._closed:
+            raise StorageError(f"writer for file {self.file.name!r} is closed")
+        self._buffer.append(record)
+        if len(self._buffer) >= self.file.records_per_block:
+            self._flush_buffer()
+
+    def extend(self, records: Iterable[Record]) -> None:
+        """Append every record in ``records``."""
+        for record in records:
+            self.append(record)
+
+    def close(self) -> None:
+        """Flush the final partial block and seal the writer."""
+        if self._closed:
+            return
+        if self._buffer:
+            self._flush_buffer()
+        self._closed = True
+
+    def _flush_buffer(self) -> None:
+        device = self.file.pool.device
+        block_id = device.allocate()
+        payload = self.file.codec.encode_block(self._buffer, device.config.block_size)
+        self.file.pool.put(block_id, payload)
+        # Sequential writers immediately push the block to disk and release the
+        # frame: the EM model gives a sequential writer a single output buffer,
+        # not a cache of its own output.
+        self.file.pool.flush_block(block_id)
+        self.file.pool.invalidate(block_id)
+        self.file.block_ids.append(block_id)
+        self.file.num_records += len(self._buffer)
+        self._buffer = []
+
+    def __enter__(self) -> "RecordWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class RecordReader:
+    """Sequential reader over a :class:`RecordFile`.
+
+    Iterating yields records in file order.  Each block is fetched through the
+    buffer pool exactly once per pass (more precisely: once per pass during
+    which it is not already resident).
+    """
+
+    def __init__(self, file: RecordFile) -> None:
+        self.file = file
+        self._block_index = 0
+        self._records: List[Record] = []
+        self._record_index = 0
+
+    def __iter__(self) -> "RecordReader":
+        return self
+
+    def __next__(self) -> Record:
+        while self._record_index >= len(self._records):
+            if self._block_index >= self.file.num_blocks:
+                raise StopIteration
+            self._records = self.file.read_block_records(self._block_index)
+            self._record_index = 0
+            self._block_index += 1
+        record = self._records[self._record_index]
+        self._record_index += 1
+        return record
+
+    def peek(self) -> Optional[Record]:
+        """Return the next record without consuming it, or ``None`` at EOF."""
+        while self._record_index >= len(self._records):
+            if self._block_index >= self.file.num_blocks:
+                return None
+            self._records = self.file.read_block_records(self._block_index)
+            self._record_index = 0
+            self._block_index += 1
+        return self._records[self._record_index]

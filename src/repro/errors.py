@@ -1,0 +1,59 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so a
+caller can guard any call into the library with a single ``except`` clause.
+More specific subclasses indicate which subsystem detected the problem:
+
+* :class:`ConfigurationError` -- invalid external-memory or experiment
+  configuration (e.g. a buffer smaller than two blocks, violating the EM-model
+  assumption ``M >= 2B``).
+* :class:`StorageError` -- problems in the simulated storage layer
+  (:mod:`repro.em`), such as reading a block that was never written.
+* :class:`SerializationError` -- a record does not fit the fixed-size codec of
+  the file it is being written to.
+* :class:`GeometryError` -- degenerate geometric input (negative extents,
+  empty intervals where a non-empty one is required, ...).
+* :class:`AlgorithmError` -- an algorithm was invoked with inconsistent
+  arguments (e.g. asking ``MergeSweep`` to merge zero slab-files).
+* :class:`DatasetError` -- dataset generation or loading failed.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "StorageError",
+    "SerializationError",
+    "GeometryError",
+    "AlgorithmError",
+    "DatasetError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when an external-memory or experiment configuration is invalid."""
+
+
+class StorageError(ReproError):
+    """Raised by the simulated storage layer (:mod:`repro.em`)."""
+
+
+class SerializationError(StorageError):
+    """Raised when a record cannot be encoded into or decoded from a block."""
+
+
+class GeometryError(ReproError):
+    """Raised for degenerate or inconsistent geometric inputs."""
+
+
+class AlgorithmError(ReproError):
+    """Raised when an algorithm is invoked with inconsistent arguments."""
+
+
+class DatasetError(ReproError):
+    """Raised when dataset generation or loading fails."""

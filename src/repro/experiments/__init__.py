@@ -1,0 +1,58 @@
+"""The experiment harness: regenerate every table and figure of Section 7.
+
+Typical use::
+
+    from repro.experiments import figures, reporting
+    from repro.experiments.config import PRESETS
+
+    artefacts = figures.run_all(PRESETS["bench"])
+    print(reporting.format_artefacts(artefacts))
+
+or, from a shell::
+
+    python -m repro.experiments --preset smoke
+
+Structure:
+
+* :mod:`repro.experiments.config` -- Table 3 defaults, sweep grids and the
+  scaling presets (``paper`` / ``bench`` / ``smoke``).
+* :mod:`repro.experiments.runner` -- run one algorithm on one workload,
+  measuring transferred blocks exactly as the paper does.
+* :mod:`repro.experiments.sweeps` -- the common sweep skeleton.
+* :mod:`repro.experiments.figures` -- one function per table/figure.
+* :mod:`repro.experiments.reporting` -- text rendering of the results.
+"""
+
+from repro.experiments import figures, reporting
+from repro.experiments.config import (
+    ALGORITHMS,
+    BUFFER_SWEEP_REAL_KB,
+    BUFFER_SWEEP_SYNTHETIC_KB,
+    CARDINALITY_SWEEP,
+    DIAMETER_SWEEP,
+    PRESETS,
+    RANGE_SWEEP,
+    ExperimentScale,
+    PaperDefaults,
+)
+from repro.experiments.results import FigureResult, TableResult
+from repro.experiments.runner import RunRecord, run_maxcrs, run_maxrs
+
+__all__ = [
+    "ALGORITHMS",
+    "BUFFER_SWEEP_REAL_KB",
+    "BUFFER_SWEEP_SYNTHETIC_KB",
+    "CARDINALITY_SWEEP",
+    "DIAMETER_SWEEP",
+    "ExperimentScale",
+    "FigureResult",
+    "PaperDefaults",
+    "PRESETS",
+    "RANGE_SWEEP",
+    "RunRecord",
+    "TableResult",
+    "figures",
+    "reporting",
+    "run_maxcrs",
+    "run_maxrs",
+]

@@ -1,0 +1,76 @@
+"""Command-line entry point: ``python -m repro.experiments``.
+
+Reproduces the paper's tables and figures at a chosen scale and prints them as
+text, optionally writing the report to a file.  Example::
+
+    python -m repro.experiments --preset smoke
+    python -m repro.experiments --preset bench --only figure12 figure17
+    python -m repro.experiments --preset paper --output full_report.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict
+
+from repro.experiments import figures, reporting
+from repro.experiments.config import PRESETS
+
+_CHOICES = ("table2", "table3", "figure12", "figure13", "figure14",
+            "figure15", "figure16", "figure17")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the harness; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the tables and figures of the MaxRS paper.",
+    )
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="smoke",
+                        help="workload scale: smoke (seconds), bench (minutes), "
+                             "paper (full scale; hours in pure Python)")
+    parser.add_argument("--only", nargs="*", choices=_CHOICES, default=None,
+                        help="reproduce only the listed artefacts")
+    parser.add_argument("--output", default=None,
+                        help="also write the report to this file")
+    args = parser.parse_args(argv)
+
+    scale = PRESETS[args.preset]
+    wanted = set(args.only) if args.only else set(_CHOICES)
+
+    artefacts: Dict[str, object] = {}
+    started = time.perf_counter()
+    if "table2" in wanted:
+        artefacts["table2"] = figures.table2(scale)
+    if "table3" in wanted:
+        artefacts["table3"] = figures.table3(scale)
+    producers = {
+        "figure12": figures.figure12,
+        "figure13": figures.figure13,
+        "figure14": figures.figure14,
+        "figure15": figures.figure15,
+        "figure16": figures.figure16,
+    }
+    for name, producer in producers.items():
+        if name in wanted:
+            for figure in producer(scale):
+                artefacts[figure.figure_id] = figure
+    if "figure17" in wanted:
+        figure = figures.figure17(scale)
+        artefacts[figure.figure_id] = figure
+    elapsed = time.perf_counter() - started
+
+    report = reporting.format_artefacts(artefacts)
+    report += f"\n\n(reproduced {len(artefacts)} artefacts in {elapsed:.1f}s " \
+              f"at preset {args.preset!r})\n"
+    sys.stdout.write(report)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -1,0 +1,90 @@
+"""Text rendering of reproduced tables and figures.
+
+The harness reports everything as fixed-width text blocks -- the same rows and
+series the paper's figures plot -- so results can be diffed, pasted into
+EXPERIMENTS.md, or eyeballed in a terminal without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.experiments.results import FigureResult, TableResult
+
+__all__ = ["format_figure", "format_table", "format_artefacts"]
+
+
+def format_table(table: TableResult) -> str:
+    """Render a :class:`~repro.experiments.results.TableResult` as text."""
+    rows = [tuple(str(value) for value in row) for row in table.rows]
+    header = tuple(str(h) for h in table.header)
+    widths = [len(h) for h in header]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [table.title, "-" * len(table.title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    if table.notes:
+        lines.append(f"note: {table.notes}")
+    return "\n".join(lines)
+
+
+def format_figure(figure: FigureResult, *, float_format: str = "{:.3f}") -> str:
+    """Render a :class:`~repro.experiments.results.FigureResult` as a text table.
+
+    The swept parameter goes down the first column and each series gets its
+    own column, mirroring how the paper's figures would be read off.
+    """
+    series_names = list(figure.series.keys())
+    x_values = figure.x_values()
+    header = [figure.x_label, *series_names]
+    rows: List[List[str]] = []
+    for x in x_values:
+        row = [_format_number(x)]
+        for name in series_names:
+            value = figure.value_at(name, x)
+            row.append("-" if value is None else _format_value(value, float_format))
+        rows.append(row)
+
+    widths = [len(h) for h in header]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [figure.title, "-" * len(figure.title),
+             f"y-axis: {figure.y_label}"]
+    lines.append("  ".join(h.rjust(widths[i]) for i, h in enumerate(header)))
+    for row in rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    if figure.notes:
+        lines.append(f"note: {figure.notes}")
+    return "\n".join(lines)
+
+
+def format_artefacts(artefacts: Dict[str, object]) -> str:
+    """Render a full ``run_all`` output as one text report."""
+    blocks: List[str] = []
+    for key in sorted(artefacts):
+        artefact = artefacts[key]
+        if isinstance(artefact, TableResult):
+            blocks.append(format_table(artefact))
+        elif isinstance(artefact, FigureResult):
+            blocks.append(format_figure(artefact))
+        else:  # pragma: no cover - defensive only
+            blocks.append(f"{key}: {artefact!r}")
+    return "\n\n".join(blocks)
+
+
+def _format_number(value: float) -> str:
+    if float(value).is_integer():
+        return f"{int(value):,}"
+    return f"{value:g}"
+
+
+def _format_value(value: float, float_format: str) -> str:
+    if abs(value) >= 1000 and float(value).is_integer():
+        return f"{int(value):,}"
+    if float(value).is_integer():
+        return str(int(value))
+    return float_format.format(value)

@@ -1,0 +1,66 @@
+"""Result containers for reproduced tables and figures.
+
+A reproduced *figure* is a set of named series over a swept parameter
+(e.g. "I/O cost of each algorithm as the cardinality grows"); a reproduced
+*table* is a list of labelled rows.  Both carry enough metadata to be rendered
+as the text blocks written to EXPERIMENTS.md and printed by the benchmark
+harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.runner import RunRecord
+
+__all__ = ["FigureResult", "TableResult"]
+
+
+@dataclass(slots=True)
+class FigureResult:
+    """One reproduced figure (or sub-figure): named series over an x-axis."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    #: Mapping series name (algorithm or dataset) -> list of (x, y) points.
+    series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    #: Underlying per-run records, for anyone who wants the details.
+    records: List[RunRecord] = field(default_factory=list)
+    notes: str = ""
+
+    def add_point(self, series_name: str, x: float, y: float,
+                  record: RunRecord | None = None) -> None:
+        """Append one measurement to a series."""
+        self.series.setdefault(series_name, []).append((x, y))
+        if record is not None:
+            self.records.append(record)
+
+    def x_values(self) -> List[float]:
+        """The sorted union of x-coordinates across all series."""
+        values = sorted({x for points in self.series.values() for x, _ in points})
+        return values
+
+    def value_at(self, series_name: str, x: float) -> float | None:
+        """The y-value of ``series_name`` at ``x``, or ``None`` if absent."""
+        for px, py in self.series.get(series_name, []):
+            if px == x:
+                return py
+        return None
+
+
+@dataclass(slots=True)
+class TableResult:
+    """One reproduced table: a header plus labelled rows."""
+
+    table_id: str
+    title: str
+    header: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, *values: object) -> None:
+        """Append one row (must match the header length)."""
+        self.rows.append(tuple(values))

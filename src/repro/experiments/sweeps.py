@@ -1,0 +1,76 @@
+"""Generic parameter-sweep helpers shared by the figure reproductions.
+
+Each I/O figure of the paper has the same skeleton: for every value of a swept
+parameter, run the three MaxRS algorithms on a workload and record the number
+of transferred blocks.  :func:`sweep_maxrs_series` captures that skeleton so
+the per-figure functions in :mod:`repro.experiments.figures` only describe
+what varies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Sequence, Tuple
+
+from repro.experiments.config import ALGORITHMS, ExperimentScale
+from repro.experiments.results import FigureResult
+from repro.experiments.runner import run_maxrs
+from repro.geometry import WeightedPoint
+
+__all__ = ["sweep_maxrs_series", "EnvironmentForX"]
+
+#: For a swept x-value, provide (objects, dataset name, width, height,
+#: block size, buffer size).
+EnvironmentForX = Callable[
+    [float], Tuple[Sequence[WeightedPoint], str, float, float, int, int]
+]
+
+
+def sweep_maxrs_series(figure: FigureResult, x_values: Iterable[float],
+                       environment: EnvironmentForX, scale: ExperimentScale,
+                       algorithms: Sequence[str] = ALGORITHMS) -> FigureResult:
+    """Fill ``figure`` with one series per algorithm over ``x_values``.
+
+    Parameters
+    ----------
+    figure:
+        The (empty) figure to populate; returned for chaining.
+    x_values:
+        The swept parameter values, in the order they should appear.
+    environment:
+        Callback mapping one x-value to the workload and EM environment to
+        run with (see :data:`EnvironmentForX`).
+    scale:
+        Controls whether baselines run in simulation mode.
+    algorithms:
+        Which algorithms to run (defaults to the paper's three).
+    """
+    for x in x_values:
+        objects, dataset_name, width, height, block_size, buffer_size = environment(x)
+        for algorithm in algorithms:
+            record = run_maxrs(
+                algorithm, objects,
+                dataset_name=dataset_name,
+                width=width, height=height,
+                block_size=block_size, buffer_size=buffer_size,
+                simulate_baselines=scale.simulate_baselines,
+                extra_parameters={figure.x_label: float(x)},
+            )
+            figure.add_point(algorithm, float(x), float(record.io_total), record)
+    return figure
+
+
+def consistency_check(figure: FigureResult) -> Dict[float, bool]:
+    """Check that, at every x, all algorithms reported the same optimum.
+
+    Returns a mapping from x-value to whether the optima agreed.  This is a
+    sanity check the tests run on small-scale figures: the three MaxRS
+    algorithms must agree on the answer no matter how different their I/O
+    cost is.
+    """
+    by_x: Dict[float, set] = {}
+    for record in figure.records:
+        x = record.parameters.get(figure.x_label)
+        if x is None:
+            continue
+        by_x.setdefault(x, set()).add(round(record.total_weight, 6))
+    return {x: len(weights) == 1 for x, weights in by_x.items()}

@@ -1,0 +1,44 @@
+"""Geometric primitives shared by every subsystem of the reproduction.
+
+This package deliberately contains *only* plain value objects and pure
+functions -- no I/O and no algorithmic state -- so that the external-memory
+algorithms in :mod:`repro.core`, the baselines in :mod:`repro.baselines`, and
+the circle algorithms in :mod:`repro.circles` can all build on the same small
+vocabulary:
+
+* :class:`~repro.geometry.point.Point` -- a 2-D location.
+* :class:`~repro.geometry.interval.Interval` -- a closed 1-D interval, possibly
+  with infinite endpoints (slab extents, max-interval x-ranges).
+* :class:`~repro.geometry.rect.Rect` -- an axis-aligned rectangle (query
+  rectangles and the dual rectangles of the problem transformation).
+* :class:`~repro.geometry.circle.Circle` -- a circle of fixed diameter
+  (the MaxCRS query region).
+* :class:`~repro.geometry.weighted.WeightedPoint` -- an input object with a
+  non-negative weight.
+"""
+
+from repro.geometry.circle import Circle
+from repro.geometry.interval import Interval
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.weighted import (
+    WeightedPoint,
+    bounding_rect,
+    normalize_to_domain,
+    total_weight,
+    weight_in_circle,
+    weight_in_rect,
+)
+
+__all__ = [
+    "Circle",
+    "Interval",
+    "Point",
+    "Rect",
+    "WeightedPoint",
+    "bounding_rect",
+    "normalize_to_domain",
+    "total_weight",
+    "weight_in_circle",
+    "weight_in_rect",
+]

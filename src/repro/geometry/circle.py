@@ -1,0 +1,87 @@
+"""Circle primitive used by the MaxCRS problem.
+
+The MaxCRS problem (Definition 2 of the paper) fixes a *diameter* ``d`` and
+asks for the placement of a circle of that diameter maximizing the covered
+weight.  The ApproxMaxCRS reduction replaces each transformed circle by its
+minimum bounding rectangle -- a ``d x d`` square -- which is provided here by
+:meth:`Circle.mbr`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+__all__ = ["Circle"]
+
+
+@dataclass(frozen=True, slots=True)
+class Circle:
+    """A circle described by its centre and diameter.
+
+    Parameters
+    ----------
+    center:
+        Centre point of the circle.
+    diameter:
+        Diameter ``d`` (must be positive).
+
+    Examples
+    --------
+    >>> c = Circle(Point(0.0, 0.0), diameter=2.0)
+    >>> c.covers_point(Point(0.5, 0.5))
+    True
+    >>> c.covers_point(Point(1.0, 0.0))   # boundary points are excluded
+    False
+    >>> c.mbr()
+    Rect(x1=-1.0, y1=-1.0, x2=1.0, y2=1.0)
+    """
+
+    center: Point
+    diameter: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.diameter) or self.diameter <= 0:
+            raise GeometryError(f"circle diameter must be positive, got {self.diameter}")
+
+    @property
+    def radius(self) -> float:
+        """Half of the diameter."""
+        return self.diameter / 2.0
+
+    @property
+    def area(self) -> float:
+        """The area of the disk."""
+        return math.pi * self.radius * self.radius
+
+    def covers_point(self, p: Point) -> bool:
+        """Return ``True`` when ``p`` lies strictly inside the circle.
+
+        Boundary points are excluded, matching the paper's convention.
+        """
+        return self.center.squared_distance_to(p) < self.radius * self.radius
+
+    def covers_point_closed(self, p: Point) -> bool:
+        """Return ``True`` when ``p`` lies inside or on the circle."""
+        return self.center.squared_distance_to(p) <= self.radius * self.radius
+
+    def intersects(self, other: "Circle") -> bool:
+        """Return ``True`` when the two closed disks share at least one point."""
+        limit = self.radius + other.radius
+        return self.center.squared_distance_to(other.center) <= limit * limit
+
+    def mbr(self) -> Rect:
+        """Return the minimum bounding rectangle (a ``d x d`` square).
+
+        This is the reduction step of ApproxMaxCRS: the MBRs of the
+        transformed circles form the input to ExactMaxRS.
+        """
+        return Rect.centered_at(self.center, self.diameter, self.diameter)
+
+    def translate(self, dx: float, dy: float) -> "Circle":
+        """Return this circle shifted by ``(dx, dy)``."""
+        return Circle(self.center.translate(dx, dy), self.diameter)

@@ -1,0 +1,157 @@
+"""1-D interval primitive.
+
+Intervals appear in two places in the reproduction:
+
+* the x-range ``[x1, x2]`` of a *max-interval* tuple in a slab-file
+  (Definition 6 of the paper), and
+* the horizontal extent of slabs and of rectangle edges during the sweep.
+
+The paper treats intervals over the extended real line -- a slab-file's first
+tuple uses ``-inf`` as its left endpoint and the root slab spans
+``(-inf, +inf)`` -- so :class:`Interval` accepts infinite endpoints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import GeometryError
+
+__all__ = ["Interval"]
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """A closed 1-D interval ``[lo, hi]`` with possibly infinite endpoints.
+
+    Parameters
+    ----------
+    lo:
+        Left endpoint (may be ``-inf``).
+    hi:
+        Right endpoint (may be ``+inf``); must satisfy ``hi >= lo``.
+
+    Raises
+    ------
+    GeometryError
+        If ``hi < lo`` or either endpoint is NaN.
+
+    Examples
+    --------
+    >>> Interval(0.0, 2.0).intersect(Interval(1.0, 5.0))
+    Interval(lo=1.0, hi=2.0)
+    >>> Interval(0.0, 1.0).touches(Interval(1.0, 2.0))
+    True
+    """
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.lo) or math.isnan(self.hi):
+            raise GeometryError("interval endpoints must not be NaN")
+        if self.hi < self.lo:
+            raise GeometryError(
+                f"invalid interval: hi ({self.hi}) < lo ({self.lo})"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def length(self) -> float:
+        """The length ``hi - lo`` (may be ``inf``)."""
+        return self.hi - self.lo
+
+    @property
+    def is_degenerate(self) -> bool:
+        """``True`` when the interval is a single point."""
+        return self.lo == self.hi
+
+    @property
+    def is_finite(self) -> bool:
+        """``True`` when both endpoints are finite."""
+        return math.isfinite(self.lo) and math.isfinite(self.hi)
+
+    def midpoint(self) -> float:
+        """Return the midpoint of a finite interval.
+
+        Raises
+        ------
+        GeometryError
+            If either endpoint is infinite.
+        """
+        if not self.is_finite:
+            raise GeometryError("cannot take the midpoint of an infinite interval")
+        return (self.lo + self.hi) / 2.0
+
+    # ------------------------------------------------------------------ #
+    # Predicates
+    # ------------------------------------------------------------------ #
+    def contains(self, x: float) -> bool:
+        """Return ``True`` when ``x`` lies inside the closed interval."""
+        return self.lo <= x <= self.hi
+
+    def contains_strict(self, x: float) -> bool:
+        """Return ``True`` when ``x`` lies strictly inside the open interval."""
+        return self.lo < x < self.hi
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """Return ``True`` when ``other`` is entirely inside this interval."""
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Return ``True`` when the closed intervals share at least one point."""
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def overlaps_strict(self, other: "Interval") -> bool:
+        """Return ``True`` when the open interiors of the intervals intersect."""
+        return self.lo < other.hi and other.lo < self.hi
+
+    def touches(self, other: "Interval") -> bool:
+        """Return ``True`` when the intervals share exactly an endpoint."""
+        return self.hi == other.lo or other.hi == self.lo
+
+    # ------------------------------------------------------------------ #
+    # Combination
+    # ------------------------------------------------------------------ #
+    def intersect(self, other: "Interval") -> Optional["Interval"]:
+        """Return the intersection, or ``None`` when the intervals are disjoint."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if hi < lo:
+            return None
+        return Interval(lo, hi)
+
+    def union_hull(self, other: "Interval") -> "Interval":
+        """Return the smallest interval covering both operands.
+
+        This is *not* a set union: a gap between the operands is included.  It
+        is the operation ``GetMaxInterval`` uses when merging consecutive
+        max-intervals from adjacent slabs into one longer max-interval.
+        """
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def clamp(self, other: "Interval") -> "Interval":
+        """Return this interval clipped to ``other``.
+
+        Raises
+        ------
+        GeometryError
+            If the intervals do not overlap at all.
+        """
+        clipped = self.intersect(other)
+        if clipped is None:
+            raise GeometryError(f"cannot clamp {self} to disjoint interval {other}")
+        return clipped
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(lo, hi)``."""
+        return (self.lo, self.hi)
+
+    @staticmethod
+    def full() -> "Interval":
+        """Return the interval covering the entire real line."""
+        return Interval(-math.inf, math.inf)

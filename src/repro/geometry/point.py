@@ -1,0 +1,77 @@
+"""2-D point primitive used throughout the library.
+
+The MaxRS / MaxCRS problems are defined over points in the plane (the paper's
+infinite point set ``P``).  :class:`Point` is an immutable, hashable value
+object with the handful of operations the algorithms need: translation,
+distance, and lexicographic comparison (used when sorting sweep events).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+__all__ = ["Point"]
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """An immutable point in the 2-D plane.
+
+    Parameters
+    ----------
+    x:
+        The x-coordinate.
+    y:
+        The y-coordinate.
+
+    Examples
+    --------
+    >>> p = Point(1.0, 2.0)
+    >>> p.translate(3.0, -1.0)
+    Point(x=4.0, y=1.0)
+    >>> round(Point(0, 0).distance_to(Point(3, 4)), 6)
+    5.0
+    """
+
+    x: float
+    y: float
+
+    def translate(self, dx: float, dy: float) -> "Point":
+        """Return a new point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def distance_to(self, other: "Point") -> float:
+        """Return the Euclidean (L2) distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def squared_distance_to(self, other: "Point") -> float:
+        """Return the squared Euclidean distance to ``other``.
+
+        Avoids the square root when only comparisons are needed (e.g. testing
+        whether a point lies strictly inside a circle).
+        """
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def manhattan_distance_to(self, other: "Point") -> float:
+        """Return the L1 (Manhattan) distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return the point as an ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def __lt__(self, other: "Point") -> bool:
+        """Lexicographic (x, then y) ordering, used for deterministic sorts."""
+        return (self.x, self.y) < (other.x, other.y)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """Return the midpoint of the segment between this point and ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)

@@ -1,0 +1,223 @@
+"""Axis-aligned rectangle primitive.
+
+Rectangles play two roles in the MaxRS reproduction:
+
+* the *query* rectangle ``r(p)`` of size ``d1 x d2`` centred at a candidate
+  location ``p`` (Definition 1 of the paper), and
+* the *dual* rectangles produced by the problem transformation of Section 4:
+  one rectangle of the query size centred at every object.  Finding the most
+  overlapped region of the dual rectangles is equivalent to the original
+  MaxRS problem.
+
+Following the paper, objects lying exactly on the boundary of a query
+rectangle are excluded, so coverage tests use the *open* rectangle
+(:meth:`Rect.covers_point`).  Geometric overlap tests between dual rectangles,
+however, use closed semantics because the max-region may be degenerate (a
+segment or a point) when rectangle edges coincide.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from repro.errors import GeometryError
+from repro.geometry.interval import Interval
+from repro.geometry.point import Point
+
+__all__ = ["Rect"]
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """An axis-aligned rectangle ``[x1, x2] x [y1, y2]``.
+
+    Parameters
+    ----------
+    x1, y1:
+        Lower-left corner.
+    x2, y2:
+        Upper-right corner; must satisfy ``x2 >= x1`` and ``y2 >= y1``.
+
+    Examples
+    --------
+    >>> r = Rect.centered_at(Point(5.0, 5.0), width=4.0, height=2.0)
+    >>> r
+    Rect(x1=3.0, y1=4.0, x2=7.0, y2=6.0)
+    >>> r.covers_point(Point(5.0, 5.0))
+    True
+    >>> r.covers_point(Point(3.0, 5.0))   # boundary points are excluded
+    False
+    """
+
+    x1: float
+    y1: float
+    x2: float
+    y2: float
+
+    def __post_init__(self) -> None:
+        if any(math.isnan(v) for v in (self.x1, self.y1, self.x2, self.y2)):
+            raise GeometryError("rectangle coordinates must not be NaN")
+        if self.x2 < self.x1 or self.y2 < self.y1:
+            raise GeometryError(
+                "invalid rectangle: "
+                f"({self.x1}, {self.y1}) -- ({self.x2}, {self.y2})"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def centered_at(center: Point, width: float, height: float) -> "Rect":
+        """Return the ``width x height`` rectangle centred at ``center``.
+
+        This is exactly the dual-transform step of the paper: given an object
+        ``o`` and the query size ``d1 x d2``, build the rectangle ``r_o``
+        centred at the location of ``o``.
+
+        Raises
+        ------
+        GeometryError
+            If ``width`` or ``height`` is negative.
+        """
+        if width < 0 or height < 0:
+            raise GeometryError("rectangle width and height must be non-negative")
+        half_w = width / 2.0
+        half_h = height / 2.0
+        return Rect(center.x - half_w, center.y - half_h,
+                    center.x + half_w, center.y + half_h)
+
+    @staticmethod
+    def from_intervals(x_range: Interval, y_range: Interval) -> "Rect":
+        """Build a rectangle from an x-interval and a y-interval."""
+        return Rect(x_range.lo, y_range.lo, x_range.hi, y_range.hi)
+
+    @staticmethod
+    def bounding(points: Iterable[Point]) -> "Rect":
+        """Return the minimum bounding rectangle of a non-empty point set.
+
+        Raises
+        ------
+        GeometryError
+            If ``points`` is empty.
+        """
+        xs, ys = [], []
+        for p in points:
+            xs.append(p.x)
+            ys.append(p.y)
+        if not xs:
+            raise GeometryError("cannot bound an empty point set")
+        return Rect(min(xs), min(ys), max(xs), max(ys))
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def width(self) -> float:
+        """Horizontal extent ``x2 - x1``."""
+        return self.x2 - self.x1
+
+    @property
+    def height(self) -> float:
+        """Vertical extent ``y2 - y1``."""
+        return self.y2 - self.y1
+
+    @property
+    def area(self) -> float:
+        """The area of the rectangle."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        """The centre point of the rectangle."""
+        return Point((self.x1 + self.x2) / 2.0, (self.y1 + self.y2) / 2.0)
+
+    @property
+    def x_range(self) -> Interval:
+        """The horizontal extent as an :class:`Interval`."""
+        return Interval(self.x1, self.x2)
+
+    @property
+    def y_range(self) -> Interval:
+        """The vertical extent as an :class:`Interval`."""
+        return Interval(self.y1, self.y2)
+
+    def corners(self) -> Tuple[Point, Point, Point, Point]:
+        """Return the four corners in counter-clockwise order from lower-left."""
+        return (
+            Point(self.x1, self.y1),
+            Point(self.x2, self.y1),
+            Point(self.x2, self.y2),
+            Point(self.x1, self.y2),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Predicates
+    # ------------------------------------------------------------------ #
+    def covers_point(self, p: Point) -> bool:
+        """Return ``True`` when ``p`` lies strictly inside the rectangle.
+
+        Boundary points are excluded, matching the paper's convention that
+        "objects on the boundary of the rectangle or the circle are excluded".
+        """
+        return self.x1 < p.x < self.x2 and self.y1 < p.y < self.y2
+
+    def covers_point_closed(self, p: Point) -> bool:
+        """Return ``True`` when ``p`` lies inside or on the boundary."""
+        return self.x1 <= p.x <= self.x2 and self.y1 <= p.y <= self.y2
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """Return ``True`` when ``other`` lies entirely within this rectangle."""
+        return (self.x1 <= other.x1 and other.x2 <= self.x2
+                and self.y1 <= other.y1 and other.y2 <= self.y2)
+
+    def intersects(self, other: "Rect") -> bool:
+        """Closed-rectangle overlap test (shared edges count as overlap)."""
+        return (self.x1 <= other.x2 and other.x1 <= self.x2
+                and self.y1 <= other.y2 and other.y1 <= self.y2)
+
+    def intersects_strict(self, other: "Rect") -> bool:
+        """Open-rectangle overlap test (a shared edge does not count)."""
+        return (self.x1 < other.x2 and other.x1 < self.x2
+                and self.y1 < other.y2 and other.y1 < self.y2)
+
+    # ------------------------------------------------------------------ #
+    # Combination
+    # ------------------------------------------------------------------ #
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """Return the overlap rectangle, or ``None`` when disjoint."""
+        x1 = max(self.x1, other.x1)
+        y1 = max(self.y1, other.y1)
+        x2 = min(self.x2, other.x2)
+        y2 = min(self.y2, other.y2)
+        if x2 < x1 or y2 < y1:
+            return None
+        return Rect(x1, y1, x2, y2)
+
+    def union_hull(self, other: "Rect") -> "Rect":
+        """Return the smallest rectangle covering both operands."""
+        return Rect(min(self.x1, other.x1), min(self.y1, other.y1),
+                    max(self.x2, other.x2), max(self.y2, other.y2))
+
+    def translate(self, dx: float, dy: float) -> "Rect":
+        """Return this rectangle shifted by ``(dx, dy)``."""
+        return Rect(self.x1 + dx, self.y1 + dy, self.x2 + dx, self.y2 + dy)
+
+    def clip_x(self, x_range: Interval) -> "Rect":
+        """Return this rectangle with its x-extent clipped to ``x_range``.
+
+        Used when a dual rectangle is split at slab boundaries during the
+        division phase of ExactMaxRS (Figure 3 of the paper).
+
+        Raises
+        ------
+        GeometryError
+            If the rectangle does not intersect ``x_range``.
+        """
+        clipped = self.x_range.intersect(x_range)
+        if clipped is None:
+            raise GeometryError(
+                f"rectangle x-range {self.x_range} does not meet {x_range}"
+            )
+        return Rect(clipped.lo, self.y1, clipped.hi, self.y2)

@@ -1,0 +1,92 @@
+"""Tests for the high-level API (:mod:`repro.api`) and package exports."""
+
+import pytest
+
+import repro
+from repro import MaxCRSSolver, MaxRSSolver
+from repro.em import EMConfig
+from repro.errors import ConfigurationError
+from repro.geometry import Circle, Rect, WeightedPoint, weight_in_circle, weight_in_rect
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_lazy_solver_exports(self):
+        assert repro.MaxRSSolver is MaxRSSolver
+        assert repro.MaxCRSSolver is MaxCRSSolver
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.DoesNotExist  # noqa: B018
+
+    def test_core_types_exported(self):
+        assert repro.ExactMaxRS is not None
+        assert repro.EMContext is not None
+        assert repro.WeightedPoint is WeightedPoint
+
+
+class TestMaxRSSolver:
+    def test_invalid_rectangle_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MaxRSSolver(width=0.0, height=1.0)
+
+    def test_small_input_uses_in_memory_path(self, make_objects):
+        solver = MaxRSSolver(width=10.0, height=10.0)
+        result = solver.solve(make_objects(50, seed=1))
+        assert result.io is None          # in-memory fast path
+        assert result.total_weight > 0
+
+    def test_force_external(self, make_objects):
+        solver = MaxRSSolver(width=10.0, height=10.0,
+                             config=EMConfig(block_size=512, buffer_size=1024),
+                             force_external=True)
+        result = solver.solve(make_objects(100, seed=2))
+        assert result.io is not None
+        assert result.io.total > 0
+
+    def test_external_and_in_memory_agree(self, make_objects):
+        objs = make_objects(120, seed=3, extent=60.0)
+        fast = MaxRSSolver(width=8.0, height=8.0).solve(objs)
+        external = MaxRSSolver(width=8.0, height=8.0,
+                               config=EMConfig(block_size=512, buffer_size=2048),
+                               force_external=True).solve(objs)
+        assert fast.total_weight == pytest.approx(external.total_weight)
+
+    def test_reported_location_is_achievable(self, make_objects):
+        objs = make_objects(80, seed=4)
+        result = MaxRSSolver(width=12.0, height=5.0).solve(objs)
+        achieved = weight_in_rect(objs, Rect.centered_at(result.location, 12.0, 5.0))
+        assert achieved == pytest.approx(result.total_weight)
+
+    def test_solve_top_k(self, make_objects):
+        objs = make_objects(60, seed=5)
+        solver = MaxRSSolver(width=5.0, height=5.0,
+                             config=EMConfig(block_size=512, buffer_size=2048))
+        results = solver.solve_top_k(objs, k=2)
+        assert 1 <= len(results) <= 2
+        weights = [r.total_weight for r in results]
+        assert weights == sorted(weights, reverse=True)
+
+
+class TestMaxCRSSolver:
+    def test_invalid_diameter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MaxCRSSolver(diameter=-2.0)
+
+    def test_solution_is_achievable(self, make_objects):
+        objs = make_objects(70, seed=6, extent=50.0)
+        result = MaxCRSSolver(diameter=7.0).solve(objs)
+        achieved = weight_in_circle(objs, Circle(result.location, 7.0))
+        assert achieved == pytest.approx(result.total_weight)
+
+    def test_solve_with_ratio_bounds(self, make_objects):
+        objs = make_objects(60, seed=7, extent=30.0)
+        result, ratio = MaxCRSSolver(diameter=6.0).solve_with_ratio(objs)
+        assert 0.25 - 1e-9 <= ratio <= 1.0
+        assert result.total_weight > 0
+
+    def test_empty_dataset_ratio_is_one(self):
+        _, ratio = MaxCRSSolver(diameter=3.0).solve_with_ratio([])
+        assert ratio == 1.0

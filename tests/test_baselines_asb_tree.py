@@ -1,0 +1,103 @@
+"""Unit tests for :mod:`repro.baselines.asb_tree`."""
+
+import random
+
+import pytest
+
+from repro.baselines import ASBTree, ASBTreeSweep, solve_asb_tree
+from repro.core import solve_in_memory
+from repro.em import EMConfig, EMContext
+from repro.errors import AlgorithmError, ConfigurationError
+from repro.geometry import WeightedPoint
+
+
+class TestASBTreeStructure:
+    def test_needs_two_boundaries(self, tiny_ctx):
+        with pytest.raises(AlgorithmError):
+            ASBTree(tiny_ctx, [1.0])
+
+    def test_single_cell_tree(self, tiny_ctx):
+        tree = ASBTree(tiny_ctx, [0.0, 10.0])
+        assert tree.height == 1
+        assert tree.global_max() == 0.0
+        assert tree.range_add(0.0, 10.0, 3.0) == 3.0
+
+    def test_multi_level_tree_is_built_when_needed(self, tiny_ctx):
+        # 512-byte blocks hold 21 slots; 100 cells need at least two levels.
+        boundaries = [float(i) for i in range(101)]
+        tree = ASBTree(tiny_ctx, boundaries)
+        assert tree.height >= 2
+
+    def test_range_add_and_global_max(self, tiny_ctx):
+        boundaries = [float(i) for i in range(11)]
+        tree = ASBTree(tiny_ctx, boundaries)
+        tree.range_add(2.0, 5.0, 1.0)
+        tree.range_add(3.0, 8.0, 2.0)
+        assert tree.global_max() == pytest.approx(3.0)
+        tree.range_add(3.0, 5.0, -3.0)
+        assert tree.global_max() == pytest.approx(2.0)
+
+    def test_empty_or_zero_updates_are_noops(self, tiny_ctx):
+        tree = ASBTree(tiny_ctx, [0.0, 1.0, 2.0])
+        assert tree.range_add(1.0, 1.0, 5.0) == 0.0
+        assert tree.range_add(0.0, 2.0, 0.0) == 0.0
+
+    @pytest.mark.parametrize("simulate", [False, True])
+    def test_matches_reference_segment_model(self, tiny_ctx, simulate):
+        rng = random.Random(3)
+        boundaries = sorted({round(rng.uniform(0, 100), 3) for _ in range(60)})
+        if len(boundaries) < 2:
+            boundaries = [0.0, 1.0]
+        tree = ASBTree(tiny_ctx, boundaries, simulate_io=simulate)
+        cells = [0.0] * (len(boundaries) - 1)
+        for _ in range(200):
+            i = rng.randrange(0, len(boundaries) - 1)
+            j = rng.randrange(i, len(boundaries) - 1)
+            delta = rng.choice([-1.0, 1.0, 2.0])
+            reported = tree.range_add(boundaries[i], boundaries[j + 1], delta)
+            for cell in range(i, j + 1):
+                cells[cell] += delta
+            assert reported == pytest.approx(max(cells))
+        tree.finish()
+
+
+class TestASBTreeSweep:
+    def test_invalid_rectangle_rejected(self, tiny_ctx):
+        with pytest.raises(ConfigurationError):
+            ASBTreeSweep(tiny_ctx, -1.0, 1.0)
+
+    def test_empty_dataset(self, tiny_ctx):
+        assert ASBTreeSweep(tiny_ctx, 2.0, 2.0).solve([]).total_weight == 0.0
+
+    @pytest.mark.parametrize("simulate", [False, True])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_in_memory_sweep(self, tiny_ctx, simulate, seed):
+        rng = random.Random(seed)
+        objs = [WeightedPoint(rng.uniform(0, 60), rng.uniform(0, 60),
+                              rng.choice([1.0, 2.0]))
+                for _ in range(rng.randint(10, 80))]
+        width, height = rng.uniform(2, 15), rng.uniform(2, 15)
+        result = ASBTreeSweep(tiny_ctx, width, height, simulate_io=simulate).solve(objs)
+        expected = solve_in_memory(objs, width, height).total_weight
+        assert result.total_weight == pytest.approx(expected)
+
+    def test_duplicate_coordinates(self, tiny_ctx):
+        objs = [WeightedPoint(5.0, 5.0)] * 10 + [WeightedPoint(5.2, 5.1)] * 3
+        result = ASBTreeSweep(tiny_ctx, 1.0, 1.0).solve(objs)
+        assert result.total_weight == 13.0
+
+    def test_io_cheaper_than_naive_but_pricier_than_exact_at_scale(self, make_objects):
+        """The asymptotic ordering of the paper (at a modest but non-trivial N)."""
+        from repro.baselines import NaivePlaneSweep
+        from repro.core import ExactMaxRS
+
+        objs = make_objects(400, seed=5, extent=400.0)
+        cfg = EMConfig(block_size=512, buffer_size=4096)
+        naive = NaivePlaneSweep(EMContext(cfg), 30.0, 30.0, simulate_io=True).solve(objs)
+        asb = ASBTreeSweep(EMContext(cfg), 30.0, 30.0, simulate_io=True).solve(objs)
+        exact = ExactMaxRS(EMContext(cfg), 30.0, 30.0).solve(objs)
+        assert exact.io.total < asb.io.total < naive.io.total
+
+    def test_convenience_wrapper(self, make_objects):
+        result = solve_asb_tree(make_objects(12, seed=7), 5.0, 5.0)
+        assert result.total_weight >= 1.0

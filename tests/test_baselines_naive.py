@@ -1,0 +1,87 @@
+"""Unit tests for :mod:`repro.baselines.naive_sweep`."""
+
+import random
+
+import pytest
+
+from repro.baselines import NaivePlaneSweep, solve_naive
+from repro.core import solve_in_memory
+from repro.em import EMConfig, EMContext
+from repro.errors import ConfigurationError
+from repro.geometry import WeightedPoint
+
+
+class TestConfiguration:
+    def test_invalid_rectangle_rejected(self, tiny_ctx):
+        with pytest.raises(ConfigurationError):
+            NaivePlaneSweep(tiny_ctx, 0.0, 1.0)
+
+
+class TestCorrectness:
+    def test_empty_dataset(self, tiny_ctx):
+        result = NaivePlaneSweep(tiny_ctx, 2.0, 2.0).solve([])
+        assert result.total_weight == 0.0
+
+    def test_single_object(self, tiny_ctx):
+        result = NaivePlaneSweep(tiny_ctx, 2.0, 2.0).solve([WeightedPoint(1, 1, 4.0)])
+        assert result.total_weight == 4.0
+
+    @pytest.mark.parametrize("simulate", [False, True])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_in_memory_sweep(self, tiny_ctx, simulate, seed):
+        rng = random.Random(seed)
+        objs = [WeightedPoint(rng.uniform(0, 40), rng.uniform(0, 40),
+                              rng.choice([1.0, 2.0]))
+                for _ in range(rng.randint(10, 60))]
+        width, height = rng.uniform(2, 12), rng.uniform(2, 12)
+        result = NaivePlaneSweep(tiny_ctx, width, height, simulate_io=simulate).solve(objs)
+        expected = solve_in_memory(objs, width, height).total_weight
+        assert result.total_weight == pytest.approx(expected)
+        assert result.simulated is simulate
+
+    def test_touching_rectangles_handled_by_event_order(self, tiny_ctx):
+        # One object's dual rectangle ends exactly where another's begins in
+        # y: they must never be counted together (boundary exclusion).
+        objs = [WeightedPoint(0.0, 0.0), WeightedPoint(0.0, 2.0)]
+        result = NaivePlaneSweep(tiny_ctx, 2.0, 2.0).solve(objs)
+        assert result.total_weight == 1.0
+
+    def test_weighted_objects(self, tiny_ctx):
+        objs = [WeightedPoint(0.0, 0.0, 5.0), WeightedPoint(0.2, 0.1, 2.0),
+                WeightedPoint(30.0, 30.0, 6.0)]
+        result = NaivePlaneSweep(tiny_ctx, 2.0, 2.0).solve(objs)
+        assert result.total_weight == 7.0
+
+    def test_events_processed_counted(self, tiny_ctx, make_objects):
+        objs = make_objects(20, seed=3)
+        result = NaivePlaneSweep(tiny_ctx, 5.0, 5.0).solve(objs)
+        assert result.events_processed == 40
+
+
+class TestIOBehaviour:
+    def test_simulated_io_matches_real_io(self, make_objects):
+        """The simulation mode must charge exactly what the real mode does."""
+        objs = make_objects(60, seed=4, extent=50.0)
+        cfg = EMConfig(block_size=512, buffer_size=4096)
+        real = NaivePlaneSweep(EMContext(cfg), 8.0, 8.0, simulate_io=False).solve(objs)
+        simulated = NaivePlaneSweep(EMContext(cfg), 8.0, 8.0, simulate_io=True).solve(objs)
+        assert simulated.total_weight == pytest.approx(real.total_weight)
+        assert simulated.io.total == real.io.total
+
+    def test_io_grows_quadratically(self):
+        """Doubling N should roughly quadruple the naive sweep's I/O."""
+        costs = {}
+        for count in (100, 200):
+            ctx = EMContext(EMConfig(block_size=512, buffer_size=2048))
+            rng = random.Random(1)
+            objs = [WeightedPoint(rng.uniform(0, 100), rng.uniform(0, 100))
+                    for _ in range(count)]
+            result = NaivePlaneSweep(ctx, 30.0, 30.0, simulate_io=True).solve(objs)
+            costs[count] = result.io.total
+        ratio = costs[200] / costs[100]
+        assert ratio > 2.5
+
+    def test_convenience_wrapper(self, make_objects):
+        objs = make_objects(15, seed=6)
+        result = solve_naive(objs, 5.0, 5.0)
+        assert result.total_weight >= 1.0

@@ -1,0 +1,67 @@
+"""Unit tests for :mod:`repro.circles.coverage`."""
+
+import pytest
+
+from repro.circles import best_candidate, coverage_of_candidates, \
+    coverage_of_candidates_file
+from repro.core.transform import write_objects_file
+from repro.errors import ConfigurationError
+from repro.geometry import Circle, Point, WeightedPoint, weight_in_circle
+
+
+class TestCoverageOfCandidates:
+    def test_matches_weight_in_circle(self, make_objects):
+        objs = make_objects(60, seed=3, extent=30.0)
+        candidates = [Point(5.0, 5.0), Point(20.0, 20.0), Point(100.0, 100.0)]
+        weights = coverage_of_candidates(objs, candidates, diameter=8.0)
+        for candidate, weight in zip(candidates, weights):
+            assert weight == pytest.approx(
+                weight_in_circle(objs, Circle(candidate, 8.0)))
+
+    def test_empty_objects(self):
+        assert coverage_of_candidates([], [Point(0, 0)], 2.0) == [0.0]
+
+    def test_boundary_objects_excluded(self):
+        objs = [WeightedPoint(1.0, 0.0, 5.0)]
+        weights = coverage_of_candidates(objs, [Point(0.0, 0.0)], diameter=2.0)
+        assert weights == [0.0]
+
+    def test_invalid_diameter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            coverage_of_candidates([], [Point(0, 0)], 0.0)
+
+    def test_file_variant_matches_in_memory(self, tiny_ctx, make_objects):
+        objs = make_objects(80, seed=4, extent=40.0)
+        objects_file = write_objects_file(tiny_ctx, objs)
+        candidates = [Point(10.0, 10.0), Point(30.0, 5.0)]
+        from_file = coverage_of_candidates_file(objects_file, candidates, 9.0)
+        in_memory = coverage_of_candidates(objs, candidates, 9.0)
+        assert from_file == pytest.approx(in_memory)
+
+    def test_file_variant_costs_one_linear_scan(self, tiny_ctx, make_objects):
+        objs = make_objects(200, seed=5)
+        objects_file = write_objects_file(tiny_ctx, objs)
+        tiny_ctx.clear_cache()
+        tiny_ctx.reset_io()
+        coverage_of_candidates_file(objects_file, [Point(0, 0)] * 5, 4.0)
+        assert tiny_ctx.stats.block_reads == objects_file.num_blocks
+
+
+class TestBestCandidate:
+    def test_picks_maximum(self):
+        candidates = [Point(0, 0), Point(1, 1), Point(2, 2)]
+        point, weight, index = best_candidate(candidates, [1.0, 5.0, 3.0])
+        assert point == Point(1, 1) and weight == 5.0 and index == 1
+
+    def test_ties_prefer_earliest(self):
+        candidates = [Point(0, 0), Point(1, 1)]
+        point, _, index = best_candidate(candidates, [4.0, 4.0])
+        assert point == Point(0, 0) and index == 0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            best_candidate([Point(0, 0)], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            best_candidate([], [])

@@ -1,0 +1,81 @@
+"""Unit tests for :mod:`repro.circles.exact_maxcrs`."""
+
+import random
+
+import pytest
+
+from repro.baselines import brute_force_maxcrs
+from repro.circles import exact_maxcrs
+from repro.errors import ConfigurationError
+from repro.geometry import Circle, WeightedPoint, weight_in_circle
+
+
+class TestBasics:
+    def test_empty(self):
+        _, weight = exact_maxcrs([], 2.0)
+        assert weight == 0.0
+
+    def test_single_object(self):
+        point, weight = exact_maxcrs([WeightedPoint(3.0, 4.0, 2.0)], 2.0)
+        assert weight == 2.0
+
+    def test_invalid_diameter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            exact_maxcrs([], -1.0)
+
+    def test_colocated_objects(self):
+        objs = [WeightedPoint(5.0, 5.0)] * 6
+        _, weight = exact_maxcrs(objs, 1.0)
+        assert weight == 6.0
+
+    def test_two_nearby_objects(self):
+        objs = [WeightedPoint(0.0, 0.0), WeightedPoint(0.9, 0.0)]
+        _, weight = exact_maxcrs(objs, 1.0)
+        assert weight == 2.0
+
+    def test_two_distant_objects(self):
+        objs = [WeightedPoint(0.0, 0.0), WeightedPoint(10.0, 0.0)]
+        _, weight = exact_maxcrs(objs, 1.0)
+        assert weight == 1.0
+
+    def test_weights_respected(self):
+        objs = [WeightedPoint(0.0, 0.0, 10.0),
+                WeightedPoint(5.0, 5.0, 1.0), WeightedPoint(5.2, 5.2, 1.0)]
+        _, weight = exact_maxcrs(objs, 1.0)
+        assert weight == 10.0
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5])
+    def test_matches_brute_force(self, seed):
+        rng = random.Random(seed)
+        objs = [WeightedPoint(rng.uniform(0, 20), rng.uniform(0, 20),
+                              rng.choice([1.0, 2.0]))
+                for _ in range(rng.randint(2, 45))]
+        diameter = rng.uniform(2, 8)
+        _, expected = brute_force_maxcrs(objs, diameter)
+        _, weight = exact_maxcrs(objs, diameter)
+        assert weight == pytest.approx(expected)
+
+    def test_reported_point_nearly_achieves_weight(self):
+        rng = random.Random(7)
+        objs = [WeightedPoint(rng.uniform(0, 15), rng.uniform(0, 15))
+                for _ in range(40)]
+        point, weight = exact_maxcrs(objs, 5.0)
+        achieved = weight_in_circle(objs, Circle(point, 5.0))
+        # The returned point is nudged strictly inside the winning arrangement
+        # cell, so it should achieve the optimum exactly (up to degenerate ties).
+        assert achieved >= weight - 1.0
+        assert achieved <= weight + 1e-9
+
+
+class TestMonotonicity:
+    def test_weight_non_decreasing_in_diameter(self, make_objects):
+        objs = make_objects(50, seed=8, extent=30.0)
+        weights = [exact_maxcrs(objs, d)[1] for d in (2.0, 4.0, 8.0, 16.0, 64.0)]
+        assert weights == sorted(weights)
+
+    def test_huge_diameter_covers_everything(self, make_objects):
+        objs = make_objects(25, seed=9, extent=10.0)
+        _, weight = exact_maxcrs(objs, 1000.0)
+        assert weight == pytest.approx(sum(o.weight for o in objs))

@@ -1,0 +1,69 @@
+"""Unit tests for :mod:`repro.core.beststrip`."""
+
+import math
+
+from repro.core import BestStrip, BestStripTracker
+
+
+class TestBestStrip:
+    def test_empty_answer(self):
+        strip = BestStrip.empty(0.0, 10.0)
+        assert strip.weight == 0.0
+        assert strip.x1 == 0.0 and strip.x2 == 10.0
+        assert strip.y1 == -math.inf and strip.y2 == math.inf
+
+    def test_to_region(self):
+        strip = BestStrip(weight=5.0, x1=1.0, x2=3.0, y1=2.0, y2=4.0)
+        region = strip.to_region()
+        assert region.weight == 5.0
+        assert (region.x1, region.y1, region.x2, region.y2) == (1.0, 2.0, 3.0, 4.0)
+        assert region.representative_point().x == 2.0
+        assert region.representative_point().y == 3.0
+
+
+class TestBestStripTracker:
+    def test_no_observations_gives_zero_everywhere(self):
+        tracker = BestStripTracker()
+        tracker.finish()
+        assert tracker.best.weight == 0.0
+
+    def test_single_observation_extends_to_infinity(self):
+        tracker = BestStripTracker()
+        tracker.observe(1.0, 0.0, 2.0, 5.0)
+        tracker.finish()
+        best = tracker.best
+        assert best.weight == 5.0
+        assert best.y1 == 1.0 and best.y2 == math.inf
+
+    def test_best_strip_is_closed_by_following_tuple(self):
+        tracker = BestStripTracker()
+        tracker.observe(1.0, 0.0, 2.0, 5.0)
+        tracker.observe(3.0, 0.0, 2.0, 2.0)
+        tracker.finish()
+        best = tracker.best
+        assert best.weight == 5.0
+        assert best.y1 == 1.0 and best.y2 == 3.0
+
+    def test_later_better_strip_wins(self):
+        tracker = BestStripTracker()
+        tracker.observe(1.0, 0.0, 1.0, 2.0)
+        tracker.observe(2.0, 5.0, 6.0, 9.0)
+        tracker.observe(3.0, 0.0, 1.0, 1.0)
+        tracker.finish()
+        best = tracker.best
+        assert best.weight == 9.0
+        assert (best.y1, best.y2) == (2.0, 3.0)
+        assert (best.x1, best.x2) == (5.0, 6.0)
+
+    def test_ties_keep_first(self):
+        tracker = BestStripTracker()
+        tracker.observe(1.0, 0.0, 1.0, 4.0)
+        tracker.observe(2.0, 9.0, 10.0, 4.0)
+        tracker.finish()
+        assert tracker.best.y1 == 1.0
+
+    def test_finish_without_observations_is_safe_twice(self):
+        tracker = BestStripTracker()
+        tracker.finish()
+        tracker.finish()
+        assert tracker.best.weight == 0.0

@@ -1,0 +1,79 @@
+"""Unit tests for :mod:`repro.core.events` and :mod:`repro.core.maxinterval`."""
+
+import pytest
+
+from repro.core import MaxInterval, SweepEvent, events_sort_key, rect_to_events
+from repro.core.events import events_to_records, iter_events
+from repro.em import EVENT_BOTTOM, EVENT_TOP
+from repro.errors import GeometryError
+from repro.geometry import Interval, Rect
+
+
+class TestSweepEvent:
+    def test_valid_event(self):
+        e = SweepEvent(y=1.0, kind=EVENT_BOTTOM, x1=0.0, x2=2.0, weight=1.5)
+        assert e.is_bottom and not e.is_top
+
+    def test_top_event(self):
+        e = SweepEvent(y=1.0, kind=EVENT_TOP, x1=0.0, x2=2.0, weight=1.0)
+        assert e.is_top and not e.is_bottom
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(GeometryError):
+            SweepEvent(y=0.0, kind=0.5, x1=0.0, x2=1.0, weight=1.0)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(GeometryError):
+            SweepEvent(y=0.0, kind=EVENT_BOTTOM, x1=2.0, x2=1.0, weight=1.0)
+
+    def test_record_roundtrip(self):
+        e = SweepEvent(y=3.0, kind=EVENT_TOP, x1=-1.0, x2=4.0, weight=2.0)
+        assert SweepEvent.from_record(e.to_record()) == e
+
+    def test_rect_to_events(self):
+        bottom, top = rect_to_events(Rect(0.0, 1.0, 2.0, 3.0), weight=2.5)
+        assert bottom.y == 1.0 and bottom.is_bottom
+        assert top.y == 3.0 and top.is_top
+        assert bottom.x1 == top.x1 == 0.0
+        assert bottom.weight == top.weight == 2.5
+
+    def test_events_to_records_and_back(self):
+        events = list(rect_to_events(Rect(0.0, 0.0, 1.0, 1.0), 1.0))
+        records = events_to_records(events)
+        assert list(iter_events(records)) == events
+
+
+class TestEventOrdering:
+    def test_sort_key_orders_by_y_first(self):
+        low = (1.0, EVENT_BOTTOM, 0.0, 1.0, 1.0)
+        high = (2.0, EVENT_TOP, 0.0, 1.0, 1.0)
+        assert sorted([high, low], key=events_sort_key) == [low, high]
+
+    def test_top_events_sort_before_bottom_events_at_equal_y(self):
+        # Required by the insertion-time evaluation argument of the naive
+        # baseline: a rectangle ending exactly where another starts must be
+        # removed before the new one is evaluated.
+        bottom = (5.0, EVENT_BOTTOM, 0.0, 1.0, 1.0)
+        top = (5.0, EVENT_TOP, 2.0, 3.0, 1.0)
+        assert sorted([bottom, top], key=events_sort_key) == [top, bottom]
+
+
+class TestMaxInterval:
+    def test_record_roundtrip(self):
+        t = MaxInterval(y=1.0, x1=-2.0, x2=3.0, sum=4.0)
+        assert MaxInterval.from_record(t.to_record()) == t
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(GeometryError):
+            MaxInterval(y=0.0, x1=5.0, x2=1.0, sum=0.0)
+
+    def test_x_range(self):
+        assert MaxInterval(0.0, 1.0, 2.0, 3.0).x_range == Interval(1.0, 2.0)
+
+    def test_with_sum(self):
+        t = MaxInterval(0.0, 1.0, 2.0, 3.0).with_sum(9.0)
+        assert t.sum == 9.0 and t.x1 == 1.0
+
+    def test_shifted_to(self):
+        t = MaxInterval(0.0, 1.0, 2.0, 3.0).shifted_to(7.0)
+        assert t.y == 7.0 and t.sum == 3.0

@@ -1,0 +1,171 @@
+"""Unit and integration tests for :mod:`repro.core.exact_maxrs` (Algorithm 2)."""
+
+import random
+
+import pytest
+
+from repro.baselines import brute_force_maxrs
+from repro.core import ExactMaxRS, solve_in_memory
+from repro.em import EMConfig, EMContext
+from repro.errors import AlgorithmError, ConfigurationError
+from repro.geometry import Rect, WeightedPoint, weight_in_rect
+
+
+def _tiny_external_solver(ctx, width, height, memory_records=32, fanout=3):
+    """A solver configured so even small datasets recurse externally."""
+    return ExactMaxRS(ctx, width, height, fanout=fanout,
+                      memory_records=memory_records)
+
+
+class TestConfiguration:
+    def test_invalid_rectangle_rejected(self, tiny_ctx):
+        with pytest.raises(ConfigurationError):
+            ExactMaxRS(tiny_ctx, 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            ExactMaxRS(tiny_ctx, 1.0, -1.0)
+
+    def test_fanout_below_two_rejected(self, tiny_ctx):
+        with pytest.raises(ConfigurationError):
+            ExactMaxRS(tiny_ctx, 1.0, 1.0, fanout=1)
+
+    def test_memory_threshold_too_small_rejected(self, tiny_ctx):
+        with pytest.raises(ConfigurationError):
+            ExactMaxRS(tiny_ctx, 1.0, 1.0, memory_records=1)
+
+    def test_defaults_derive_from_context(self, tiny_ctx):
+        solver = ExactMaxRS(tiny_ctx, 1.0, 1.0)
+        assert solver.fanout == tiny_ctx.merge_fanout()
+        assert solver.memory_records == tiny_ctx.memory_capacity_records(40)
+
+
+class TestCorrectness:
+    def test_empty_dataset(self, tiny_ctx):
+        result = _tiny_external_solver(tiny_ctx, 2.0, 2.0).solve([])
+        assert result.total_weight == 0.0
+
+    def test_single_object(self, tiny_ctx):
+        result = _tiny_external_solver(tiny_ctx, 2.0, 2.0).solve([WeightedPoint(5, 5, 3.0)])
+        assert result.total_weight == 3.0
+
+    def test_in_memory_fast_path_used_for_small_inputs(self, tiny_ctx):
+        solver = ExactMaxRS(tiny_ctx, 2.0, 2.0)   # default memory threshold
+        result = solver.solve([WeightedPoint(0, 0), WeightedPoint(0.5, 0.5)])
+        assert result.total_weight == 2.0
+        assert result.recursion_levels == 0
+        assert result.leaf_count == 1
+
+    def test_forced_recursion_goes_deep(self, tiny_ctx, make_objects):
+        objs = make_objects(300, seed=2, extent=200.0)
+        solver = _tiny_external_solver(tiny_ctx, 20.0, 20.0)
+        result = solver.solve(objs)
+        assert result.recursion_levels >= 2
+        assert result.leaf_count > 1
+        assert result.total_weight == pytest.approx(
+            solve_in_memory(objs, 20.0, 20.0).total_weight)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_matches_in_memory_sweep_on_random_instances(self, seed):
+        rng = random.Random(seed)
+        objs = [WeightedPoint(rng.uniform(0, 100), rng.uniform(0, 100),
+                              rng.choice([1.0, 2.0, 3.0]))
+                for _ in range(rng.randint(50, 250))]
+        width, height = rng.uniform(3, 25), rng.uniform(3, 25)
+        ctx = EMContext(EMConfig(block_size=512, buffer_size=4096))
+        result = _tiny_external_solver(ctx, width, height,
+                                       memory_records=rng.choice([16, 48, 128]),
+                                       fanout=rng.choice([2, 3, 5])).solve(objs)
+        expected = solve_in_memory(objs, width, height).total_weight
+        assert result.total_weight == pytest.approx(expected)
+
+    def test_matches_brute_force(self, tiny_ctx):
+        rng = random.Random(42)
+        objs = [WeightedPoint(rng.uniform(0, 25), rng.uniform(0, 25))
+                for _ in range(40)]
+        result = _tiny_external_solver(tiny_ctx, 5.0, 5.0).solve(objs)
+        _, expected = brute_force_maxrs(objs, 5.0, 5.0)
+        assert result.total_weight == pytest.approx(expected)
+
+    def test_reported_location_achieves_weight(self, tiny_ctx, make_objects):
+        objs = make_objects(150, seed=5, extent=80.0)
+        result = _tiny_external_solver(tiny_ctx, 10.0, 7.0).solve(objs)
+        achieved = weight_in_rect(objs, Rect.centered_at(result.location, 10.0, 7.0))
+        assert achieved == pytest.approx(result.total_weight)
+
+    def test_weighted_objects(self, tiny_ctx):
+        objs = [WeightedPoint(0.0, 0.0, 10.0),
+                WeightedPoint(30.0, 30.0, 1.0), WeightedPoint(30.4, 30.4, 1.0),
+                WeightedPoint(30.8, 30.8, 1.0)]
+        result = _tiny_external_solver(tiny_ctx, 2.0, 2.0).solve(objs)
+        assert result.total_weight == 10.0
+
+    def test_duplicate_locations(self, tiny_ctx):
+        objs = [WeightedPoint(5.0, 5.0)] * 40
+        result = _tiny_external_solver(tiny_ctx, 1.0, 1.0).solve(objs)
+        assert result.total_weight == 40.0
+
+    def test_collinear_objects(self, tiny_ctx):
+        objs = [WeightedPoint(float(i), 50.0) for i in range(60)]
+        result = _tiny_external_solver(tiny_ctx, 10.0, 2.0).solve(objs)
+        # An open 10-wide window centred between grid points covers 10 of the
+        # unit-spaced points (e.g. (24.5, 34.5) contains 25..34).
+        assert result.total_weight == 10.0
+
+
+class TestIOAccounting:
+    def test_io_is_reported_and_positive(self, tiny_ctx, make_objects):
+        objs = make_objects(200, seed=6)
+        result = _tiny_external_solver(tiny_ctx, 10.0, 10.0).solve(objs)
+        assert result.io is not None
+        assert result.io.block_reads > 0
+        assert result.io.block_writes > 0
+
+    def test_io_grows_roughly_linearly_with_cardinality(self):
+        # Doubling the input should not blow up the I/O superlinearly (the
+        # algorithm is O((N/B) log_{M/B}(N/B))).
+        costs = {}
+        for count in (200, 400):
+            ctx = EMContext(EMConfig(block_size=512, buffer_size=4096))
+            rng = random.Random(1)
+            objs = [WeightedPoint(rng.uniform(0, 500), rng.uniform(0, 500))
+                    for _ in range(count)]
+            result = _tiny_external_solver(ctx, 20.0, 20.0).solve(objs)
+            costs[count] = result.io.total
+        assert costs[400] < 4 * costs[200]
+
+    def test_temporary_files_are_released(self, tiny_ctx, make_objects):
+        objs = make_objects(150, seed=8)
+        solver = _tiny_external_solver(tiny_ctx, 8.0, 8.0)
+        solver.solve(objs)
+        # Everything the recursion allocated must have been freed again.
+        assert tiny_ctx.device.num_allocated_blocks == 0
+
+
+class TestTopK:
+    def test_topk_returns_disjoint_strips_in_weight_order(self, tiny_ctx):
+        objs = ([WeightedPoint(10.0, 10.0), WeightedPoint(10.3, 10.3),
+                 WeightedPoint(10.6, 10.6)] +
+                [WeightedPoint(50.0, 50.0), WeightedPoint(50.3, 50.3)] +
+                [WeightedPoint(90.0, 90.0)])
+        solver = _tiny_external_solver(tiny_ctx, 2.0, 2.0)
+        results = solver.solve_topk(objs, k=3)
+        assert len(results) >= 2
+        weights = [r.total_weight for r in results]
+        assert weights == sorted(weights, reverse=True)
+        assert weights[0] == 3.0
+        # Strips must not overlap vertically.
+        for i in range(len(results)):
+            for j in range(i + 1, len(results)):
+                a, b = results[i].region, results[j].region
+                assert a.y2 <= b.y1 or b.y2 <= a.y1
+
+    def test_topk_k_must_be_positive(self, tiny_ctx):
+        with pytest.raises(AlgorithmError):
+            _tiny_external_solver(tiny_ctx, 1.0, 1.0).solve_topk([], k=0)
+
+    def test_top1_matches_solve(self, tiny_ctx, make_objects):
+        objs = make_objects(80, seed=10, extent=60.0)
+        solver = _tiny_external_solver(tiny_ctx, 10.0, 10.0)
+        top1 = solver.solve_topk(objs, k=1)
+        full = solver.solve(objs)
+        assert len(top1) == 1
+        assert top1[0].total_weight == pytest.approx(full.total_weight)

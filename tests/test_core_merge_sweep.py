@@ -1,0 +1,128 @@
+"""Unit tests for :mod:`repro.core.merge_sweep` (Algorithm 1).
+
+The most important property -- that dividing, conquering and merging yields
+the same slab-file semantics as sweeping everything at once -- is exercised
+here directly: events are partitioned with the real division code, each slab
+is solved by the in-memory sweep, and the merged result is compared against a
+single global sweep.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    Slab,
+    choose_boundaries,
+    collect_edge_xs,
+    merge_sweep,
+    partition_event_file,
+    sweep_events,
+    validate_slab_file_records,
+    write_slab_file,
+)
+from repro.core.transform import build_event_file
+from repro.em import EVENT_CODEC
+from repro.em.external_sort import external_sort
+from repro.errors import AlgorithmError
+from repro.geometry import WeightedPoint
+
+
+def _divide_and_merge(ctx, objs, width, height, fanout):
+    """Run one full divide / conquer / merge round and return (file, best)."""
+    events = build_event_file(ctx, objs, width, height)
+    sorted_events = external_sort(ctx, events, EVENT_CODEC, delete_input=True)
+    edges = collect_edge_xs(sorted_events, Slab.root())
+    boundaries = choose_boundaries(edges, fanout)
+    if not boundaries:
+        pytest.skip("degenerate instance: no usable boundaries")
+    subs, spanning, slabs = partition_event_file(
+        ctx, sorted_events, Slab.root(), boundaries)
+    slab_files = []
+    for sub, slab in zip(subs, slabs):
+        tuples, _ = sweep_events(sub.read_all(), slab.x_range)
+        slab_files.append(write_slab_file(ctx, tuples))
+    return merge_sweep(ctx, slabs, slab_files, spanning)
+
+
+class TestMergeSweepAgainstGlobalSweep:
+    @pytest.mark.parametrize("seed,fanout", [(0, 2), (1, 3), (2, 4), (3, 5), (4, 3)])
+    def test_merged_optimum_matches_global_sweep(self, tiny_ctx, seed, fanout):
+        rng = random.Random(seed)
+        objs = [WeightedPoint(rng.uniform(0, 40), rng.uniform(0, 40),
+                              rng.choice([1.0, 2.0]))
+                for _ in range(rng.randint(20, 80))]
+        width, height = rng.uniform(3, 15), rng.uniform(3, 15)
+        merged, best = _divide_and_merge(tiny_ctx, objs, width, height, fanout)
+        from repro.core.transform import objects_to_event_records
+        _, expected = sweep_events(objects_to_event_records(objs, width, height))
+        assert best.weight == pytest.approx(expected.weight)
+
+    def test_merged_output_is_valid_slab_file(self, tiny_ctx):
+        rng = random.Random(9)
+        objs = [WeightedPoint(rng.uniform(0, 30), rng.uniform(0, 30))
+                for _ in range(50)]
+        merged, _ = _divide_and_merge(tiny_ctx, objs, 8.0, 8.0, 3)
+        records = merged.read_all()
+        assert records
+        validate_slab_file_records(records)
+
+    def test_spanning_rectangles_contribute_via_upsum(self, tiny_ctx):
+        # A single wide rectangle spanning the middle slab plus a narrow one
+        # inside it: the optimum (2) is only found if the spanning weight is
+        # added back during the merge.
+        wide = WeightedPoint(15.0, 0.0, 1.0)    # dual rect [0, 30] with width 30
+        narrow = WeightedPoint(15.0, 0.5, 1.0)  # overlaps the wide one vertically
+        events = build_event_file(tiny_ctx, [wide], 30.0, 4.0)
+        events2 = build_event_file(tiny_ctx, [narrow], 2.0, 4.0)
+        all_records = sorted(events.read_all() + events2.read_all())
+        combined = tiny_ctx.create_file(EVENT_CODEC)
+        combined.write_all(all_records)
+        boundaries = [10.0, 20.0]
+        subs, spanning, slabs = partition_event_file(
+            tiny_ctx, combined, Slab.root(), boundaries)
+        assert len(spanning) == 2    # the wide rectangle's two edges
+        slab_files = []
+        for sub, slab in zip(subs, slabs):
+            tuples, _ = sweep_events(sub.read_all(), slab.x_range)
+            slab_files.append(write_slab_file(tiny_ctx, tuples))
+        _, best = merge_sweep(tiny_ctx, slabs, slab_files, spanning)
+        assert best.weight == pytest.approx(2.0)
+
+    def test_adjacent_equal_intervals_are_merged(self, tiny_ctx):
+        # One rectangle split exactly at a boundary: the two halves tie and
+        # touch, so GetMaxInterval should stitch them back together.
+        objs = [WeightedPoint(10.0, 0.0)]
+        events = build_event_file(tiny_ctx, objs, 4.0, 4.0)
+        subs, spanning, slabs = partition_event_file(
+            tiny_ctx, events, Slab.root(), [10.0])
+        slab_files = []
+        for sub, slab in zip(subs, slabs):
+            tuples, _ = sweep_events(sub.read_all(), slab.x_range)
+            slab_files.append(write_slab_file(tiny_ctx, tuples))
+        merged, best = merge_sweep(tiny_ctx, slabs, slab_files, spanning)
+        assert best.weight == 1.0
+        assert best.x1 == pytest.approx(8.0)
+        assert best.x2 == pytest.approx(12.0)
+
+
+class TestMergeSweepValidation:
+    def test_requires_at_least_one_slab(self, tiny_ctx):
+        spanning = tiny_ctx.create_file(EVENT_CODEC)
+        with pytest.raises(AlgorithmError):
+            merge_sweep(tiny_ctx, [], [], spanning)
+
+    def test_slab_file_count_must_match(self, tiny_ctx):
+        spanning = tiny_ctx.create_file(EVENT_CODEC)
+        slab_file = write_slab_file(tiny_ctx, [])
+        with pytest.raises(AlgorithmError):
+            merge_sweep(tiny_ctx, [Slab(0, 0.0, 1.0), Slab(1, 1.0, 2.0)],
+                        [slab_file], spanning)
+
+    def test_empty_inputs_give_zero_answer(self, tiny_ctx):
+        spanning = tiny_ctx.create_file(EVENT_CODEC)
+        slabs = [Slab(0, 0.0, 5.0), Slab(1, 5.0, 10.0)]
+        files = [write_slab_file(tiny_ctx, []), write_slab_file(tiny_ctx, [])]
+        merged, best = merge_sweep(tiny_ctx, slabs, files, spanning)
+        assert best.weight == 0.0
+        assert merged.read_all() == []

@@ -1,0 +1,142 @@
+"""Unit tests for :mod:`repro.core.plane_sweep`."""
+
+import math
+import random
+
+import pytest
+
+from repro.baselines import brute_force_maxrs
+from repro.core import solve_in_memory, sweep_events, validate_slab_file_records
+from repro.core.transform import objects_to_event_records
+from repro.geometry import Interval, Rect, WeightedPoint, weight_in_rect
+
+
+def _events(objs, w, h):
+    return objects_to_event_records(objs, w, h)
+
+
+class TestSweepBasics:
+    def test_empty_input(self):
+        records, best = sweep_events([], Interval.full())
+        assert records == []
+        assert best.weight == 0.0
+
+    def test_single_object(self):
+        objs = [WeightedPoint(5.0, 5.0, 2.0)]
+        records, best = sweep_events(_events(objs, 2.0, 2.0))
+        assert best.weight == 2.0
+        # Two h-lines: the bottom edge (coverage 2) and the top edge (coverage 0).
+        assert len(records) == 2
+        assert records[0][3] == 2.0
+        assert records[-1][3] == 0.0
+
+    def test_two_overlapping_objects(self):
+        objs = [WeightedPoint(0.0, 0.0), WeightedPoint(0.5, 0.5)]
+        _, best = sweep_events(_events(objs, 2.0, 2.0))
+        assert best.weight == 2.0
+
+    def test_two_far_apart_objects(self):
+        objs = [WeightedPoint(0.0, 0.0), WeightedPoint(100.0, 100.0)]
+        _, best = sweep_events(_events(objs, 2.0, 2.0))
+        assert best.weight == 1.0
+
+    def test_output_is_a_valid_slab_file(self):
+        objs = [WeightedPoint(float(i % 7), float(i % 5), 1.0) for i in range(30)]
+        records, _ = sweep_events(_events(objs, 3.0, 3.0))
+        validate_slab_file_records(records)
+
+    def test_weights_are_respected(self):
+        objs = [WeightedPoint(0.0, 0.0, 10.0), WeightedPoint(50.0, 50.0, 1.0),
+                WeightedPoint(50.5, 50.5, 1.0)]
+        _, best = sweep_events(_events(objs, 2.0, 2.0))
+        assert best.weight == 10.0
+
+    def test_zero_weight_objects_do_not_contribute(self):
+        objs = [WeightedPoint(0.0, 0.0, 0.0), WeightedPoint(0.1, 0.1, 1.0)]
+        _, best = sweep_events(_events(objs, 2.0, 2.0))
+        assert best.weight == 1.0
+
+
+class TestSlabClipping:
+    def test_events_clipped_to_slab(self):
+        # Two objects whose dual rectangles overlap only outside the slab.
+        objs = [WeightedPoint(0.0, 0.0), WeightedPoint(1.0, 0.0)]
+        slab = Interval(10.0, 20.0)
+        records, best = sweep_events(_events(objs, 4.0, 4.0), slab)
+        assert best.weight == 0.0
+        for _, x1, x2, total in records:
+            assert total == 0.0
+            assert x1 >= 10.0 and x2 <= 20.0
+
+    def test_partial_overlap_with_slab(self):
+        objs = [WeightedPoint(9.0, 0.0), WeightedPoint(11.0, 0.0)]
+        slab = Interval(10.0, 20.0)
+        _, best = sweep_events(_events(objs, 4.0, 4.0), slab)
+        assert best.weight == 2.0
+        assert 10.0 <= best.x1 <= best.x2 <= 20.0
+
+    def test_zero_coverage_strip_reports_slab_extent(self):
+        objs = [WeightedPoint(15.0, 5.0)]
+        slab = Interval(10.0, 20.0)
+        records, _ = sweep_events(_events(objs, 2.0, 2.0), slab)
+        last = records[-1]
+        assert last[3] == 0.0
+        assert last[1] == 10.0 and last[2] == 20.0
+
+
+class TestSolveInMemory:
+    def test_matches_brute_force_on_random_instances(self):
+        rng = random.Random(123)
+        for _ in range(8):
+            count = rng.randint(1, 40)
+            objs = [WeightedPoint(rng.uniform(0, 30), rng.uniform(0, 30),
+                                  rng.choice([1.0, 2.0, 0.5]))
+                    for _ in range(count)]
+            w, h = rng.uniform(1, 8), rng.uniform(1, 8)
+            _, expected = brute_force_maxrs(objs, w, h)
+            result = solve_in_memory(objs, w, h)
+            assert result.total_weight == pytest.approx(expected)
+
+    def test_reported_location_achieves_reported_weight(self):
+        rng = random.Random(77)
+        objs = [WeightedPoint(rng.uniform(0, 20), rng.uniform(0, 20))
+                for _ in range(60)]
+        result = solve_in_memory(objs, 5.0, 3.0)
+        achieved = weight_in_rect(objs, Rect.centered_at(result.location, 5.0, 3.0))
+        assert achieved == pytest.approx(result.total_weight)
+
+    def test_all_points_of_region_are_optimal(self):
+        rng = random.Random(5)
+        objs = [WeightedPoint(rng.uniform(0, 15), rng.uniform(0, 15))
+                for _ in range(25)]
+        result = solve_in_memory(objs, 4.0, 4.0)
+        region = result.region
+        assert region.weight == result.total_weight
+        # Probe a few interior points of the region.
+        if region.is_bounded and region.x1 < region.x2 and region.y1 < region.y2:
+            for fx, fy in ((0.25, 0.5), (0.5, 0.25), (0.75, 0.75)):
+                px = region.x1 + (region.x2 - region.x1) * fx
+                py = region.y1 + (region.y2 - region.y1) * fy
+                achieved = weight_in_rect(
+                    objs, Rect.centered_at(type(result.location)(px, py), 4.0, 4.0))
+                assert achieved == pytest.approx(result.total_weight)
+
+    def test_empty_dataset(self):
+        result = solve_in_memory([], 5.0, 5.0)
+        assert result.total_weight == 0.0
+        assert math.isfinite(result.location.x)
+
+    def test_identical_points_stack(self):
+        objs = [WeightedPoint(3.0, 3.0)] * 7
+        result = solve_in_memory(objs, 1.0, 1.0)
+        assert result.total_weight == 7.0
+
+    def test_boundary_exclusion_matches_problem_statement(self):
+        # Objects exactly d/2 apart cannot both be covered: each would lie on
+        # the boundary of a rectangle centred between them.
+        objs = [WeightedPoint(0.0, 0.0), WeightedPoint(2.0, 0.0)]
+        result = solve_in_memory(objs, 2.0, 2.0)
+        assert result.total_weight == 1.0
+        # Strictly closer objects can.
+        objs = [WeightedPoint(0.0, 0.0), WeightedPoint(1.9, 0.0)]
+        assert solve_in_memory(objs, 2.0, 2.0).total_weight == 2.0

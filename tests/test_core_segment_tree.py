@@ -1,0 +1,108 @@
+"""Unit tests for :mod:`repro.core.segment_tree`."""
+
+import random
+
+import pytest
+
+from repro.core import MaxAddSegmentTree
+from repro.errors import AlgorithmError
+
+
+class TestBasics:
+    def test_single_cell(self):
+        tree = MaxAddSegmentTree(1)
+        assert tree.global_max() == 0.0
+        tree.range_add(0, 0, 5.0)
+        assert tree.global_max() == 5.0
+        assert tree.argmax_leftmost() == 0
+        assert tree.point_value(0) == 5.0
+
+    def test_zero_cells_rejected(self):
+        with pytest.raises(AlgorithmError):
+            MaxAddSegmentTree(0)
+
+    def test_initial_state_all_zero(self):
+        tree = MaxAddSegmentTree(8)
+        assert tree.to_list() == [0.0] * 8
+        assert tree.global_max() == 0.0
+        assert tree.global_min() == 0.0
+
+    def test_range_add_and_point_values(self):
+        tree = MaxAddSegmentTree(6)
+        tree.range_add(1, 3, 2.0)
+        tree.range_add(2, 5, 1.0)
+        assert tree.to_list() == [0.0, 2.0, 3.0, 3.0, 1.0, 1.0]
+
+    def test_negative_adds(self):
+        tree = MaxAddSegmentTree(4)
+        tree.range_add(0, 3, 5.0)
+        tree.range_add(1, 2, -5.0)
+        assert tree.to_list() == [5.0, 0.0, 0.0, 5.0]
+        assert tree.global_min() == 0.0
+
+    def test_out_of_bounds_rejected(self):
+        tree = MaxAddSegmentTree(4)
+        with pytest.raises(AlgorithmError):
+            tree.range_add(-1, 2, 1.0)
+        with pytest.raises(AlgorithmError):
+            tree.range_add(0, 4, 1.0)
+        with pytest.raises(AlgorithmError):
+            tree.point_value(4)
+
+    def test_empty_range_is_noop(self):
+        tree = MaxAddSegmentTree(4)
+        tree.range_add(3, 2, 1.0)
+        assert tree.global_max() == 0.0
+
+
+class TestArgmaxAndRuns:
+    def test_argmax_is_leftmost(self):
+        tree = MaxAddSegmentTree(5)
+        tree.range_add(1, 1, 3.0)
+        tree.range_add(3, 3, 3.0)
+        assert tree.argmax_leftmost() == 1
+
+    def test_find_first_below(self):
+        tree = MaxAddSegmentTree(6)
+        tree.range_add(0, 3, 4.0)
+        assert tree.find_first_below(0, 4.0) == 4
+        assert tree.find_first_below(4, 4.0) == 4
+        assert tree.find_first_below(0, 0.5) == 4
+        assert tree.find_first_below(0, 0.0) is None
+        assert tree.find_first_below(6, 100.0) is None
+
+    def test_max_run_from(self):
+        tree = MaxAddSegmentTree(8)
+        tree.range_add(2, 5, 7.0)
+        start = tree.argmax_leftmost()
+        assert start == 2
+        assert tree.max_run_from(start) == 5
+
+    def test_max_run_spans_whole_tree_when_uniform(self):
+        tree = MaxAddSegmentTree(5)
+        tree.range_add(0, 4, 1.0)
+        assert tree.max_run_from(0) == 4
+
+
+class TestAgainstNaiveModel:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_randomized_operations_match_list_model(self, seed):
+        rng = random.Random(seed)
+        size = rng.randint(1, 60)
+        tree = MaxAddSegmentTree(size)
+        model = [0.0] * size
+        for _ in range(300):
+            lo = rng.randint(0, size - 1)
+            hi = rng.randint(lo, size - 1)
+            delta = rng.choice([-2.0, -1.0, 0.5, 1.0, 3.0])
+            tree.range_add(lo, hi, delta)
+            for i in range(lo, hi + 1):
+                model[i] += delta
+            assert tree.global_max() == pytest.approx(max(model))
+            assert tree.global_min() == pytest.approx(min(model))
+            argmax = tree.argmax_leftmost()
+            assert model[argmax] == pytest.approx(max(model))
+            assert argmax == model.index(max(model))
+            probe = rng.randint(0, size - 1)
+            assert tree.point_value(probe) == pytest.approx(model[probe])
+        tree.validate()

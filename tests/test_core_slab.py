@@ -1,0 +1,159 @@
+"""Unit tests for :mod:`repro.core.slab` (division phase)."""
+
+import math
+
+import pytest
+
+from repro.core import Slab, choose_boundaries, collect_edge_xs, make_subslabs, \
+    partition_event_file
+from repro.core.slab import spanned_slab_range
+from repro.core.transform import build_event_file
+from repro.em import EVENT_BOTTOM, EVENT_TOP
+from repro.errors import AlgorithmError
+from repro.geometry import WeightedPoint
+
+
+class TestSlab:
+    def test_root_slab_is_unbounded(self):
+        root = Slab.root()
+        assert root.lo == -math.inf and root.hi == math.inf
+
+    def test_x_range(self):
+        slab = Slab(index=1, lo=2.0, hi=5.0)
+        assert slab.x_range.lo == 2.0 and slab.x_range.hi == 5.0
+
+
+class TestBoundaries:
+    def test_choose_boundaries_quantiles(self):
+        edges = [float(i) for i in range(100)]
+        boundaries = choose_boundaries(edges, fanout=4)
+        assert boundaries == [25.0, 50.0, 75.0]
+
+    def test_choose_boundaries_unsorted_input(self):
+        edges = [5.0, 1.0, 3.0, 2.0, 4.0, 0.0, 6.0, 7.0]
+        boundaries = choose_boundaries(edges, fanout=2)
+        assert boundaries == [4.0]
+
+    def test_duplicate_edges_collapse(self):
+        edges = [1.0] * 50
+        assert choose_boundaries(edges, fanout=4) == []
+
+    def test_empty_edges(self):
+        assert choose_boundaries([], fanout=4) == []
+
+    def test_fanout_below_two_rejected(self):
+        with pytest.raises(AlgorithmError):
+            choose_boundaries([1.0, 2.0], fanout=1)
+
+    def test_make_subslabs(self):
+        slabs = make_subslabs(Slab.root(), [0.0, 10.0])
+        assert len(slabs) == 3
+        assert slabs[0].lo == -math.inf and slabs[0].hi == 0.0
+        assert slabs[1].lo == 0.0 and slabs[1].hi == 10.0
+        assert slabs[2].lo == 10.0 and slabs[2].hi == math.inf
+        assert [s.index for s in slabs] == [0, 1, 2]
+
+    def test_make_subslabs_rejects_non_increasing(self):
+        with pytest.raises(AlgorithmError):
+            make_subslabs(Slab(0, 0.0, 10.0), [5.0, 5.0])
+
+
+class TestCollectEdges:
+    def test_collects_both_edges_inside_slab(self, tiny_ctx):
+        objs = [WeightedPoint(5.0, 0.0), WeightedPoint(7.0, 1.0)]
+        events = build_event_file(tiny_ctx, objs, 2.0, 2.0)
+        edges = collect_edge_xs(events, Slab.root())
+        # Each object contributes 2 edges x 2 events = 4 entries.
+        assert sorted(set(edges)) == [4.0, 6.0, 8.0]
+        assert len(edges) == 8
+
+    def test_edges_outside_slab_excluded(self, tiny_ctx):
+        objs = [WeightedPoint(5.0, 0.0)]
+        events = build_event_file(tiny_ctx, objs, 2.0, 2.0)
+        edges = collect_edge_xs(events, Slab(0, 4.5, 100.0))
+        assert set(edges) == {6.0}
+
+    def test_edges_on_boundary_excluded(self, tiny_ctx):
+        objs = [WeightedPoint(5.0, 0.0)]
+        events = build_event_file(tiny_ctx, objs, 2.0, 2.0)
+        edges = collect_edge_xs(events, Slab(0, 4.0, 6.0))
+        assert edges == []
+
+
+class TestPartition:
+    def _partition(self, ctx, objs, boundaries, width=2.0, height=2.0):
+        events = build_event_file(ctx, objs, width, height)
+        return partition_event_file(ctx, events, Slab.root(), boundaries)
+
+    def test_requires_boundaries(self, tiny_ctx):
+        events = build_event_file(tiny_ctx, [WeightedPoint(0, 0)], 1.0, 1.0)
+        with pytest.raises(AlgorithmError):
+            partition_event_file(tiny_ctx, events, Slab.root(), [])
+
+    def test_non_spanning_rectangles_go_to_their_slab(self, tiny_ctx):
+        objs = [WeightedPoint(2.0, 0.0), WeightedPoint(20.0, 0.0)]
+        subs, spanning, slabs = self._partition(tiny_ctx, objs, [10.0])
+        assert len(slabs) == 2
+        assert len(subs[0]) == 2   # both events of the first object
+        assert len(subs[1]) == 2
+        assert len(spanning) == 0
+
+    def test_rectangle_crossing_boundary_is_split(self, tiny_ctx):
+        objs = [WeightedPoint(10.0, 0.0)]   # dual rect [9, 11] crosses x=10
+        subs, spanning, _ = self._partition(tiny_ctx, objs, [10.0])
+        assert len(subs[0]) == 2 and len(subs[1]) == 2
+        assert len(spanning) == 0
+        left = subs[0].read_all()
+        right = subs[1].read_all()
+        assert all(r[2] == 9.0 and r[3] == 10.0 for r in left)
+        assert all(r[2] == 10.0 and r[3] == 11.0 for r in right)
+
+    def test_wide_rectangle_produces_spanning_piece(self, tiny_ctx):
+        # Dual rect [0, 30] spans the middle slab [10, 20] entirely.
+        objs = [WeightedPoint(15.0, 0.0)]
+        subs, spanning, slabs = self._partition(tiny_ctx, objs, [10.0, 20.0],
+                                                width=30.0, height=2.0)
+        assert len(subs[0]) == 2 and len(subs[2]) == 2
+        assert len(subs[1]) == 0
+        assert len(spanning) == 2
+        for record in spanning.read_all():
+            assert record[2] == 10.0 and record[3] == 20.0
+
+    def test_spanning_weight_preserved(self, tiny_ctx):
+        objs = [WeightedPoint(15.0, 0.0, 2.5)]
+        _, spanning, _ = self._partition(tiny_ctx, objs, [10.0, 20.0],
+                                         width=30.0, height=2.0)
+        assert all(record[4] == 2.5 for record in spanning.read_all())
+
+    def test_outputs_remain_sorted_by_y(self, tiny_ctx, make_objects):
+        objs = make_objects(80, seed=9, extent=50.0)
+        events = build_event_file(tiny_ctx, objs, 6.0, 6.0)
+        from repro.em import EVENT_CODEC
+        from repro.em.external_sort import external_sort
+        sorted_events = external_sort(tiny_ctx, events, EVENT_CODEC, delete_input=True)
+        subs, spanning, _ = partition_event_file(
+            tiny_ctx, sorted_events, Slab.root(), [15.0, 30.0])
+        for file in (*subs, spanning):
+            ys = [record[0] for record in file.read_all()]
+            assert ys == sorted(ys)
+
+    def test_event_kind_preserved_through_split(self, tiny_ctx):
+        objs = [WeightedPoint(10.0, 0.0)]
+        subs, _, _ = self._partition(tiny_ctx, objs, [10.0])
+        kinds = sorted(record[1] for record in subs[0].read_all())
+        assert kinds == [EVENT_TOP, EVENT_BOTTOM]
+
+
+class TestSpannedRange:
+    def test_full_middle_slab(self):
+        slabs = make_subslabs(Slab(0, 0.0, 30.0), [10.0, 20.0])
+        assert spanned_slab_range(slabs, 10.0, 20.0) == (1, 1)
+
+    def test_multiple_slabs(self):
+        slabs = make_subslabs(Slab(0, 0.0, 40.0), [10.0, 20.0, 30.0])
+        assert spanned_slab_range(slabs, 0.0, 30.0) == (0, 2)
+
+    def test_no_slab_fully_covered(self):
+        slabs = make_subslabs(Slab(0, 0.0, 30.0), [10.0, 20.0])
+        first, last = spanned_slab_range(slabs, 12.0, 18.0)
+        assert first > last

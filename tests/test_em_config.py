@@ -1,0 +1,77 @@
+"""Unit tests for :mod:`repro.em.config`."""
+
+import pytest
+
+from repro.em import DEFAULT_BLOCK_SIZE, DEFAULT_BUFFER_SIZE, KIB, EMConfig
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_defaults_match_paper(self):
+        cfg = EMConfig()
+        assert cfg.block_size == DEFAULT_BLOCK_SIZE == 4096
+        assert cfg.buffer_size == DEFAULT_BUFFER_SIZE == 1024 * KIB
+
+    def test_non_positive_block_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EMConfig(block_size=0, buffer_size=4096)
+
+    def test_non_positive_buffer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EMConfig(block_size=4096, buffer_size=-1)
+
+    def test_buffer_must_hold_two_blocks(self):
+        # The EM model assumption M >= 2B.
+        with pytest.raises(ConfigurationError):
+            EMConfig(block_size=4096, buffer_size=4096)
+        EMConfig(block_size=4096, buffer_size=8192)  # exactly two blocks is fine
+
+
+class TestDerivedParameters:
+    def test_num_buffer_blocks(self):
+        assert EMConfig(block_size=4096, buffer_size=256 * KIB).num_buffer_blocks == 64
+
+    def test_records_per_block(self):
+        cfg = EMConfig(block_size=4096, buffer_size=8192)
+        assert cfg.records_per_block(32) == 128
+        assert cfg.records_per_block(40) == 102
+        assert cfg.records_per_block(24) == 170
+
+    def test_record_larger_than_block_rejected(self):
+        cfg = EMConfig(block_size=64, buffer_size=128)
+        with pytest.raises(ConfigurationError):
+            cfg.records_per_block(100)
+
+    def test_non_positive_record_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EMConfig().records_per_block(0)
+
+    def test_memory_capacity_records(self):
+        cfg = EMConfig(block_size=4096, buffer_size=8 * 4096)
+        assert cfg.memory_capacity_records(32) == 8 * 128
+
+    def test_merge_fanout_reserves_two_blocks(self):
+        cfg = EMConfig(block_size=4096, buffer_size=10 * 4096)
+        assert cfg.merge_fanout() == 8
+
+    def test_merge_fanout_minimum_two(self):
+        cfg = EMConfig(block_size=4096, buffer_size=2 * 4096)
+        assert cfg.merge_fanout() == 2
+
+    def test_with_buffer_size(self):
+        cfg = EMConfig(block_size=4096, buffer_size=8192)
+        bigger = cfg.with_buffer_size(16384)
+        assert bigger.buffer_size == 16384 and bigger.block_size == 4096
+
+    def test_with_block_size(self):
+        cfg = EMConfig(block_size=4096, buffer_size=16384)
+        smaller = cfg.with_block_size(1024)
+        assert smaller.block_size == 1024 and smaller.buffer_size == 16384
+
+    def test_paper_parameters_yield_expected_model_sizes(self):
+        # With the synthetic-dataset defaults (4KB blocks, 1MB buffer) an
+        # event record (40 bytes) gives B=102 and M/B=256 memory blocks.
+        cfg = EMConfig()
+        assert cfg.records_per_block(40) == 102
+        assert cfg.num_buffer_blocks == 256
+        assert cfg.merge_fanout() == 254

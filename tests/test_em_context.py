@@ -1,0 +1,69 @@
+"""Unit tests for :mod:`repro.em.context`."""
+
+from repro.em import EMConfig, EMContext, OBJECT_CODEC
+
+
+class TestContextBasics:
+    def test_default_configuration(self):
+        ctx = EMContext()
+        assert ctx.config.block_size == 4096
+        assert ctx.pool.capacity_blocks == ctx.config.num_buffer_blocks
+
+    def test_capacity_override(self):
+        ctx = EMContext(EMConfig(block_size=512, buffer_size=8 * 512),
+                        capacity_blocks=4)
+        assert ctx.pool.capacity_blocks == 4
+
+    def test_create_file_names_are_unique(self, tiny_ctx):
+        a = tiny_ctx.create_file(OBJECT_CODEC)
+        b = tiny_ctx.create_file(OBJECT_CODEC)
+        assert a.name != b.name
+
+    def test_create_file_custom_name(self, tiny_ctx):
+        assert tiny_ctx.create_file(OBJECT_CODEC, name="custom").name == "custom"
+
+    def test_derived_parameter_passthroughs(self, tiny_ctx):
+        assert tiny_ctx.records_per_block(24) == tiny_ctx.config.records_per_block(24)
+        assert tiny_ctx.memory_capacity_records(24) == \
+            tiny_ctx.config.memory_capacity_records(24)
+        assert tiny_ctx.merge_fanout() == tiny_ctx.config.merge_fanout()
+
+
+class TestMeasurement:
+    def test_measure_block_counts_io_inside_block(self, tiny_ctx):
+        file = tiny_ctx.create_file(OBJECT_CODEC)
+        with tiny_ctx.measure() as measured:
+            file.write_all([(1.0, 2.0, 3.0)] * 50)
+            file.read_all()
+        assert measured.total_ios > 0
+        assert measured.block_writes >= file.num_blocks
+
+    def test_measure_excludes_outside_io(self, tiny_ctx):
+        file = tiny_ctx.create_file(OBJECT_CODEC)
+        file.write_all([(1.0, 2.0, 3.0)] * 50)   # outside the measured block
+        tiny_ctx.clear_cache()
+        with tiny_ctx.measure() as measured:
+            pass
+        assert measured.total_ios == 0
+
+    def test_io_since_flushes_dirty_buffers(self, tiny_ctx):
+        start = tiny_ctx.stats.snapshot()
+        file = tiny_ctx.create_file(OBJECT_CODEC)
+        file.write_all([(1.0, 2.0, 3.0)] * 10)
+        delta = tiny_ctx.io_since(start)
+        assert delta.block_writes >= 1
+
+    def test_reset_io_zeroes_counters(self, tiny_ctx):
+        file = tiny_ctx.create_file(OBJECT_CODEC)
+        file.write_all([(1.0, 2.0, 3.0)] * 10)
+        tiny_ctx.reset_io()
+        assert tiny_ctx.stats.total_ios == 0
+
+    def test_clear_cache_forces_cold_reads(self, tiny_ctx):
+        file = tiny_ctx.create_file(OBJECT_CODEC)
+        file.write_all([(1.0, 2.0, 3.0)] * 50)
+        file.read_all()
+        tiny_ctx.clear_cache()
+        tiny_ctx.reset_io()
+        file.read_all()
+        assert tiny_ctx.stats.block_reads == file.num_blocks

@@ -1,0 +1,58 @@
+"""Unit tests for :mod:`repro.em.counters`."""
+
+from repro.em import IOSnapshot, IOStats
+
+
+class TestIOStats:
+    def test_initial_counters_zero(self):
+        stats = IOStats()
+        assert stats.block_reads == 0
+        assert stats.block_writes == 0
+        assert stats.total_ios == 0
+
+    def test_record_read_and_write(self):
+        stats = IOStats()
+        stats.record_read()
+        stats.record_write(3)
+        assert stats.block_reads == 1
+        assert stats.block_writes == 3
+        assert stats.total_ios == 4
+
+    def test_cache_hits_not_counted_as_io(self):
+        stats = IOStats()
+        stats.record_cache_hit(5)
+        assert stats.cache_hits == 5
+        assert stats.total_ios == 0
+
+    def test_reset(self):
+        stats = IOStats()
+        stats.record_read(2)
+        stats.record_write(2)
+        stats.record_cache_hit()
+        stats.reset()
+        assert stats.total_ios == 0 and stats.cache_hits == 0
+
+
+class TestSnapshots:
+    def test_snapshot_is_immutable_copy(self):
+        stats = IOStats()
+        stats.record_read(2)
+        snap = stats.snapshot()
+        stats.record_read(10)
+        assert snap.block_reads == 2
+        assert snap.total == 2
+
+    def test_since_returns_difference(self):
+        stats = IOStats()
+        stats.record_read(5)
+        start = stats.snapshot()
+        stats.record_read(3)
+        stats.record_write(4)
+        delta = stats.since(start)
+        assert delta == IOSnapshot(block_reads=3, block_writes=4)
+        assert delta.total == 7
+
+    def test_snapshot_subtraction(self):
+        a = IOSnapshot(block_reads=10, block_writes=5)
+        b = IOSnapshot(block_reads=4, block_writes=1)
+        assert a - b == IOSnapshot(block_reads=6, block_writes=4)

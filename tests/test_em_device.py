@@ -1,0 +1,79 @@
+"""Unit tests for :mod:`repro.em.device`."""
+
+import pytest
+
+from repro.em import BlockDevice, EMConfig
+from repro.errors import StorageError
+
+
+@pytest.fixture
+def device():
+    return BlockDevice(EMConfig(block_size=64, buffer_size=128))
+
+
+class TestAllocation:
+    def test_allocate_returns_distinct_ids(self, device):
+        ids = {device.allocate() for _ in range(10)}
+        assert len(ids) == 10
+        assert device.num_allocated_blocks == 10
+
+    def test_allocation_is_free_of_io(self, device):
+        device.allocate()
+        assert device.stats.total_ios == 0
+
+    def test_free_and_reuse(self, device):
+        block = device.allocate()
+        device.free(block)
+        assert not device.is_allocated(block)
+        reused = device.allocate()
+        assert reused == block  # freed ids are recycled
+
+    def test_free_unknown_block_rejected(self, device):
+        with pytest.raises(StorageError):
+            device.free(999)
+
+
+class TestTransfers:
+    def test_write_then_read_roundtrip(self, device):
+        block = device.allocate()
+        device.write_block(block, b"hello")
+        assert device.read_block(block) == b"hello"
+
+    def test_each_transfer_charges_one_io(self, device):
+        block = device.allocate()
+        device.write_block(block, b"abc")
+        device.read_block(block)
+        device.read_block(block)
+        assert device.stats.block_writes == 1
+        assert device.stats.block_reads == 2
+
+    def test_read_unknown_block_rejected(self, device):
+        with pytest.raises(StorageError):
+            device.read_block(42)
+
+    def test_write_unknown_block_rejected(self, device):
+        with pytest.raises(StorageError):
+            device.write_block(42, b"data")
+
+    def test_oversized_payload_rejected(self, device):
+        block = device.allocate()
+        with pytest.raises(StorageError):
+            device.write_block(block, b"x" * 65)
+
+    def test_full_block_payload_accepted(self, device):
+        block = device.allocate()
+        device.write_block(block, b"x" * 64)
+        assert len(device.read_block(block)) == 64
+
+    def test_peek_does_not_charge_io(self, device):
+        block = device.allocate()
+        device.write_block(block, b"abc")
+        before = device.stats.total_ios
+        assert device.peek(block) == b"abc"
+        assert device.stats.total_ios == before
+
+    def test_overwrite_replaces_contents(self, device):
+        block = device.allocate()
+        device.write_block(block, b"first")
+        device.write_block(block, b"second")
+        assert device.read_block(block) == b"second"

@@ -1,0 +1,105 @@
+"""Unit tests for :mod:`repro.em.external_sort`."""
+
+import random
+
+import pytest
+
+from repro.em import EMConfig, EMContext, ExternalSorter, StructRecordCodec, external_sort
+
+
+@pytest.fixture
+def codec():
+    return StructRecordCodec("<dd")
+
+
+def _shuffled(count, seed=0):
+    rng = random.Random(seed)
+    records = [(float(i), float(-i)) for i in range(count)]
+    rng.shuffle(records)
+    return records
+
+
+class TestExternalSort:
+    def test_sort_empty_file(self, tiny_ctx, codec):
+        file = tiny_ctx.create_file(codec)
+        result = external_sort(tiny_ctx, file, codec)
+        assert result.read_all() == []
+
+    def test_sort_single_block(self, tiny_ctx, codec):
+        file = tiny_ctx.create_file(codec)
+        file.write_all(_shuffled(10))
+        result = external_sort(tiny_ctx, file, codec)
+        assert result.read_all() == sorted(_shuffled(10))
+
+    def test_sort_many_runs(self, tiny_ctx, codec):
+        # 2000 records of 16 bytes = 32000 bytes >> 4 KB buffer: multiple runs
+        # and at least one multiway merge level.
+        records = _shuffled(2000, seed=3)
+        file = tiny_ctx.create_file(codec)
+        file.write_all(records)
+        result = external_sort(tiny_ctx, file, codec)
+        assert result.read_all() == sorted(records)
+
+    def test_sort_with_key(self, tiny_ctx, codec):
+        records = _shuffled(500, seed=5)
+        file = tiny_ctx.create_file(codec)
+        file.write_all(records)
+        result = external_sort(tiny_ctx, file, codec, key=lambda r: r[1])
+        assert result.read_all() == sorted(records, key=lambda r: r[1])
+
+    def test_sort_preserves_record_count_and_multiset(self, tiny_ctx, codec):
+        records = [(float(random.Random(9).randint(0, 5)), 0.0) for _ in range(300)]
+        file = tiny_ctx.create_file(codec)
+        file.write_all(records)
+        result = external_sort(tiny_ctx, file, codec)
+        assert sorted(result.read_all()) == sorted(records)
+        assert len(result) == len(records)
+
+    def test_delete_input_releases_original(self, tiny_ctx, codec):
+        file = tiny_ctx.create_file(codec)
+        file.write_all(_shuffled(100))
+        external_sort(tiny_ctx, file, codec, delete_input=True)
+        assert len(file) == 0
+
+    def test_input_preserved_by_default(self, tiny_ctx, codec):
+        records = _shuffled(100)
+        file = tiny_ctx.create_file(codec)
+        file.write_all(records)
+        external_sort(tiny_ctx, file, codec)
+        assert file.read_all() == records
+
+    def test_temporary_runs_are_cleaned_up(self, tiny_ctx, codec):
+        file = tiny_ctx.create_file(codec)
+        file.write_all(_shuffled(2000, seed=7))
+        before_blocks = tiny_ctx.device.num_allocated_blocks
+        result = external_sort(tiny_ctx, file, codec)
+        # Only the input and the sorted output remain allocated.
+        assert tiny_ctx.device.num_allocated_blocks == before_blocks + result.num_blocks
+
+    def test_io_cost_is_a_few_linear_passes(self, tiny_ctx, codec):
+        records = _shuffled(4000, seed=11)
+        file = tiny_ctx.create_file(codec)
+        file.write_all(records)
+        blocks = file.num_blocks
+        tiny_ctx.clear_cache()
+        tiny_ctx.reset_io()
+        external_sort(tiny_ctx, file, codec)
+        total = tiny_ctx.stats.total_ios
+        # Sorting should cost a small constant number of linear passes
+        # (run formation + merge levels), not anything quadratic.
+        assert total <= 12 * blocks
+
+    def test_sorter_reuse(self, tiny_ctx, codec):
+        sorter = ExternalSorter(tiny_ctx, codec, key=lambda r: r[0])
+        for seed in (1, 2):
+            file = tiny_ctx.create_file(codec)
+            data = _shuffled(150, seed=seed)
+            file.write_all(data)
+            assert sorter.sort(file).read_all() == sorted(data)
+
+    def test_large_memory_single_run_shortcut(self, codec):
+        ctx = EMContext(EMConfig(block_size=4096, buffer_size=1024 * 1024))
+        file = ctx.create_file(codec)
+        data = _shuffled(500, seed=13)
+        file.write_all(data)
+        assert external_sort(ctx, file, codec).read_all() == sorted(data)

@@ -1,0 +1,164 @@
+"""Unit tests for :mod:`repro.em.record_file`."""
+
+import pytest
+
+from repro.em import OBJECT_CODEC, StructRecordCodec
+from repro.errors import StorageError
+
+
+@pytest.fixture
+def small_codec():
+    return StructRecordCodec("<dd")  # 16 bytes -> 32 records per 512-byte block
+
+
+def _records(count):
+    return [(float(i), float(i * 2)) for i in range(count)]
+
+
+class TestWriteAndRead:
+    def test_empty_file(self, tiny_ctx, small_codec):
+        file = tiny_ctx.create_file(small_codec)
+        assert len(file) == 0
+        assert file.read_all() == []
+
+    def test_roundtrip_less_than_one_block(self, tiny_ctx, small_codec):
+        file = tiny_ctx.create_file(small_codec)
+        file.write_all(_records(5))
+        assert file.read_all() == _records(5)
+        assert file.num_blocks == 1
+
+    def test_roundtrip_many_blocks(self, tiny_ctx, small_codec):
+        file = tiny_ctx.create_file(small_codec)
+        file.write_all(_records(100))
+        assert file.read_all() == _records(100)
+        assert file.num_blocks == (100 + file.records_per_block - 1) // file.records_per_block
+
+    def test_records_per_block_derived_from_config(self, tiny_ctx, small_codec):
+        file = tiny_ctx.create_file(small_codec)
+        assert file.records_per_block == 512 // 16
+
+    def test_iteration_protocol(self, tiny_ctx, small_codec):
+        file = tiny_ctx.create_file(small_codec)
+        file.write_all(_records(40))
+        assert list(file) == _records(40)
+
+    def test_write_cost_is_one_write_per_block(self, tiny_ctx, small_codec):
+        file = tiny_ctx.create_file(small_codec)
+        tiny_ctx.reset_io()
+        file.write_all(_records(96))  # exactly 3 blocks of 32
+        tiny_ctx.pool.flush()
+        assert tiny_ctx.stats.block_writes == 3
+
+    def test_sequential_read_cost_is_one_read_per_block(self, tiny_ctx, small_codec):
+        file = tiny_ctx.create_file(small_codec)
+        file.write_all(_records(96))
+        tiny_ctx.clear_cache()
+        tiny_ctx.reset_io()
+        file.read_all()
+        assert tiny_ctx.stats.block_reads == 3
+
+    def test_rereading_cached_file_is_free(self, tiny_ctx, small_codec):
+        file = tiny_ctx.create_file(small_codec)
+        file.write_all(_records(64))
+        file.read_all()
+        tiny_ctx.stats.reset()
+        file.read_all()
+        assert tiny_ctx.stats.block_reads == 0
+
+
+class TestRandomAccess:
+    def test_read_block_records(self, tiny_ctx, small_codec):
+        file = tiny_ctx.create_file(small_codec)
+        file.write_all(_records(70))
+        per_block = file.records_per_block
+        assert file.read_block_records(0) == _records(70)[:per_block]
+        assert file.read_block_records(2) == _records(70)[2 * per_block:]
+
+    def test_read_block_out_of_range(self, tiny_ctx, small_codec):
+        file = tiny_ctx.create_file(small_codec)
+        file.write_all(_records(10))
+        with pytest.raises(StorageError):
+            file.read_block_records(5)
+
+    def test_write_block_records_in_place(self, tiny_ctx, small_codec):
+        file = tiny_ctx.create_file(small_codec)
+        file.write_all(_records(40))
+        replacement = [(99.0, 99.0)] * file.records_per_block
+        file.write_block_records(0, replacement)
+        assert file.read_block_records(0) == replacement
+        # Other blocks untouched.
+        assert file.read_block_records(1) == _records(40)[file.records_per_block:]
+
+    def test_write_block_records_wrong_count_rejected(self, tiny_ctx, small_codec):
+        file = tiny_ctx.create_file(small_codec)
+        file.write_all(_records(40))
+        with pytest.raises(StorageError):
+            file.write_block_records(0, [(1.0, 1.0)])
+
+
+class TestWriterSemantics:
+    def test_writer_context_manager_flushes_partial_block(self, tiny_ctx, small_codec):
+        file = tiny_ctx.create_file(small_codec)
+        with file.writer() as writer:
+            writer.append((1.0, 2.0))
+        assert len(file) == 1
+
+    def test_append_after_close_rejected(self, tiny_ctx, small_codec):
+        file = tiny_ctx.create_file(small_codec)
+        writer = file.writer()
+        writer.close()
+        with pytest.raises(StorageError):
+            writer.append((1.0, 2.0))
+
+    def test_appending_after_partial_block_rejected(self, tiny_ctx, small_codec):
+        file = tiny_ctx.create_file(small_codec)
+        file.write_all(_records(3))  # partial last block
+        with pytest.raises(StorageError):
+            file.writer()
+
+    def test_appending_after_full_block_allowed(self, tiny_ctx, small_codec):
+        file = tiny_ctx.create_file(small_codec)
+        file.write_all(_records(32))  # exactly one full block
+        file.write_all(_records(5))
+        assert len(file) == 37
+
+    def test_reader_peek(self, tiny_ctx, small_codec):
+        file = tiny_ctx.create_file(small_codec)
+        file.write_all(_records(3))
+        reader = file.reader()
+        assert reader.peek() == (0.0, 0.0)
+        assert next(reader) == (0.0, 0.0)
+        assert reader.peek() == (1.0, 2.0)
+
+    def test_peek_at_eof_returns_none(self, tiny_ctx, small_codec):
+        file = tiny_ctx.create_file(small_codec)
+        assert file.reader().peek() is None
+
+
+class TestDeletion:
+    def test_delete_releases_blocks(self, tiny_ctx, small_codec):
+        file = tiny_ctx.create_file(small_codec)
+        file.write_all(_records(64))
+        allocated_before = tiny_ctx.device.num_allocated_blocks
+        file.delete()
+        assert tiny_ctx.device.num_allocated_blocks == allocated_before - 2
+        assert len(file) == 0
+
+    def test_read_after_delete_rejected(self, tiny_ctx, small_codec):
+        file = tiny_ctx.create_file(small_codec)
+        file.write_all(_records(4))
+        file.delete()
+        with pytest.raises(StorageError):
+            file.reader()
+
+    def test_double_delete_is_noop(self, tiny_ctx, small_codec):
+        file = tiny_ctx.create_file(small_codec)
+        file.write_all(_records(4))
+        file.delete()
+        file.delete()
+
+    def test_object_codec_file_roundtrip(self, tiny_ctx):
+        file = tiny_ctx.create_file(OBJECT_CODEC)
+        records = [(1.0, 2.0, 3.0), (4.0, 5.0, 6.0)]
+        file.write_all(records)
+        assert file.read_all() == records

@@ -1,0 +1,75 @@
+"""Unit tests for :mod:`repro.geometry.circle`."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import Circle, Point, Rect
+
+
+class TestConstruction:
+    def test_valid_circle(self):
+        c = Circle(Point(1.0, 2.0), diameter=3.0)
+        assert c.center == Point(1.0, 2.0)
+        assert c.diameter == 3.0
+        assert c.radius == 1.5
+
+    def test_non_positive_diameter_rejected(self):
+        with pytest.raises(GeometryError):
+            Circle(Point(0.0, 0.0), diameter=0.0)
+        with pytest.raises(GeometryError):
+            Circle(Point(0.0, 0.0), diameter=-1.0)
+
+    def test_nan_diameter_rejected(self):
+        with pytest.raises(GeometryError):
+            Circle(Point(0.0, 0.0), diameter=math.nan)
+
+    def test_area(self):
+        c = Circle(Point(0.0, 0.0), diameter=2.0)
+        assert c.area == pytest.approx(math.pi)
+
+
+class TestCoverage:
+    def test_interior_covered(self):
+        c = Circle(Point(0.0, 0.0), diameter=2.0)
+        assert c.covers_point(Point(0.5, 0.5))
+
+    def test_boundary_excluded(self):
+        c = Circle(Point(0.0, 0.0), diameter=2.0)
+        assert not c.covers_point(Point(1.0, 0.0))
+        assert c.covers_point_closed(Point(1.0, 0.0))
+
+    def test_outside_not_covered(self):
+        c = Circle(Point(0.0, 0.0), diameter=2.0)
+        assert not c.covers_point(Point(2.0, 2.0))
+
+    def test_center_always_covered(self):
+        c = Circle(Point(3.0, -4.0), diameter=0.1)
+        assert c.covers_point(c.center)
+
+
+class TestGeometry:
+    def test_mbr_is_d_by_d_square_centered_at_center(self):
+        c = Circle(Point(5.0, 5.0), diameter=4.0)
+        assert c.mbr() == Rect(3.0, 3.0, 7.0, 7.0)
+        assert c.mbr().width == c.diameter
+        assert c.mbr().height == c.diameter
+
+    def test_mbr_contains_circle_coverage(self):
+        c = Circle(Point(0.0, 0.0), diameter=2.0)
+        mbr = c.mbr()
+        for p in (Point(0.5, 0.5), Point(0.9, 0.1), Point(-0.3, 0.6)):
+            if c.covers_point(p):
+                assert mbr.covers_point(p) or mbr.covers_point_closed(p)
+
+    def test_intersects(self):
+        a = Circle(Point(0.0, 0.0), diameter=2.0)
+        assert a.intersects(Circle(Point(1.5, 0.0), diameter=2.0))
+        assert a.intersects(Circle(Point(2.0, 0.0), diameter=2.0))  # tangent
+        assert not a.intersects(Circle(Point(5.0, 0.0), diameter=2.0))
+
+    def test_translate(self):
+        c = Circle(Point(0.0, 0.0), diameter=2.0).translate(1.0, -1.0)
+        assert c.center == Point(1.0, -1.0)
+        assert c.diameter == 2.0

@@ -1,0 +1,104 @@
+"""Unit tests for :mod:`repro.geometry.interval`."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import Interval
+
+
+class TestConstruction:
+    def test_valid_interval(self):
+        i = Interval(1.0, 3.0)
+        assert i.lo == 1.0 and i.hi == 3.0
+
+    def test_degenerate_interval_allowed(self):
+        assert Interval(2.0, 2.0).is_degenerate
+
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(GeometryError):
+            Interval(3.0, 1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(GeometryError):
+            Interval(math.nan, 1.0)
+
+    def test_full_interval(self):
+        full = Interval.full()
+        assert full.lo == -math.inf and full.hi == math.inf
+        assert not full.is_finite
+
+
+class TestProperties:
+    def test_length(self):
+        assert Interval(1.0, 4.0).length == 3.0
+
+    def test_infinite_length(self):
+        assert Interval(0.0, math.inf).length == math.inf
+
+    def test_midpoint(self):
+        assert Interval(2.0, 6.0).midpoint() == 4.0
+
+    def test_midpoint_of_infinite_interval_rejected(self):
+        with pytest.raises(GeometryError):
+            Interval(0.0, math.inf).midpoint()
+
+    def test_is_finite(self):
+        assert Interval(0.0, 1.0).is_finite
+        assert not Interval(-math.inf, 1.0).is_finite
+
+
+class TestPredicates:
+    def test_contains_closed(self):
+        i = Interval(1.0, 3.0)
+        assert i.contains(1.0) and i.contains(3.0) and i.contains(2.0)
+        assert not i.contains(0.999)
+
+    def test_contains_strict(self):
+        i = Interval(1.0, 3.0)
+        assert i.contains_strict(2.0)
+        assert not i.contains_strict(1.0)
+        assert not i.contains_strict(3.0)
+
+    def test_contains_interval(self):
+        assert Interval(0.0, 10.0).contains_interval(Interval(2.0, 3.0))
+        assert not Interval(0.0, 10.0).contains_interval(Interval(5.0, 11.0))
+
+    def test_overlaps_closed_semantics(self):
+        assert Interval(0.0, 2.0).overlaps(Interval(2.0, 4.0))
+        assert not Interval(0.0, 2.0).overlaps(Interval(2.1, 4.0))
+
+    def test_overlaps_strict_excludes_touching(self):
+        assert not Interval(0.0, 2.0).overlaps_strict(Interval(2.0, 4.0))
+        assert Interval(0.0, 2.5).overlaps_strict(Interval(2.0, 4.0))
+
+    def test_touches(self):
+        assert Interval(0.0, 2.0).touches(Interval(2.0, 4.0))
+        assert Interval(2.0, 4.0).touches(Interval(0.0, 2.0))
+        assert not Interval(0.0, 2.0).touches(Interval(3.0, 4.0))
+
+
+class TestCombination:
+    def test_intersect_overlapping(self):
+        assert Interval(0.0, 5.0).intersect(Interval(3.0, 9.0)) == Interval(3.0, 5.0)
+
+    def test_intersect_disjoint_returns_none(self):
+        assert Interval(0.0, 1.0).intersect(Interval(2.0, 3.0)) is None
+
+    def test_intersect_touching_is_degenerate(self):
+        result = Interval(0.0, 2.0).intersect(Interval(2.0, 5.0))
+        assert result == Interval(2.0, 2.0)
+
+    def test_union_hull_covers_gap(self):
+        assert Interval(0.0, 1.0).union_hull(Interval(3.0, 4.0)) == Interval(0.0, 4.0)
+
+    def test_clamp(self):
+        assert Interval(0.0, 10.0).clamp(Interval(2.0, 4.0)) == Interval(2.0, 4.0)
+
+    def test_clamp_disjoint_raises(self):
+        with pytest.raises(GeometryError):
+            Interval(0.0, 1.0).clamp(Interval(5.0, 6.0))
+
+    def test_as_tuple(self):
+        assert Interval(1.0, 2.0).as_tuple() == (1.0, 2.0)

@@ -1,0 +1,72 @@
+"""Unit tests for :mod:`repro.geometry.point`."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point
+
+
+class TestPointBasics:
+    def test_coordinates_are_stored(self):
+        p = Point(1.5, -2.5)
+        assert p.x == 1.5
+        assert p.y == -2.5
+
+    def test_points_are_immutable(self):
+        p = Point(0.0, 0.0)
+        with pytest.raises(AttributeError):
+            p.x = 3.0  # type: ignore[misc]
+
+    def test_points_are_hashable_and_equal_by_value(self):
+        assert Point(1.0, 2.0) == Point(1.0, 2.0)
+        assert hash(Point(1.0, 2.0)) == hash(Point(1.0, 2.0))
+        assert Point(1.0, 2.0) != Point(2.0, 1.0)
+
+    def test_as_tuple_and_iteration(self):
+        p = Point(3.0, 4.0)
+        assert p.as_tuple() == (3.0, 4.0)
+        assert tuple(p) == (3.0, 4.0)
+
+
+class TestPointOperations:
+    def test_translate(self):
+        assert Point(1.0, 2.0).translate(3.0, -1.0) == Point(4.0, 1.0)
+
+    def test_translate_zero_is_identity(self):
+        p = Point(5.0, 6.0)
+        assert p.translate(0.0, 0.0) == p
+
+    def test_euclidean_distance(self):
+        assert Point(0.0, 0.0).distance_to(Point(3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(1.0, 7.0), Point(-2.0, 3.0)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_squared_distance_matches_distance(self):
+        a, b = Point(2.0, 3.0), Point(5.0, 7.0)
+        assert a.squared_distance_to(b) == pytest.approx(a.distance_to(b) ** 2)
+
+    def test_manhattan_distance(self):
+        assert Point(0.0, 0.0).manhattan_distance_to(Point(3.0, -4.0)) == pytest.approx(7.0)
+
+    def test_midpoint(self):
+        assert Point(0.0, 0.0).midpoint(Point(2.0, 4.0)) == Point(1.0, 2.0)
+
+    def test_lexicographic_ordering(self):
+        assert Point(1.0, 5.0) < Point(2.0, 0.0)
+        assert Point(1.0, 1.0) < Point(1.0, 2.0)
+        assert not Point(2.0, 0.0) < Point(1.0, 5.0)
+
+    def test_sorting_points_is_deterministic(self):
+        points = [Point(2.0, 1.0), Point(1.0, 2.0), Point(1.0, 1.0)]
+        assert sorted(points) == [Point(1.0, 1.0), Point(1.0, 2.0), Point(2.0, 1.0)]
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(3.3, -9.2)
+        assert p.distance_to(p) == 0.0
+
+    def test_infinite_coordinates_allowed(self):
+        p = Point(-math.inf, math.inf)
+        assert p.x == -math.inf and p.y == math.inf

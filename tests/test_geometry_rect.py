@@ -1,0 +1,129 @@
+"""Unit tests for :mod:`repro.geometry.rect`."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import Interval, Point, Rect
+
+
+class TestConstruction:
+    def test_valid_rect(self):
+        r = Rect(0.0, 1.0, 2.0, 3.0)
+        assert (r.x1, r.y1, r.x2, r.y2) == (0.0, 1.0, 2.0, 3.0)
+
+    def test_inverted_rect_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect(2.0, 0.0, 1.0, 1.0)
+        with pytest.raises(GeometryError):
+            Rect(0.0, 2.0, 1.0, 1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect(math.nan, 0.0, 1.0, 1.0)
+
+    def test_centered_at(self):
+        r = Rect.centered_at(Point(5.0, 5.0), width=4.0, height=2.0)
+        assert r == Rect(3.0, 4.0, 7.0, 6.0)
+
+    def test_centered_at_negative_size_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect.centered_at(Point(0.0, 0.0), width=-1.0, height=1.0)
+
+    def test_from_intervals(self):
+        r = Rect.from_intervals(Interval(0.0, 2.0), Interval(1.0, 3.0))
+        assert r == Rect(0.0, 1.0, 2.0, 3.0)
+
+    def test_bounding_points(self):
+        r = Rect.bounding([Point(1.0, 5.0), Point(-2.0, 0.0), Point(3.0, 2.0)])
+        assert r == Rect(-2.0, 0.0, 3.0, 5.0)
+
+    def test_bounding_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect.bounding([])
+
+
+class TestProperties:
+    def test_width_height_area(self):
+        r = Rect(0.0, 0.0, 4.0, 3.0)
+        assert r.width == 4.0 and r.height == 3.0 and r.area == 12.0
+
+    def test_center(self):
+        assert Rect(0.0, 0.0, 4.0, 2.0).center == Point(2.0, 1.0)
+
+    def test_ranges(self):
+        r = Rect(0.0, 1.0, 2.0, 3.0)
+        assert r.x_range == Interval(0.0, 2.0)
+        assert r.y_range == Interval(1.0, 3.0)
+
+    def test_corners_counter_clockwise(self):
+        corners = Rect(0.0, 0.0, 1.0, 2.0).corners()
+        assert corners == (Point(0.0, 0.0), Point(1.0, 0.0),
+                           Point(1.0, 2.0), Point(0.0, 2.0))
+
+
+class TestCoverage:
+    def test_strict_interior_covered(self):
+        r = Rect(0.0, 0.0, 2.0, 2.0)
+        assert r.covers_point(Point(1.0, 1.0))
+
+    def test_boundary_excluded_open_semantics(self):
+        r = Rect(0.0, 0.0, 2.0, 2.0)
+        for p in (Point(0.0, 1.0), Point(2.0, 1.0), Point(1.0, 0.0), Point(1.0, 2.0)):
+            assert not r.covers_point(p)
+            assert r.covers_point_closed(p)
+
+    def test_outside_not_covered(self):
+        assert not Rect(0.0, 0.0, 1.0, 1.0).covers_point(Point(5.0, 5.0))
+
+    def test_contains_rect(self):
+        outer = Rect(0.0, 0.0, 10.0, 10.0)
+        assert outer.contains_rect(Rect(1.0, 1.0, 2.0, 2.0))
+        assert not outer.contains_rect(Rect(9.0, 9.0, 11.0, 11.0))
+
+
+class TestCombination:
+    def test_intersects_closed_and_strict(self):
+        a = Rect(0.0, 0.0, 2.0, 2.0)
+        touching = Rect(2.0, 0.0, 4.0, 2.0)
+        assert a.intersects(touching)
+        assert not a.intersects_strict(touching)
+
+    def test_intersection_rect(self):
+        a = Rect(0.0, 0.0, 4.0, 4.0)
+        b = Rect(2.0, 1.0, 6.0, 3.0)
+        assert a.intersection(b) == Rect(2.0, 1.0, 4.0, 3.0)
+
+    def test_intersection_disjoint_returns_none(self):
+        assert Rect(0.0, 0.0, 1.0, 1.0).intersection(Rect(2.0, 2.0, 3.0, 3.0)) is None
+
+    def test_union_hull(self):
+        a = Rect(0.0, 0.0, 1.0, 1.0)
+        b = Rect(3.0, 2.0, 4.0, 5.0)
+        assert a.union_hull(b) == Rect(0.0, 0.0, 4.0, 5.0)
+
+    def test_translate(self):
+        assert Rect(0.0, 0.0, 1.0, 1.0).translate(2.0, 3.0) == Rect(2.0, 3.0, 3.0, 4.0)
+
+    def test_clip_x(self):
+        r = Rect(0.0, 0.0, 10.0, 2.0)
+        clipped = r.clip_x(Interval(3.0, 6.0))
+        assert clipped == Rect(3.0, 0.0, 6.0, 2.0)
+
+    def test_clip_x_disjoint_raises(self):
+        with pytest.raises(GeometryError):
+            Rect(0.0, 0.0, 1.0, 1.0).clip_x(Interval(5.0, 6.0))
+
+
+class TestDualTransformProperty:
+    """The fundamental duality the whole paper rests on (Section 4)."""
+
+    def test_dual_rectangle_covers_center_iff_query_covers_object(self):
+        width, height = 4.0, 2.0
+        obj = Point(10.0, 10.0)
+        for candidate in (Point(9.0, 10.5), Point(12.1, 10.0), Point(10.0, 11.1),
+                          Point(11.9, 10.9), Point(8.1, 9.1)):
+            query_covers = Rect.centered_at(candidate, width, height).covers_point(obj)
+            dual_covers = Rect.centered_at(obj, width, height).covers_point(candidate)
+            assert query_covers == dual_covers
