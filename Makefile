@@ -1,0 +1,29 @@
+# Developer entry points for the MaxRS reproduction.
+#
+#   make test        - the tier-1 verification suite (tests + fast benchmarks)
+#   make bench-smoke - the benchmark suite at its tiny "smoke" preset
+#   make bench       - the benchmark suite at its standard preset
+#   make examples    - run every example script end-to-end
+#
+# All targets run from the repository checkout without installation: the
+# PYTHONPATH export makes the src/ layout importable, matching conftest.py.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-smoke bench examples
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	REPRO_BENCH_PRESET=smoke $(PYTHON) -m pytest benchmarks -q
+
+bench:
+	REPRO_BENCH_PRESET=bench $(PYTHON) -m pytest benchmarks -q
+
+examples:
+	@set -e; for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) "$$script"; \
+	done

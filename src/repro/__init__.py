@@ -23,6 +23,28 @@ For most uses the high-level API in :mod:`repro.api` is the entry point::
     solver = MaxRSSolver(width=1000.0, height=1000.0)
     result = solver.solve([WeightedPoint(x, y) for x, y in locations])
     print(result.location, result.total_weight)
+
+Serving many queries
+--------------------
+
+``MaxRSSolver`` is one-shot: each call re-ingests the dataset and pays the
+full sort-and-sweep cost.  When the same dataset must answer many queries
+(varying rectangle sizes, top-k, circles), use the resident query engine in
+:mod:`repro.service` instead -- it snapshots and grid-indexes the dataset
+once, serves repeated parameters from an LRU result cache, and prunes the
+exact sweep to the contention hot spots for new parameters, without changing
+any answer::
+
+    from repro import MaxRSEngine, QuerySpec
+
+    engine = MaxRSEngine()
+    dataset = engine.register_dataset(objects)          # ingest + index once
+    a = engine.query(dataset, QuerySpec.maxrs(1000.0, 1000.0))
+    b = engine.query(dataset, QuerySpec.maxrs(1000.0, 1000.0))  # cache hit
+    results = engine.query_batch(dataset, many_specs)   # dedup + thread pool
+    print(engine.stats()["cache"]["hit_rate"])
+
+See ``examples/query_service.py`` for a complete walk-through.
 """
 
 from repro.core import ExactMaxRS, MaxCRSResult, MaxRegion, MaxRSResult
@@ -40,10 +62,12 @@ __all__ = [
     "Interval",
     "MaxCRSResult",
     "MaxCRSSolver",
+    "MaxRSEngine",
     "MaxRSResult",
     "MaxRSSolver",
     "MaxRegion",
     "Point",
+    "QuerySpec",
     "Rect",
     "ReproError",
     "WeightedPoint",
@@ -52,14 +76,20 @@ __all__ = [
 
 
 def __getattr__(name: str):
-    """Lazily expose the high-level solvers.
+    """Lazily expose the high-level solvers and the resident query engine.
 
-    ``MaxRSSolver`` and ``MaxCRSSolver`` live in :mod:`repro.api`, which pulls
-    in the circle subsystem; importing them lazily keeps ``import repro``
-    light and avoids import cycles for code that only needs the core types.
+    ``MaxRSSolver`` / ``MaxCRSSolver`` live in :mod:`repro.api` and
+    ``MaxRSEngine`` / ``QuerySpec`` in :mod:`repro.service`, which pull in
+    the circle subsystem and numpy; importing them lazily keeps ``import
+    repro`` light and avoids import cycles for code that only needs the core
+    types.
     """
     if name in ("MaxRSSolver", "MaxCRSSolver"):
         from repro import api
 
         return getattr(api, name)
+    if name in ("MaxRSEngine", "QuerySpec"):
+        from repro import service
+
+        return getattr(service, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

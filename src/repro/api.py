@@ -12,24 +12,30 @@ They are what the examples and most downstream users should call; research
 code that needs to control the EM environment precisely (the experiment
 harness, the benchmarks) uses :mod:`repro.core`, :mod:`repro.baselines` and
 :mod:`repro.circles` directly.
+
+Both façades are *one-shot*: every ``solve`` call re-ingests the point set.
+For the serve-many-queries workload -- one dataset, many rectangle sizes --
+use the engine-backed path instead: :func:`solve_many` here for a one-liner,
+or :class:`repro.service.MaxRSEngine` directly for full control (result
+caching, batching, statistics).  Both one-shot and engine paths funnel into
+the same strategy dispatch (:mod:`repro.core.dispatch`), so they return
+identical answers.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.circles.approx_maxcrs import ApproxMaxCRS
 from repro.circles.exact_maxcrs import exact_maxcrs
-from repro.core.exact_maxrs import ExactMaxRS
-from repro.core.plane_sweep import solve_in_memory
+from repro.core.dispatch import solve_point_set, solve_point_set_top_k
 from repro.core.result import MaxCRSResult, MaxRSResult
-from repro.em.codecs import EVENT_CODEC
 from repro.em.config import EMConfig
 from repro.em.context import EMContext
 from repro.errors import ConfigurationError
 from repro.geometry import WeightedPoint
 
-__all__ = ["MaxRSSolver", "MaxCRSSolver"]
+__all__ = ["MaxRSSolver", "MaxCRSSolver", "solve_many"]
 
 
 class MaxRSSolver:
@@ -69,21 +75,27 @@ class MaxRSSolver:
 
     def solve(self, objects: Sequence[WeightedPoint]) -> MaxRSResult:
         """Return the optimal placement of the query rectangle over ``objects``."""
-        if not self.force_external and self._fits_in_memory(objects):
-            return solve_in_memory(objects, self.width, self.height)
-        ctx = EMContext(self.config)
-        solver = ExactMaxRS(ctx, self.width, self.height)
-        return solver.solve(objects)
+        return solve_point_set(objects, self.width, self.height,
+                               config=self.config,
+                               force_external=self.force_external)
 
-    def solve_top_k(self, objects: Sequence[WeightedPoint], k: int) -> list[MaxRSResult]:
-        """Return the ``k`` best vertically-disjoint placements (MaxkRS)."""
-        ctx = EMContext(self.config)
-        solver = ExactMaxRS(ctx, self.width, self.height)
-        return solver.solve_topk(objects, k)
+    def solve_top_k(self, objects: Sequence[WeightedPoint], k: int) -> List[MaxRSResult]:
+        """Return the ``k`` best vertically-disjoint placements (MaxkRS).
 
-    def _fits_in_memory(self, objects: Sequence[WeightedPoint]) -> bool:
-        capacity = self.config.memory_capacity_records(EVENT_CODEC.record_size)
-        return 2 * len(objects) <= capacity
+        Follows the same strategy contract as :meth:`solve`: small inputs are
+        answered by the in-memory sweep, large ones (or ``force_external``)
+        by the external-memory recursion.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``k < 1``.
+        """
+        if k < 1:
+            raise ConfigurationError(f"k must be at least 1, got {k}")
+        return solve_point_set_top_k(objects, self.width, self.height, k,
+                                     config=self.config,
+                                     force_external=self.force_external)
 
 
 class MaxCRSSolver:
@@ -124,10 +136,49 @@ class MaxCRSSolver:
 
         Returns ``(result, ratio)`` where ``ratio = W(c_hat) / W(c*)`` (1.0
         for empty datasets).  Note the exact solver is quadratic: reserve this
-        for validation-sized inputs, as the paper did.
+        for validation-sized inputs, as the paper did.  Empty inputs
+        short-circuit before the exact solver is invoked at all.
         """
         result = self.solve(objects)
+        if not objects:
+            return result, 1.0
         _, optimum = exact_maxcrs(objects, self.diameter)
         if optimum <= 0:
             return result, 1.0
         return result, min(1.0, result.total_weight / optimum)
+
+
+def solve_many(objects: Sequence[WeightedPoint],
+               sizes: Sequence[Tuple[float, float]], *,
+               refine: bool = True,
+               engine: Optional["object"] = None) -> List[MaxRSResult]:
+    """Answer many MaxRS queries over one dataset via the resident engine.
+
+    This is the engine-backed counterpart of calling
+    ``MaxRSSolver(w, h).solve(objects)`` once per ``(w, h)`` in ``sizes``: the
+    dataset is ingested and indexed **once**, repeated sizes are served from
+    the result cache, and distinct sizes are answered from the pruned exact
+    sweep (see :mod:`repro.service`).  With ``refine=True`` (default) the
+    answers are identical to the one-shot in-memory solver's.
+
+    Parameters
+    ----------
+    objects:
+        The dataset, ingested once.
+    sizes:
+        The ``(width, height)`` of every query, in answer order.
+    refine:
+        ``False`` trades exactness for speed (grid-window approximation).
+    engine:
+        An existing :class:`~repro.service.MaxRSEngine` to reuse (so its
+        cache and indexes persist across calls); a private one is created
+        when omitted.
+    """
+    from repro.service.engine import MaxRSEngine, QuerySpec
+
+    if engine is None:
+        engine = MaxRSEngine()
+    handle = engine.register_dataset(objects)
+    specs = [QuerySpec.maxrs(width, height, refine=refine)
+             for width, height in sizes]
+    return engine.query_batch(handle, specs)

@@ -20,8 +20,17 @@ Layout of the package (bottom-up):
 """
 
 from repro.core.beststrip import BestStrip, BestStripTracker
+from repro.core.dispatch import (
+    fits_in_memory,
+    solve_point_set,
+    solve_point_set_top_k,
+)
 from repro.core.events import SweepEvent, events_sort_key, rect_to_events
-from repro.core.exact_maxrs import ExactMaxRS
+from repro.core.exact_maxrs import (
+    ExactMaxRS,
+    records_to_strips,
+    select_disjoint_strips,
+)
 from repro.core.maxinterval import MaxInterval
 from repro.core.merge_sweep import merge_sweep
 from repro.core.plane_sweep import solve_in_memory, sweep_events
@@ -68,6 +77,7 @@ __all__ = [
     "dual_rectangles",
     "events_sort_key",
     "find_best_strip",
+    "fits_in_memory",
     "iter_slab_file",
     "make_subslabs",
     "merge_sweep",
@@ -75,8 +85,12 @@ __all__ = [
     "objects_to_event_records",
     "partition_event_file",
     "read_slab_file",
+    "records_to_strips",
     "rect_to_events",
+    "select_disjoint_strips",
     "solve_in_memory",
+    "solve_point_set",
+    "solve_point_set_top_k",
     "sweep_events",
     "validate_slab_file_records",
     "write_objects_file",

@@ -48,7 +48,7 @@ from repro.em.record_file import RecordFile
 from repro.errors import AlgorithmError, ConfigurationError
 from repro.geometry import WeightedPoint
 
-__all__ = ["ExactMaxRS"]
+__all__ = ["ExactMaxRS", "records_to_strips", "select_disjoint_strips"]
 
 
 class ExactMaxRS:
@@ -240,13 +240,7 @@ class ExactMaxRS:
         finally:
             objects_file.delete()
 
-        strips.sort(key=lambda strip: strip.weight, reverse=True)
-        chosen: List[BestStrip] = []
-        for strip in strips:
-            if len(chosen) == k:
-                break
-            if all(strip.y2 <= other.y1 or strip.y1 >= other.y2 for other in chosen):
-                chosen.append(strip)
+        chosen = select_disjoint_strips(strips, k)
         results = []
         for strip in chosen:
             region = strip.to_region()
@@ -270,18 +264,41 @@ class ExactMaxRS:
             event_file.delete()
             self._leaf_count = 1
             tuples, _ = sweep_events(records, root.x_range)
-            return _records_to_strips(tuples)
+            return records_to_strips(tuples)
         slab_file, _ = self._recurse(event_file, root, depth=1)
         tuples = slab_file.read_all()
         slab_file.delete()
-        return _records_to_strips(tuples)
+        return records_to_strips(tuples)
 
 
-def _records_to_strips(records: Sequence[Tuple[float, ...]]) -> List[BestStrip]:
-    """Convert consecutive slab-file records into closed strips."""
+def records_to_strips(records: Sequence[Tuple[float, ...]]) -> List[BestStrip]:
+    """Convert consecutive slab-file records into closed strips.
+
+    Each slab-file tuple ``(y, x1, x2, sum)`` describes the strip from its own
+    h-line up to the next tuple's h-line; the last strip extends to ``+inf``.
+    Shared by the external MaxkRS path and the in-memory top-k fast path in
+    :mod:`repro.core.dispatch`.
+    """
     strips: List[BestStrip] = []
     for position, record in enumerate(records):
         y, x1, x2, weight = record
         next_y = records[position + 1][0] if position + 1 < len(records) else float("inf")
         strips.append(BestStrip(weight=weight, x1=x1, x2=x2, y1=y, y2=next_y))
     return strips
+
+
+def select_disjoint_strips(strips: Sequence[BestStrip], k: int) -> List[BestStrip]:
+    """Greedily pick up to ``k`` vertically-disjoint strips, best first.
+
+    This is the selection rule of the MaxkRS extension: strips are considered
+    in descending weight order and kept only when their y-range does not
+    overlap an already chosen strip.
+    """
+    ordered = sorted(strips, key=lambda strip: strip.weight, reverse=True)
+    chosen: List[BestStrip] = []
+    for strip in ordered:
+        if len(chosen) == k:
+            break
+        if all(strip.y2 <= other.y1 or strip.y1 >= other.y2 for other in chosen):
+            chosen.append(strip)
+    return chosen

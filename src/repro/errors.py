@@ -16,6 +16,8 @@ More specific subclasses indicate which subsystem detected the problem:
 * :class:`AlgorithmError` -- an algorithm was invoked with inconsistent
   arguments (e.g. asking ``MergeSweep`` to merge zero slab-files).
 * :class:`DatasetError` -- dataset generation or loading failed.
+* :class:`ServiceError` -- the resident query service (:mod:`repro.service`)
+  was misused (unknown dataset id, conflicting registrations, ...).
 """
 
 from __future__ import annotations
@@ -28,6 +30,7 @@ __all__ = [
     "GeometryError",
     "AlgorithmError",
     "DatasetError",
+    "ServiceError",
 ]
 
 
@@ -57,3 +60,7 @@ class AlgorithmError(ReproError):
 
 class DatasetError(ReproError):
     """Raised when dataset generation or loading fails."""
+
+
+class ServiceError(ReproError):
+    """Raised when the resident query service (:mod:`repro.service`) is misused."""

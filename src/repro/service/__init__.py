@@ -1,0 +1,42 @@
+"""repro.service -- a resident query engine for MaxRS-family queries.
+
+The paper's ExactMaxRS is a one-shot algorithm: every call re-ingests the
+point set and pays the full sort-and-sweep cost.  This package provides the
+serving layer for the opposite workload -- *register a dataset once, answer
+many queries* with varying rectangle / circle sizes:
+
+* :mod:`repro.service.store` -- :class:`~repro.service.store.PointStore`
+  snapshots, sorts and fingerprints each registered dataset;
+* :mod:`repro.service.grid_index` -- a uniform-grid pre-aggregation index
+  (per-cell weight sums and point lists) built once per dataset; it serves
+  fast approximate answers and prunes the exact sweep to candidate regions;
+* :mod:`repro.service.cache` -- an LRU result cache keyed by
+  ``(dataset fingerprint, query kind, parameters)``;
+* :mod:`repro.service.metrics` -- per-stage timing and counter aggregation;
+* :mod:`repro.service.engine` -- :class:`~repro.service.engine.MaxRSEngine`,
+  the façade tying the pieces together (``register_dataset`` / ``query`` /
+  ``query_batch`` / ``stats``).
+
+Exact answers returned by the engine (``refine=True``, the default) are
+identical to running :func:`repro.core.plane_sweep.solve_in_memory` on the
+full dataset -- the grid only removes points that provably cannot take part
+in an optimal placement (see :mod:`repro.service.grid_index` for the
+argument).
+"""
+
+from repro.service.cache import CacheStats, LRUCache
+from repro.service.engine import MaxRSEngine, QuerySpec
+from repro.service.grid_index import GridIndex
+from repro.service.metrics import EngineMetrics
+from repro.service.store import DatasetHandle, PointStore
+
+__all__ = [
+    "CacheStats",
+    "DatasetHandle",
+    "EngineMetrics",
+    "GridIndex",
+    "LRUCache",
+    "MaxRSEngine",
+    "PointStore",
+    "QuerySpec",
+]

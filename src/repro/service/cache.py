@@ -1,0 +1,113 @@
+"""LRU result cache for the resident query engine.
+
+Serving workloads repeat themselves: a popular dataset sees the same handful
+of rectangle sizes over and over ("where should a 1 km x 1 km ad region go?").
+Since every solver in this library is deterministic, a result computed once
+for ``(dataset fingerprint, query kind, parameters)`` is valid until the
+dataset changes -- and dataset snapshots in the
+:class:`~repro.service.store.PointStore` never change, so cached entries
+never expire, only get evicted.
+
+All cached values are frozen dataclasses (or tuples of them), so sharing one
+instance between callers is safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CacheStats", "LRUCache"]
+
+#: Sentinel distinguishing "cached None" from "not cached" in :meth:`get`.
+_MISSING = object()
+
+
+@dataclass(frozen=True, slots=True)
+class CacheStats:
+    """Counters describing the lifetime behaviour of one cache."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+class LRUCache:
+    """A thread-safe least-recently-used cache with hit/miss accounting.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries kept; the least recently *used* (read or
+        written) entry is evicted when a put would exceed it.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"cache capacity must be at least 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable) -> Tuple[bool, Optional[Any]]:
+        """Look up ``key``; return ``(hit, value)`` and refresh its recency."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                return False, None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return True, value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) ``key``, evicting the LRU entry when full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; return whether it was present."""
+        with self._lock:
+            return self._entries.pop(key, _MISSING) is not _MISSING
+
+    def clear(self) -> None:
+        """Drop every entry (the hit/miss/eviction counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Membership test that does *not* count as a lookup or refresh recency."""
+        with self._lock:
+            return key in self._entries
+
+    @property
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of the cache counters."""
+        with self._lock:
+            return CacheStats(hits=self._hits, misses=self._misses,
+                              evictions=self._evictions,
+                              size=len(self._entries), capacity=self.capacity)

@@ -1,0 +1,398 @@
+"""The resident MaxRS query engine.
+
+:class:`MaxRSEngine` is the serving façade of :mod:`repro.service`: register
+a dataset once, then answer many MaxRS / MaxkRS / MaxCRS queries with varying
+parameters cheaply.  Per query it composes four layers:
+
+1. the :class:`~repro.service.cache.LRUCache` -- repeated parameters are free;
+2. the :class:`~repro.service.grid_index.GridIndex` -- an approximate answer
+   from the best pre-aggregated window (``refine=False`` stops here);
+3. safe pruning -- cells whose aggregate upper bound cannot reach the
+   approximate answer are discarded, and the exact sweep
+   (:func:`~repro.core.plane_sweep.solve_in_memory`, via the shared
+   :mod:`repro.core.dispatch` entry point) runs on the surviving points only;
+4. region restoration -- the one answer component pruning can coarsen is the
+   h-line closing the best strip (an event of a pruned point may close it
+   earlier); it is recomputed exactly from the dataset's sorted y-column.
+
+Refined (default) answers are therefore *identical* to solving the full
+dataset in memory -- same weight, same max-region -- while touching only the
+points near contention hot spots.  ``query_batch`` deduplicates identical
+requests and fans independent ones out over a thread pool.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.circles.exact_maxcrs import exact_maxcrs
+from repro.core.dispatch import solve_point_set, solve_point_set_top_k
+from repro.core.plane_sweep import solve_in_memory
+from repro.core.result import MaxCRSResult, MaxRegion, MaxRSResult
+from repro.errors import ConfigurationError, ServiceError
+from repro.geometry import WeightedPoint
+from repro.service.cache import LRUCache
+from repro.service.grid_index import GridIndex
+from repro.service.metrics import EngineMetrics
+from repro.service.store import DatasetHandle, PointStore, RegisteredDataset
+
+__all__ = ["MaxRSEngine", "QuerySpec"]
+
+#: The query kinds the engine serves.
+_KINDS = ("maxrs", "maxkrs", "maxcrs")
+
+#: Any result an engine query can produce.
+QueryResult = Union[MaxRSResult, Tuple[MaxRSResult, ...], MaxCRSResult]
+
+
+@dataclass(frozen=True, slots=True)
+class QuerySpec:
+    """One engine query: a kind plus its parameters.
+
+    Use the constructors (:meth:`maxrs`, :meth:`maxkrs`, :meth:`maxcrs`)
+    rather than spelling out fields; they only expose the parameters their
+    kind actually uses.
+
+    ``refine=True`` (default) returns exact answers; ``refine=False`` returns
+    the fast grid-window approximation (a lower bound with an achievable
+    placement).
+    """
+
+    kind: str = "maxrs"
+    width: Optional[float] = None
+    height: Optional[float] = None
+    k: int = 1
+    diameter: Optional[float] = None
+    refine: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ConfigurationError(
+                f"unknown query kind {self.kind!r}; expected one of {_KINDS}"
+            )
+        if self.kind in ("maxrs", "maxkrs"):
+            if self.width is None or self.height is None \
+                    or self.width <= 0 or self.height <= 0:
+                raise ConfigurationError(
+                    f"{self.kind} queries need a positive width x height, "
+                    f"got {self.width} x {self.height}"
+                )
+        if self.kind == "maxkrs" and self.k < 1:
+            raise ConfigurationError(f"k must be at least 1, got {self.k}")
+        if self.kind == "maxcrs" and (self.diameter is None or self.diameter <= 0):
+            raise ConfigurationError(
+                f"maxcrs queries need a positive diameter, got {self.diameter}"
+            )
+
+    @classmethod
+    def maxrs(cls, width: float, height: float, *, refine: bool = True) -> "QuerySpec":
+        """A plain MaxRS query for a ``width x height`` rectangle."""
+        return cls(kind="maxrs", width=width, height=height, refine=refine)
+
+    @classmethod
+    def maxkrs(cls, width: float, height: float, k: int) -> "QuerySpec":
+        """A MaxkRS query: the ``k`` best vertically-disjoint placements."""
+        return cls(kind="maxkrs", width=width, height=height, k=k)
+
+    @classmethod
+    def maxcrs(cls, diameter: float, *, refine: bool = True) -> "QuerySpec":
+        """A MaxCRS query for a circle of ``diameter``."""
+        return cls(kind="maxcrs", diameter=diameter, refine=refine)
+
+    def cache_params(self) -> Tuple[Hashable, ...]:
+        """The parameter tuple identifying this query in the result cache."""
+        return (self.kind, self.width, self.height, self.k, self.diameter,
+                self.refine)
+
+
+class MaxRSEngine:
+    """Resident query engine: ingest once, answer many queries.
+
+    Parameters
+    ----------
+    cache_size:
+        Capacity of the LRU result cache (entries, across all datasets).
+    max_workers:
+        Default thread-pool width for :meth:`query_batch` (``None`` lets
+        :class:`~concurrent.futures.ThreadPoolExecutor` pick).
+    target_points_per_cell, max_cells_per_side:
+        Grid-index resolution knobs, passed to
+        :class:`~repro.service.grid_index.GridIndex`.
+    maxcrs_exact_limit:
+        MaxCRS queries run the quadratic exact circle solver on the pruned
+        subset; when the subset exceeds this many points the engine raises
+        :class:`~repro.errors.ServiceError` instead of hanging on one query.
+
+    Examples
+    --------
+    >>> engine = MaxRSEngine()
+    >>> ds = engine.register_dataset([WeightedPoint(0, 0), WeightedPoint(1, 1),
+    ...                               WeightedPoint(50, 50)])
+    >>> engine.query(ds, QuerySpec.maxrs(4.0, 4.0)).total_weight
+    2.0
+    """
+
+    def __init__(self, *, cache_size: int = 1024,
+                 max_workers: Optional[int] = None,
+                 target_points_per_cell: int = 1,
+                 max_cells_per_side: int = 512,
+                 maxcrs_exact_limit: int = 5_000) -> None:
+        self.store = PointStore()
+        self.cache = LRUCache(cache_size)
+        self.metrics = EngineMetrics()
+        self.max_workers = max_workers
+        self.maxcrs_exact_limit = maxcrs_exact_limit
+        self._target_points_per_cell = target_points_per_cell
+        self._max_cells_per_side = max_cells_per_side
+        self._grids: Dict[str, Optional[GridIndex]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Dataset lifecycle
+    # ------------------------------------------------------------------ #
+    def register_dataset(self, objects: Sequence[WeightedPoint], *,
+                         name: Optional[str] = None) -> DatasetHandle:
+        """Snapshot, fingerprint and index a dataset; return its handle.
+
+        Registering byte-identical data again is a cheap no-op returning the
+        existing handle (the grid index is reused, cached results stay warm).
+        """
+        with self.metrics.time_stage("register"):
+            handle = self.store.register(objects, name=name)
+            if handle.dataset_id not in self._grids:
+                entry = self.store.get(handle.dataset_id)
+                grid: Optional[GridIndex] = None
+                if entry.count > 0:
+                    with self.metrics.time_stage("grid_build"):
+                        grid = GridIndex(
+                            entry.xs, entry.ys, entry.ws,
+                            target_points_per_cell=self._target_points_per_cell,
+                            max_cells_per_side=self._max_cells_per_side,
+                        )
+                self._grids[handle.dataset_id] = grid
+        return handle
+
+    def unregister_dataset(self, dataset: Union[str, DatasetHandle]) -> None:
+        """Forget a dataset and its grid index.
+
+        Cached results stay keyed by the data fingerprint, so they are never
+        wrong -- re-registering the same data revives them.
+        """
+        dataset_id = _dataset_id(dataset)
+        self.store.unregister(dataset_id)
+        self._grids.pop(dataset_id, None)
+
+    def grid_index(self, dataset: Union[str, DatasetHandle]) -> Optional[GridIndex]:
+        """The grid index of a registered dataset (``None`` when empty)."""
+        entry = self.store.get(_dataset_id(dataset))
+        return self._grids.get(entry.handle.dataset_id)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def query(self, dataset: Union[str, DatasetHandle],
+              spec: QuerySpec) -> QueryResult:
+        """Answer one query, consulting the result cache first."""
+        entry = self.store.get(_dataset_id(dataset))
+        key = (entry.handle.fingerprint,) + spec.cache_params()
+        hit, value = self.cache.get(key)
+        self.metrics.increment("queries")
+        if hit:
+            return value
+        result = self._compute(entry, spec)
+        self.cache.put(key, result)
+        return result
+
+    def query_batch(self, dataset: Union[str, DatasetHandle],
+                    specs: Sequence[QuerySpec], *,
+                    max_workers: Optional[int] = None) -> List[QueryResult]:
+        """Answer many queries, deduplicating and fanning out over threads.
+
+        Identical specs in one batch are computed once; distinct cache-missing
+        specs run concurrently on a :class:`ThreadPoolExecutor`.  Results come
+        back aligned with ``specs``.
+        """
+        entry = self.store.get(_dataset_id(dataset))
+        dataset_id = entry.handle.dataset_id
+        self.metrics.increment("batch_queries", len(specs))
+        unique: Dict[QuerySpec, int] = {}
+        for spec in specs:
+            unique.setdefault(spec, 0)
+        distinct = list(unique)
+        if len(distinct) < len(specs):
+            self.metrics.increment("batch_deduplicated",
+                                   len(specs) - len(distinct))
+        if len(distinct) <= 1:
+            answers = [self.query(dataset_id, spec) for spec in distinct]
+        else:
+            workers = max_workers if max_workers is not None else self.max_workers
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(self.query, dataset_id, spec)
+                           for spec in distinct]
+                answers = [future.result() for future in futures]
+        by_spec = dict(zip(distinct, answers))
+        return [by_spec[spec] for spec in specs]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, object]:
+        """Serving statistics: cache behaviour, per-stage timings, datasets."""
+        cache = self.cache.stats
+        snapshot = self.metrics.snapshot()
+        return {
+            "datasets": len(self.store),
+            "queries": snapshot["counters"].get("queries", 0),
+            "cache": {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "evictions": cache.evictions,
+                "size": cache.size,
+                "capacity": cache.capacity,
+                "hit_rate": cache.hit_rate,
+            },
+            "stages": snapshot["stages"],
+            "counters": snapshot["counters"],
+            "grids": {
+                handle.dataset_id: (grid.stats() if grid is not None else None)
+                for handle in self.store.handles()
+                for grid in (self._grids.get(handle.dataset_id),)
+            },
+        }
+
+    def clear_cache(self) -> None:
+        """Drop every cached result (datasets and indexes stay resident)."""
+        self.cache.clear()
+
+    # ------------------------------------------------------------------ #
+    # Query execution
+    # ------------------------------------------------------------------ #
+    def _compute(self, entry: RegisteredDataset, spec: QuerySpec) -> QueryResult:
+        if spec.kind == "maxrs":
+            return self._compute_maxrs(entry, spec)
+        if spec.kind == "maxkrs":
+            # Top-k strips may lie anywhere (the 2nd best placement can sit in
+            # a region the bound would prune), so MaxkRS always solves the
+            # full resident set -- caching still amortises repeats.
+            with self.metrics.time_stage("maxkrs"):
+                return tuple(solve_point_set_top_k(
+                    entry.objects, spec.width, spec.height, spec.k,
+                    force_in_memory=True))
+        return self._compute_maxcrs(entry, spec)
+
+    def _compute_maxrs(self, entry: RegisteredDataset,
+                       spec: QuerySpec) -> MaxRSResult:
+        width, height = spec.width, spec.height
+        grid = self._grids.get(entry.handle.dataset_id)
+        if grid is None:  # empty dataset
+            return solve_point_set(entry.objects, width, height,
+                                   force_in_memory=True)
+
+        with self.metrics.time_stage("approximate"):
+            bounds = grid.upper_bounds(width, height)
+            row, col, _ = grid.best_cell(width, height, bounds)
+            probe_indices = grid.points_in_window(row, col, width, height)
+            probe = solve_in_memory(entry.subset(probe_indices), width, height)
+        if not spec.refine:
+            return probe
+
+        with self.metrics.time_stage("refine"):
+            mask = grid.candidate_mask(width, height, probe.total_weight, bounds)
+            subset_indices = grid.points_in_mask(grid.dilate(mask, width, height))
+            if len(subset_indices) == entry.count:
+                self.metrics.increment("refine_unpruned")
+                return solve_point_set(entry.objects, width, height,
+                                       force_in_memory=True)
+            self.metrics.increment("refine_pruned")
+            if np.array_equal(subset_indices, probe_indices):
+                result = probe
+            else:
+                result = solve_in_memory(entry.subset(subset_indices),
+                                         width, height)
+            return _restore_closing_hline(result, entry, height)
+
+    def _compute_maxcrs(self, entry: RegisteredDataset,
+                        spec: QuerySpec) -> MaxCRSResult:
+        diameter = spec.diameter
+        grid = self._grids.get(entry.handle.dataset_id)
+        if grid is None:  # empty dataset
+            centre, weight = exact_maxcrs(entry.objects, diameter)
+            return MaxCRSResult(location=centre, total_weight=weight)
+
+        # A circle fits in its bounding square, so the square window bound is
+        # a valid upper bound for circle placements too.
+        with self.metrics.time_stage("approximate"):
+            bounds = grid.upper_bounds(diameter, diameter)
+            row, col, _ = grid.best_cell(diameter, diameter, bounds)
+            probe_indices = grid.points_in_window(row, col, diameter, diameter)
+            self._check_maxcrs_budget(len(probe_indices))
+            centre, weight = exact_maxcrs(entry.subset(probe_indices), diameter)
+        if not spec.refine:
+            return MaxCRSResult(location=centre, total_weight=weight)
+
+        with self.metrics.time_stage("refine"):
+            mask = grid.candidate_mask(diameter, diameter, weight, bounds)
+            subset_indices = grid.points_in_mask(grid.dilate(mask, diameter, diameter))
+            self._check_maxcrs_budget(len(subset_indices))
+            if not np.array_equal(subset_indices, probe_indices):
+                centre, weight = exact_maxcrs(entry.subset(subset_indices), diameter)
+            return MaxCRSResult(location=centre, total_weight=weight)
+
+    def _check_maxcrs_budget(self, subset_size: int) -> None:
+        """Refuse MaxCRS work that would hang the engine.
+
+        The exact MaxCRS solver is quadratic; a resident service must not
+        block on one innocuous query.  When grid pruning cannot shrink the
+        problem below ``maxcrs_exact_limit`` points, fail fast with guidance
+        instead of running for hours.
+        """
+        if subset_size > self.maxcrs_exact_limit:
+            raise ServiceError(
+                f"maxcrs would run the quadratic exact solver on "
+                f"{subset_size} points (limit {self.maxcrs_exact_limit}); "
+                "raise maxcrs_exact_limit, use a smaller diameter, or use "
+                "the one-shot approximate MaxCRSSolver"
+            )
+
+
+def _restore_closing_hline(result: MaxRSResult, entry: RegisteredDataset,
+                           height: float) -> MaxRSResult:
+    """Recompute the y that closes the best strip against the *full* dataset.
+
+    The pruned sweep reports the best strip as closed by the next event of the
+    *subset*; in the full sweep an event of a pruned point may close it
+    earlier.  That closing h-line is the only component of the answer pruning
+    can alter (weight, x-extent and opening h-line are all witnessed by
+    surviving points), so recomputing it restores bit-identity with the
+    unpruned solve.  Each object contributes events at ``y +- height/2``; the
+    closing line is the smallest event strictly above the opening line.
+    """
+    y1 = result.region.y1
+    if not math.isfinite(y1):
+        return result
+    half_h = height / 2.0
+    closing = math.inf
+    for events in (entry.ys_sorted - half_h, entry.ys_sorted + half_h):
+        index = np.searchsorted(events, y1, side="right")
+        if index < len(events):
+            closing = min(closing, float(events[index]))
+    if closing == result.region.y2:
+        return result
+    region = MaxRegion(x1=result.region.x1, y1=y1, x2=result.region.x2,
+                       y2=closing, weight=result.region.weight)
+    return MaxRSResult(
+        location=region.representative_point(),
+        region=region,
+        total_weight=result.total_weight,
+        io=None,
+        recursion_levels=0,
+        leaf_count=1,
+    )
+
+
+def _dataset_id(dataset: Union[str, DatasetHandle]) -> str:
+    return dataset.dataset_id if isinstance(dataset, DatasetHandle) else dataset

@@ -1,0 +1,84 @@
+"""Lightweight per-stage metrics for the resident query engine.
+
+The engine (:mod:`repro.service.engine`) times every pipeline stage --
+registration, grid construction, approximate probing, exact refinement -- and
+counts queries per kind.  :class:`EngineMetrics` aggregates both under a lock
+so the numbers stay consistent when ``query_batch`` fans out over threads.
+
+The implementation deliberately avoids any dependency on a metrics backend:
+:meth:`EngineMetrics.snapshot` returns plain dictionaries that callers can
+print, assert on, or export however they like.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+__all__ = ["EngineMetrics", "StageTimings"]
+
+#: Snapshot of one stage: number of observations, total and mean seconds.
+StageTimings = Dict[str, float]
+
+
+class EngineMetrics:
+    """Thread-safe counters and per-stage wall-clock timing accumulators."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._stage_count: Dict[str, int] = {}
+        self._stage_seconds: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def increment(self, counter: str, amount: int = 1) -> None:
+        """Add ``amount`` to a named counter (creating it at zero)."""
+        with self._lock:
+            self._counters[counter] = self._counters.get(counter, 0) + amount
+
+    def observe_seconds(self, stage: str, seconds: float) -> None:
+        """Record one observation of ``stage`` taking ``seconds``."""
+        with self._lock:
+            self._stage_count[stage] = self._stage_count.get(stage, 0) + 1
+            self._stage_seconds[stage] = self._stage_seconds.get(stage, 0.0) + seconds
+
+    @contextmanager
+    def time_stage(self, stage: str) -> Iterator[None]:
+        """Context manager timing a block as one observation of ``stage``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe_seconds(stage, time.perf_counter() - start)
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str) -> int:
+        """Return the value of a counter (0 when never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Return all counters and stage timings as plain dictionaries."""
+        with self._lock:
+            stages: Dict[str, StageTimings] = {}
+            for stage, count in self._stage_count.items():
+                total = self._stage_seconds[stage]
+                stages[stage] = {
+                    "count": count,
+                    "total_seconds": total,
+                    "mean_seconds": total / count if count else 0.0,
+                }
+            return {"counters": dict(self._counters), "stages": stages}
+
+    def reset(self) -> None:
+        """Clear every counter and timing accumulator."""
+        with self._lock:
+            self._counters.clear()
+            self._stage_count.clear()
+            self._stage_seconds.clear()

@@ -1,0 +1,193 @@
+"""Dataset registration for the resident query engine.
+
+A serving system must not trust callers to keep their point lists alive or
+unmodified, and it must be able to tell two datasets apart cheaply (the
+result cache is keyed by dataset).  :class:`PointStore` therefore snapshots
+every registered dataset into immutable, query-friendly form:
+
+* the objects themselves, as a tuple (insertion order preserved -- exactness
+  of the pruned sweep relies on re-solving subsets in a deterministic order);
+* coordinate / weight :mod:`numpy` columns, pre-sorted views of the
+  y-coordinates (used by the engine to reconstruct exact region boundaries
+  after pruning), the bounding box and the total weight;
+* a SHA-256 **fingerprint** of the packed ``(x, y, weight)`` columns.  Two
+  registrations of byte-identical data share one entry, and the fingerprint
+  keys the result cache so cached answers can never leak across datasets.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ServiceError
+from repro.geometry import Rect, WeightedPoint
+
+__all__ = ["DatasetHandle", "RegisteredDataset", "PointStore"]
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetHandle:
+    """The public identity of a registered dataset.
+
+    Attributes
+    ----------
+    dataset_id:
+        The key used to address the dataset in engine calls (the caller's
+        ``name``, or one derived from the fingerprint).
+    fingerprint:
+        Hex SHA-256 of the packed point data; keys the result cache.
+    count:
+        Number of objects in the snapshot.
+    total_weight:
+        Sum of the object weights.
+    bounds:
+        Minimum bounding rectangle of the objects, or ``None`` when empty.
+    """
+
+    dataset_id: str
+    fingerprint: str
+    count: int
+    total_weight: float
+    bounds: Optional[Rect]
+
+
+@dataclass(frozen=True, slots=True)
+class RegisteredDataset:
+    """The internal snapshot behind a :class:`DatasetHandle`.
+
+    The numpy columns are shared, never copied per query; treat them as
+    read-only.  ``ys_sorted`` exists so the engine can compute, in
+    ``O(n)`` vectorised time, the exact h-line that closes a pruned sweep's
+    best strip (see :meth:`~repro.service.engine.MaxRSEngine.query`).
+    """
+
+    handle: DatasetHandle
+    objects: Tuple[WeightedPoint, ...]
+    xs: np.ndarray
+    ys: np.ndarray
+    ws: np.ndarray
+    ys_sorted: np.ndarray
+
+    @property
+    def count(self) -> int:
+        return self.handle.count
+
+    def subset(self, indices: np.ndarray) -> List[WeightedPoint]:
+        """Materialise the objects at ``indices`` (ascending original order)."""
+        objects = self.objects
+        return [objects[i] for i in indices]
+
+
+class PointStore:
+    """Registry of immutable dataset snapshots, addressed by id.
+
+    Registration is idempotent on content: registering byte-identical data
+    (under the same or no name) returns the existing handle.  Reusing a name
+    for *different* data raises :class:`~repro.errors.ServiceError` -- a
+    resident service must never silently serve stale results for a name whose
+    meaning changed; unregister first.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._by_id: Dict[str, RegisteredDataset] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register(self, objects: Sequence[WeightedPoint],
+                 name: Optional[str] = None) -> DatasetHandle:
+        """Snapshot ``objects`` and return the handle addressing them."""
+        snapshot = tuple(objects)
+        xs = np.fromiter((o.x for o in snapshot), dtype=np.float64, count=len(snapshot))
+        ys = np.fromiter((o.y for o in snapshot), dtype=np.float64, count=len(snapshot))
+        ws = np.fromiter((o.weight for o in snapshot), dtype=np.float64, count=len(snapshot))
+        # The one-shot solvers tolerate infinite coordinates, but the grid
+        # index cannot aggregate them (an infinite extent collapses every
+        # cell computation); reject at the service boundary with a clear
+        # error instead of failing deep inside numpy.
+        if snapshot and not (np.isfinite(xs).all() and np.isfinite(ys).all()
+                             and np.isfinite(ws).all()):
+            raise ServiceError(
+                "datasets registered with the query service must have finite "
+                "coordinates and weights"
+            )
+        fingerprint = _fingerprint(xs, ys, ws)
+        dataset_id = name if name is not None else f"ds-{fingerprint[:12]}"
+
+        with self._lock:
+            existing = self._by_id.get(dataset_id)
+            if existing is not None:
+                if existing.handle.fingerprint != fingerprint:
+                    raise ServiceError(
+                        f"dataset id {dataset_id!r} is already registered with "
+                        "different data; unregister it first"
+                    )
+                return existing.handle
+            bounds = None
+            if snapshot:
+                bounds = Rect(float(xs.min()), float(ys.min()),
+                              float(xs.max()), float(ys.max()))
+            handle = DatasetHandle(
+                dataset_id=dataset_id,
+                fingerprint=fingerprint,
+                count=len(snapshot),
+                total_weight=float(ws.sum()),
+                bounds=bounds,
+            )
+            self._by_id[dataset_id] = RegisteredDataset(
+                handle=handle, objects=snapshot, xs=xs, ys=ys, ws=ws,
+                ys_sorted=np.sort(ys),
+            )
+            return handle
+
+    def unregister(self, dataset_id: str) -> None:
+        """Forget a dataset; raises :class:`ServiceError` when unknown."""
+        with self._lock:
+            if self._by_id.pop(dataset_id, None) is None:
+                raise ServiceError(f"unknown dataset id {dataset_id!r}")
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def get(self, dataset_id: str) -> RegisteredDataset:
+        """Return the snapshot registered under ``dataset_id``.
+
+        Raises
+        ------
+        ServiceError
+            When no dataset is registered under that id.
+        """
+        with self._lock:
+            entry = self._by_id.get(dataset_id)
+        if entry is None:
+            raise ServiceError(
+                f"unknown dataset id {dataset_id!r}; register the dataset first"
+            )
+        return entry
+
+    def handles(self) -> List[DatasetHandle]:
+        """Handles of every registered dataset (registration order)."""
+        with self._lock:
+            return [entry.handle for entry in self._by_id.values()]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._by_id)
+
+    def __contains__(self, dataset_id: str) -> bool:
+        with self._lock:
+            return dataset_id in self._by_id
+
+
+def _fingerprint(xs: np.ndarray, ys: np.ndarray, ws: np.ndarray) -> str:
+    """Hex SHA-256 over the packed little-endian float64 columns."""
+    digest = hashlib.sha256()
+    for column in (xs, ys, ws):
+        digest.update(column.astype("<f8", copy=False).tobytes())
+    return digest.hexdigest()

@@ -69,6 +69,33 @@ class TestMaxRSSolver:
         weights = [r.total_weight for r in results]
         assert weights == sorted(weights, reverse=True)
 
+    def test_solve_top_k_rejects_non_positive_k(self, make_objects):
+        solver = MaxRSSolver(width=5.0, height=5.0)
+        for k in (0, -3):
+            with pytest.raises(ConfigurationError):
+                solver.solve_top_k(make_objects(10, seed=5), k)
+
+    def test_solve_top_k_small_input_uses_in_memory_path(self, make_objects):
+        solver = MaxRSSolver(width=5.0, height=5.0)
+        results = solver.solve_top_k(make_objects(50, seed=5), k=2)
+        assert all(r.io is None for r in results)   # in-memory fast path
+
+    def test_solve_top_k_respects_force_external(self, make_objects):
+        solver = MaxRSSolver(width=5.0, height=5.0,
+                             config=EMConfig(block_size=512, buffer_size=2048),
+                             force_external=True)
+        results = solver.solve_top_k(make_objects(20, seed=5), k=2)
+        assert all(r.io is not None and r.io.total > 0 for r in results)
+
+    def test_solve_top_k_paths_agree(self, make_objects):
+        objs = make_objects(60, seed=5)
+        fast = MaxRSSolver(width=5.0, height=5.0).solve_top_k(objs, k=3)
+        external = MaxRSSolver(width=5.0, height=5.0,
+                               config=EMConfig(block_size=512, buffer_size=2048),
+                               force_external=True).solve_top_k(objs, k=3)
+        assert [r.total_weight for r in fast] == pytest.approx(
+            [r.total_weight for r in external])
+
 
 class TestMaxCRSSolver:
     def test_invalid_diameter_rejected(self):
@@ -88,5 +115,22 @@ class TestMaxCRSSolver:
         assert result.total_weight > 0
 
     def test_empty_dataset_ratio_is_one(self):
+        result, ratio = MaxCRSSolver(diameter=3.0).solve_with_ratio([])
+        assert ratio == 1.0
+        assert result.total_weight == 0.0
+
+    def test_empty_dataset_short_circuits_exact_solver(self, monkeypatch):
+        import repro.api as api_module
+
+        def _boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("exact_maxcrs must not run for empty input")
+
+        monkeypatch.setattr(api_module, "exact_maxcrs", _boom)
         _, ratio = MaxCRSSolver(diameter=3.0).solve_with_ratio([])
         assert ratio == 1.0
+
+    def test_single_point_ratio_is_one(self):
+        result, ratio = MaxCRSSolver(diameter=4.0).solve_with_ratio(
+            [WeightedPoint(10.0, 10.0, weight=2.5)])
+        assert ratio == 1.0
+        assert result.total_weight == 2.5

@@ -1,0 +1,116 @@
+"""Tests for the service result cache (:mod:`repro.service.cache`)."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.cache import LRUCache
+
+
+class TestBasics:
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LRUCache(0)
+
+    def test_miss_then_hit(self):
+        cache = LRUCache(4)
+        hit, value = cache.get("a")
+        assert not hit and value is None
+        cache.put("a", 41)
+        hit, value = cache.get("a")
+        assert hit and value == 41
+
+    def test_cached_none_is_a_hit(self):
+        cache = LRUCache(4)
+        cache.put("a", None)
+        hit, value = cache.get("a")
+        assert hit and value is None
+
+    def test_put_overwrites(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == (True, 2)
+        assert len(cache) == 1
+
+    def test_contains_does_not_count_as_lookup(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert "a" in cache
+        assert "b" not in cache
+        stats = cache.stats
+        assert stats.hits == 0 and stats.misses == 0
+
+
+class TestEviction:
+    def test_lru_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh a; b becomes LRU
+        cache.put("c", 3)       # evicts b
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)      # refresh a; b is LRU
+        cache.put("c", 3)
+        assert "a" in cache and "b" not in cache
+
+    def test_size_never_exceeds_capacity(self):
+        cache = LRUCache(3)
+        for index in range(10):
+            cache.put(index, index)
+            assert len(cache) <= 3
+        assert cache.stats.evictions == 7
+
+
+class TestStatsAndInvalidation:
+    def test_hit_rate(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("missing")
+        stats = cache.stats
+        assert stats.hits == 2 and stats.misses == 1
+        assert stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_hit_rate_when_unused(self):
+        assert LRUCache(4).stats.hit_rate == 0.0
+
+    def test_invalidate(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.invalidate("a") is True
+        assert cache.invalidate("a") is False
+        assert cache.get("a") == (False, None)
+
+    def test_clear_keeps_counters(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+    def test_thread_safety_smoke(self):
+        cache = LRUCache(32)
+
+        def worker(offset):
+            for index in range(200):
+                cache.put((offset, index % 40), index)
+                cache.get((offset, (index + 1) % 40))
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = cache.stats
+        assert len(cache) <= 32
+        assert stats.hits + stats.misses == 4 * 200

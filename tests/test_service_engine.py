@@ -1,0 +1,326 @@
+"""Tests for the resident query engine (:mod:`repro.service.engine`).
+
+The central contract: refined (default) engine answers are **identical** --
+same weight, same max-region -- to running the in-memory exact solver on the
+full dataset, for every dataset and query size.  A hypothesis property test
+asserts exactly that; the example-based tests cover the serving behaviours
+around it (caching, batching, dataset lifecycle, statistics, the store).
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import solve_many
+from repro.circles.exact_maxcrs import exact_maxcrs
+from repro.core.dispatch import solve_point_set_top_k
+from repro.core.plane_sweep import solve_in_memory
+from repro.errors import ConfigurationError, ServiceError
+from repro.geometry import Circle, WeightedPoint, weight_in_circle
+from repro.service import MaxRSEngine, PointStore, QuerySpec
+
+_SETTINGS = settings(max_examples=25, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+coordinates = st.floats(min_value=0.0, max_value=100.0, allow_nan=False,
+                        allow_infinity=False)
+weights = st.sampled_from([0.5, 1.0, 2.0, 3.0])
+objects_strategy = st.lists(
+    st.builds(WeightedPoint, coordinates, coordinates, weights),
+    min_size=0, max_size=40,
+)
+query_sizes = st.floats(min_value=0.5, max_value=30.0, allow_nan=False,
+                        allow_infinity=False)
+
+
+# ---------------------------------------------------------------------- #
+# The exactness property: grid-pruned refined answers == solve_in_memory
+# ---------------------------------------------------------------------- #
+@_SETTINGS
+@given(objects=objects_strategy, width=query_sizes, height=query_sizes)
+def test_refined_engine_answer_equals_solve_in_memory(objects, width, height):
+    engine = MaxRSEngine()
+    dataset = engine.register_dataset(objects)
+    result = engine.query(dataset, QuerySpec.maxrs(width, height))
+    reference = solve_in_memory(objects, width, height)
+    assert result.total_weight == reference.total_weight
+    assert result.region == reference.region
+    assert result.location == reference.location
+
+
+@_SETTINGS
+@given(objects=objects_strategy, width=query_sizes, height=query_sizes)
+def test_approximate_answer_is_an_achievable_lower_bound(objects, width, height):
+    engine = MaxRSEngine()
+    dataset = engine.register_dataset(objects)
+    approx = engine.query(dataset, QuerySpec.maxrs(width, height, refine=False))
+    exact = solve_in_memory(objects, width, height)
+    assert approx.total_weight <= exact.total_weight + 1e-9
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(objects=st.lists(st.builds(WeightedPoint, coordinates, coordinates, weights),
+                        min_size=1, max_size=25),
+       diameter=st.floats(min_value=1.0, max_value=25.0, allow_nan=False))
+def test_refined_maxcrs_matches_exact_solver(objects, diameter):
+    engine = MaxRSEngine()
+    dataset = engine.register_dataset(objects)
+    result = engine.query(dataset, QuerySpec.maxcrs(diameter))
+    _, optimum = exact_maxcrs(objects, diameter)
+    assert result.total_weight == pytest.approx(optimum, abs=1e-9)
+    achieved = weight_in_circle(objects, Circle(result.location, diameter))
+    assert achieved == pytest.approx(result.total_weight, abs=1e-9)
+
+
+# ---------------------------------------------------------------------- #
+# Serving behaviour
+# ---------------------------------------------------------------------- #
+class TestQueryAndCache:
+    def test_repeated_query_hits_cache_and_returns_same_object(self, make_objects):
+        engine = MaxRSEngine()
+        dataset = engine.register_dataset(make_objects(80, seed=1))
+        spec = QuerySpec.maxrs(10.0, 10.0)
+        first = engine.query(dataset, spec)
+        second = engine.query(dataset, spec)
+        assert second is first
+        stats = engine.stats()
+        assert stats["cache"]["hits"] == 1
+        assert stats["cache"]["misses"] == 1
+        assert stats["cache"]["hit_rate"] == pytest.approx(0.5)
+
+    def test_distinct_parameters_are_cached_separately(self, make_objects):
+        engine = MaxRSEngine()
+        dataset = engine.register_dataset(make_objects(50, seed=2))
+        a = engine.query(dataset, QuerySpec.maxrs(5.0, 5.0))
+        b = engine.query(dataset, QuerySpec.maxrs(8.0, 5.0))
+        assert engine.stats()["cache"]["misses"] == 2
+        assert a.total_weight <= b.total_weight + 1e-9  # larger rect never worse
+
+    def test_refine_flag_is_part_of_the_key(self, make_objects):
+        engine = MaxRSEngine()
+        dataset = engine.register_dataset(make_objects(50, seed=3))
+        engine.query(dataset, QuerySpec.maxrs(5.0, 5.0, refine=False))
+        engine.query(dataset, QuerySpec.maxrs(5.0, 5.0, refine=True))
+        assert engine.stats()["cache"]["misses"] == 2
+
+    def test_cache_does_not_leak_across_datasets(self, make_objects):
+        engine = MaxRSEngine()
+        ds_a = engine.register_dataset(make_objects(40, seed=4), name="a")
+        ds_b = engine.register_dataset(make_objects(40, seed=5), name="b")
+        spec = QuerySpec.maxrs(7.0, 7.0)
+        engine.query(ds_a, spec)
+        engine.query(ds_b, spec)
+        assert engine.stats()["cache"]["misses"] == 2
+
+    def test_clear_cache(self, make_objects):
+        engine = MaxRSEngine()
+        dataset = engine.register_dataset(make_objects(30, seed=6))
+        spec = QuerySpec.maxrs(4.0, 4.0)
+        engine.query(dataset, spec)
+        engine.clear_cache()
+        engine.query(dataset, spec)
+        assert engine.stats()["cache"]["misses"] == 2
+
+    def test_query_by_dataset_id_string(self, make_objects):
+        engine = MaxRSEngine()
+        handle = engine.register_dataset(make_objects(30, seed=7), name="named")
+        result = engine.query("named", QuerySpec.maxrs(4.0, 4.0))
+        assert result.total_weight > 0
+
+    def test_unknown_dataset_raises(self):
+        engine = MaxRSEngine()
+        with pytest.raises(ServiceError):
+            engine.query("nope", QuerySpec.maxrs(1.0, 1.0))
+
+    def test_empty_dataset_answers_like_the_solver(self):
+        engine = MaxRSEngine()
+        dataset = engine.register_dataset([])
+        result = engine.query(dataset, QuerySpec.maxrs(3.0, 3.0))
+        reference = solve_in_memory([], 3.0, 3.0)
+        assert result.total_weight == reference.total_weight == 0.0
+        assert result.region == reference.region
+        crs = engine.query(dataset, QuerySpec.maxcrs(3.0))
+        assert crs.total_weight == 0.0
+
+
+class TestQuerySpec:
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QuerySpec(kind="voronoi")
+
+    def test_maxrs_needs_positive_extent(self):
+        with pytest.raises(ConfigurationError):
+            QuerySpec.maxrs(0.0, 4.0)
+        with pytest.raises(ConfigurationError):
+            QuerySpec(kind="maxrs", width=4.0, height=None)
+
+    def test_maxkrs_needs_positive_k(self):
+        with pytest.raises(ConfigurationError):
+            QuerySpec.maxkrs(4.0, 4.0, 0)
+
+    def test_maxcrs_needs_positive_diameter(self):
+        with pytest.raises(ConfigurationError):
+            QuerySpec.maxcrs(-1.0)
+
+
+class TestTopKAndBatch:
+    def test_maxkrs_matches_dispatch(self, make_objects):
+        objects = make_objects(70, seed=8)
+        engine = MaxRSEngine()
+        dataset = engine.register_dataset(objects)
+        results = engine.query(dataset, QuerySpec.maxkrs(6.0, 6.0, 3))
+        reference = solve_point_set_top_k(objects, 6.0, 6.0, 3,
+                                          force_in_memory=True)
+        assert [r.total_weight for r in results] == \
+            [r.total_weight for r in reference]
+        assert [r.region for r in results] == [r.region for r in reference]
+
+    def test_batch_results_align_with_specs(self, make_objects):
+        objects = make_objects(60, seed=9)
+        engine = MaxRSEngine()
+        dataset = engine.register_dataset(objects)
+        specs = [QuerySpec.maxrs(5.0, 5.0), QuerySpec.maxrs(9.0, 3.0),
+                 QuerySpec.maxrs(5.0, 5.0), QuerySpec.maxkrs(5.0, 5.0, 2)]
+        results = engine.query_batch(dataset, specs)
+        assert len(results) == 4
+        assert results[0] is results[2]  # deduplicated
+        for spec, result in zip(specs, results):
+            direct = engine.query(dataset, spec)
+            assert direct is result       # batch populated the cache
+
+    def test_batch_deduplicates_work(self, make_objects):
+        engine = MaxRSEngine()
+        dataset = engine.register_dataset(make_objects(50, seed=10))
+        specs = [QuerySpec.maxrs(5.0, 5.0)] * 10 + [QuerySpec.maxrs(2.0, 2.0)] * 10
+        results = engine.query_batch(dataset, specs)
+        assert len(results) == 20
+        assert engine.stats()["cache"]["misses"] == 2
+
+    def test_batch_answers_match_serial_queries(self, make_objects):
+        objects = make_objects(60, seed=11)
+        engine = MaxRSEngine()
+        dataset = engine.register_dataset(objects)
+        specs = [QuerySpec.maxrs(float(w), float(h))
+                 for w, h in ((3, 4), (5, 5), (12, 2), (8, 8))]
+        batch = engine.query_batch(dataset, specs, max_workers=4)
+        for spec, result in zip(specs, batch):
+            reference = solve_in_memory(objects, spec.width, spec.height)
+            assert result.total_weight == reference.total_weight
+            assert result.region == reference.region
+
+
+class TestDatasetLifecycle:
+    def test_register_is_idempotent_on_content(self, make_objects):
+        objects = make_objects(40, seed=12)
+        engine = MaxRSEngine()
+        first = engine.register_dataset(objects)
+        second = engine.register_dataset(list(objects))
+        assert second == first
+        assert engine.stats()["datasets"] == 1
+
+    def test_name_conflict_with_different_data_raises(self, make_objects):
+        engine = MaxRSEngine()
+        engine.register_dataset(make_objects(10, seed=13), name="ds")
+        with pytest.raises(ServiceError):
+            engine.register_dataset(make_objects(10, seed=14), name="ds")
+
+    def test_unregister(self, make_objects):
+        engine = MaxRSEngine()
+        handle = engine.register_dataset(make_objects(10, seed=15), name="gone")
+        engine.unregister_dataset(handle)
+        with pytest.raises(ServiceError):
+            engine.query("gone", QuerySpec.maxrs(1.0, 1.0))
+        with pytest.raises(ServiceError):
+            engine.unregister_dataset("gone")
+
+    def test_handle_metadata(self, make_objects):
+        objects = make_objects(25, seed=16)
+        engine = MaxRSEngine()
+        handle = engine.register_dataset(objects)
+        assert handle.count == 25
+        assert handle.total_weight == pytest.approx(sum(o.weight for o in objects))
+        assert handle.bounds is not None
+        assert len(handle.fingerprint) == 64
+
+    def test_fingerprints_differ_for_different_data(self, make_objects):
+        store = PointStore()
+        a = store.register(make_objects(20, seed=17))
+        b = store.register(make_objects(20, seed=18))
+        assert a.fingerprint != b.fingerprint
+        assert len(store) == 2
+
+    def test_non_finite_coordinates_rejected_at_registration(self):
+        engine = MaxRSEngine()
+        with pytest.raises(ServiceError):
+            engine.register_dataset([WeightedPoint(float("inf"), 0.0)])
+        with pytest.raises(ServiceError):
+            engine.register_dataset([WeightedPoint(0.0, 0.0, float("inf"))])
+
+    def test_maxcrs_exact_limit_guards_the_quadratic_solver(self, make_objects):
+        # A diameter spanning the whole dataset defeats pruning, so with a
+        # tiny budget the engine must refuse rather than hang.
+        objects = make_objects(60, seed=23)
+        engine = MaxRSEngine(maxcrs_exact_limit=10)
+        dataset = engine.register_dataset(objects)
+        with pytest.raises(ServiceError):
+            engine.query(dataset, QuerySpec.maxcrs(500.0))
+
+
+class TestStats:
+    def test_stats_shape(self, make_objects):
+        engine = MaxRSEngine()
+        dataset = engine.register_dataset(make_objects(80, seed=19))
+        engine.query(dataset, QuerySpec.maxrs(6.0, 6.0))
+        engine.query(dataset, QuerySpec.maxrs(6.0, 6.0))
+        stats = engine.stats()
+        assert stats["datasets"] == 1
+        assert stats["queries"] == 2
+        assert "register" in stats["stages"]
+        assert "refine" in stats["stages"]
+        grid_stats = stats["grids"][dataset.dataset_id]
+        assert grid_stats["points"] == 80
+        for timing in stats["stages"].values():
+            assert timing["total_seconds"] >= 0.0
+            assert timing["count"] >= 1
+
+    def test_empty_dataset_has_no_grid(self):
+        engine = MaxRSEngine()
+        dataset = engine.register_dataset([])
+        assert engine.grid_index(dataset) is None
+        assert engine.stats()["grids"][dataset.dataset_id] is None
+
+
+class TestSolveManyFacade:
+    def test_solve_many_matches_fresh_solves(self, make_objects):
+        objects = make_objects(70, seed=20)
+        sizes = [(5.0, 5.0), (9.0, 4.0), (5.0, 5.0)]
+        results = solve_many(objects, sizes)
+        for (width, height), result in zip(sizes, results):
+            reference = solve_in_memory(objects, width, height)
+            assert result.total_weight == reference.total_weight
+            assert result.region == reference.region
+
+    def test_solve_many_reuses_a_shared_engine(self, make_objects):
+        engine = MaxRSEngine()
+        objects = make_objects(40, seed=21)
+        solve_many(objects, [(5.0, 5.0)], engine=engine)
+        solve_many(objects, [(5.0, 5.0)], engine=engine)
+        stats = engine.stats()
+        assert stats["cache"]["hits"] >= 1
+        assert stats["datasets"] == 1
+
+
+def test_region_restoration_against_dense_ties(make_objects):
+    """Unit-weight data is tie-heavy: the pruned sweep's closing h-line must
+    still be the dataset-wide successor event, not the subset's."""
+    objects = make_objects(120, seed=22, weighted=False)
+    engine = MaxRSEngine()
+    dataset = engine.register_dataset(objects)
+    for size in (3.0, 7.5, 14.0):
+        result = engine.query(dataset, QuerySpec.maxrs(size, size))
+        reference = solve_in_memory(objects, size, size)
+        assert result.region == reference.region
+        assert math.isfinite(result.region.y1)
