@@ -1,9 +1,10 @@
 # Developer entry points for the MaxRS reproduction.
 #
-#   make test        - the tier-1 verification suite (tests + fast benchmarks)
-#   make bench-smoke - the benchmark suite at its tiny "smoke" preset
-#   make bench       - the benchmark suite at its standard preset
-#   make examples    - run every example script end-to-end
+#   make test           - the tier-1 verification suite (tests + fast benchmarks)
+#   make bench-smoke    - the benchmark suite at its tiny "smoke" preset
+#   make bench          - the benchmark suite at its standard preset
+#   make bench-backends - sweep-backend A/B comparison (smoke preset)
+#   make examples       - run every example script end-to-end
 #
 # All targets run from the repository checkout without installation: the
 # PYTHONPATH export makes the src/ layout importable, matching conftest.py.
@@ -11,13 +12,19 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench examples
+.PHONY: test bench-smoke bench bench-backends examples
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 bench-smoke:
 	REPRO_BENCH_PRESET=smoke $(PYTHON) -m pytest benchmarks -q
+
+# Quick A/B of the pluggable sweep backends (pure Python vs numpy) on the
+# refined-cold-query workload; full scale runs as part of `make bench`.
+bench-backends:
+	REPRO_BENCH_PRESET=smoke $(PYTHON) -m pytest \
+		benchmarks/test_service_throughput.py -q -k backend
 
 bench:
 	REPRO_BENCH_PRESET=bench $(PYTHON) -m pytest benchmarks -q

@@ -22,19 +22,34 @@ import os
 
 import pytest
 
-from repro.experiments.config import PRESETS, ExperimentScale
+try:
+    from repro.experiments.config import PRESETS, ExperimentScale
+except ImportError:
+    # The experiment harness (like every benchmark module) is numpy-backed.
+    # Without numpy the whole directory is skipped at collection so
+    # `make test` stays green on numpy-less hosts; any other import failure
+    # is a real bug and must surface.
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        collect_ignore_glob = ["test_*.py"]
+        PRESETS = None
+    else:
+        raise
 
-#: The default benchmark scale: small enough for minutes-long runs, large
-#: enough that ExactMaxRS still recurses and the baselines' curves separate.
-FAST_SCALE = ExperimentScale(
-    cardinality_scale=0.02,
-    buffer_scale=0.08,
-    simulate_baselines=True,
-    quality_cardinality_scale=0.008,
-)
+if PRESETS is not None:
+    #: The default benchmark scale: small enough for minutes-long runs, large
+    #: enough that ExactMaxRS still recurses and the baselines' curves
+    #: separate.
+    FAST_SCALE = ExperimentScale(
+        cardinality_scale=0.02,
+        buffer_scale=0.08,
+        simulate_baselines=True,
+        quality_cardinality_scale=0.008,
+    )
 
-_PRESETS = dict(PRESETS)
-_PRESETS["fast"] = FAST_SCALE
+    _PRESETS = dict(PRESETS)
+    _PRESETS["fast"] = FAST_SCALE
 
 
 @pytest.fixture(scope="session")
@@ -57,12 +72,22 @@ def report(request):
     series appear in the terminal (and in any ``tee``'d benchmark log) even
     for passing tests; they are also appended to
     ``benchmarks/reproduced_artefacts.txt`` for later reference.
+
+    Every recorded entry carries the process-default sweep-backend
+    configuration (backend name plus numpy version, or "numpy absent"), so
+    performance trajectories compared across PRs stay attributable to the
+    sweep implementation that produced them.  Benchmarks that force a
+    specific backend per measurement (the backend A/B comparison) name it in
+    their own entry text.
     """
+    from repro.core.backends import backend_summary
+
     capture_manager = request.config.pluginmanager.getplugin("capturemanager")
     results_path = os.path.join(os.path.dirname(__file__), "reproduced_artefacts.txt")
+    backend_note = f"  [sweep-backend default: {backend_summary()}]"
 
     def _print(text: str) -> None:
-        block = "\n" + text + "\n"
+        block = "\n" + text + "\n" + backend_note + "\n"
         if capture_manager is not None:
             with capture_manager.global_and_fixture_disabled():
                 print(block)

@@ -10,6 +10,11 @@ scaling PRs (sharded grids, async engine, persistence) are measured against:
   bit-identical answers (weight and max-region) on every query.
 * **Mixed 1000-query throughput** -- queries/second, cold cache vs. warm
   cache, over a mixed MaxRS / MaxkRS workload.
+* **Sweep-backend comparison** -- the refined cold query (the engine's
+  worst case: a near-uniform dataset barely prunes, so the exact sweep runs
+  over the whole point set) timed per sweep backend, with bit-identical
+  answers required across backends.  This is the trajectory the pluggable
+  backend layer (:mod:`repro.core.backends`) is measured against.
 
 The dataset is the serving-shaped synthetic workload: a uniform background
 plus dense hot spots (real request traffic concentrates on hot spots; it is
@@ -23,9 +28,12 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
+import pytest
+
+np = pytest.importorskip("numpy")  # engine grid index and dataset generation
 
 from repro.api import MaxRSSolver
+from repro.core.backends import available_backends
 from repro.em import EMConfig
 from repro.em.codecs import EVENT_CODEC
 from repro.geometry import WeightedPoint
@@ -143,6 +151,58 @@ def test_repeated_query_speedup(scale, report):
         assert speedup >= 10.0, speedup
     else:
         assert speedup >= 2.0, speedup
+
+
+def _uniform_dataset(cardinality: int, seed: int = 23) -> list[WeightedPoint]:
+    """A uniform dataset: the engine's pruning worst case.
+
+    Without hot spots the grid window bound is loose, the refine stage runs
+    unpruned, and a refined cold query is dominated by one full plane sweep
+    -- exactly the component the backend comparison wants to isolate.
+    """
+    rng = np.random.default_rng(seed)
+    return [WeightedPoint(float(x), float(y), float(w))
+            for x, y, w in zip(rng.uniform(0.0, _DOMAIN, cardinality),
+                               rng.uniform(0.0, _DOMAIN, cardinality),
+                               rng.choice([1.0, 2.0, 3.0], cardinality))]
+
+
+def test_backend_refined_cold_query(scale, report):
+    """Sweep-backend A/B on the refined cold query; answers must agree."""
+    cardinality = scale.cardinality(PAPER_CARDINALITY)
+    objects = _uniform_dataset(cardinality)
+    spec = QuerySpec.maxrs(0.02 * _DOMAIN, 0.02 * _DOMAIN)
+
+    seconds = {}
+    answers = {}
+    backends = available_backends()
+    for name in backends:
+        engine = MaxRSEngine(sweep_backend=name)
+        handle = engine.register_dataset(objects)
+        start = time.perf_counter()
+        answers[name] = engine.query(handle, spec)
+        seconds[name] = time.perf_counter() - start
+
+    reference = answers[backends[0]]
+    for name in backends[1:]:
+        assert answers[name].total_weight == reference.total_weight, name
+        assert answers[name].region == reference.region, name
+
+    lines = [f"[service-throughput] sweep-backend comparison, refined cold "
+             f"query (|O|={cardinality}, {spec.width:.0f} x {spec.height:.0f}):"]
+    for name in backends:
+        lines.append(f"  {name:<6}: {seconds[name]:8.3f} s")
+    if "numpy" in seconds:
+        speedup = seconds["pure"] / seconds["numpy"]
+        lines.append(f"  numpy speedup over pure: {speedup:.1f}x")
+    lines.append(f"  answers bit-identical across backends: yes")
+    report("\n".join(lines))
+
+    # Acceptance: >= 5x at (near-)paper scale.  Tiny presets sweep so few
+    # events that fixed vectorisation overhead dominates; there only the
+    # bit-identity above is asserted.
+    if "numpy" in seconds and cardinality >= 20_000:
+        assert seconds["pure"] / seconds["numpy"] >= 5.0, seconds
 
 
 def test_mixed_workload_throughput(scale, report):

@@ -59,6 +59,8 @@ def main() -> None:
     print(f"workload              : {len(workload)} queries, {len(sizes)} distinct sizes")
 
     engine = MaxRSEngine()
+    print(f"sweep backend         : "
+          f"{engine.stats()['sweep_backend']['summary']}")
     start = time.perf_counter()
     dataset = engine.register_dataset(objects, name="city")
     register_seconds = time.perf_counter() - start
@@ -105,6 +107,9 @@ def main() -> None:
     if refine:
         print(f"refine stage          : {refine['count']} runs, "
               f"mean {refine['mean_seconds'] * 1e3:.1f} ms")
+    uses = stats["sweep_backend"]["uses"]
+    print(f"sweeps by backend     : " + ", ".join(
+        f"{name} x{count}" for name, count in uses.items()))
 
 
 if __name__ == "__main__":

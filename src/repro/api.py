@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from repro.circles.approx_maxcrs import ApproxMaxCRS
+from repro.core.backends import BackendSpec
 from repro.circles.exact_maxcrs import exact_maxcrs
 from repro.core.dispatch import solve_point_set, solve_point_set_top_k
 from repro.core.result import MaxCRSResult, MaxRSResult
@@ -52,6 +53,13 @@ class MaxRSSolver:
         Always run the external-memory algorithm, even for datasets that fit
         in the configured memory.  By default small inputs take the in-memory
         plane-sweep fast path, exactly as Algorithm 2 does.
+    backend:
+        Execution backend for the in-memory sweep: ``"pure"``, ``"numpy"``,
+        a :class:`~repro.core.backends.SweepBackend` instance, or ``None`` /
+        ``"auto"`` (default) for the size-based rule -- numpy at serving
+        scale when available, pure Python otherwise.  Backends return the
+        same answers (bit-identical for exactly-representable weight sums);
+        the knob trades per-call overhead against vectorised throughput.
 
     Examples
     --------
@@ -63,7 +71,8 @@ class MaxRSSolver:
 
     def __init__(self, width: float, height: float, *,
                  config: Optional[EMConfig] = None,
-                 force_external: bool = False) -> None:
+                 force_external: bool = False,
+                 backend: BackendSpec = None) -> None:
         if width <= 0 or height <= 0:
             raise ConfigurationError(
                 f"query rectangle must have positive extent, got {width} x {height}"
@@ -72,12 +81,14 @@ class MaxRSSolver:
         self.height = height
         self.config = config if config is not None else EMConfig()
         self.force_external = force_external
+        self.backend = backend
 
     def solve(self, objects: Sequence[WeightedPoint]) -> MaxRSResult:
         """Return the optimal placement of the query rectangle over ``objects``."""
         return solve_point_set(objects, self.width, self.height,
                                config=self.config,
-                               force_external=self.force_external)
+                               force_external=self.force_external,
+                               backend=self.backend)
 
     def solve_top_k(self, objects: Sequence[WeightedPoint], k: int) -> List[MaxRSResult]:
         """Return the ``k`` best vertically-disjoint placements (MaxkRS).
@@ -95,7 +106,8 @@ class MaxRSSolver:
             raise ConfigurationError(f"k must be at least 1, got {k}")
         return solve_point_set_top_k(objects, self.width, self.height, k,
                                      config=self.config,
-                                     force_external=self.force_external)
+                                     force_external=self.force_external,
+                                     backend=self.backend)
 
 
 class MaxCRSSolver:
@@ -151,7 +163,8 @@ class MaxCRSSolver:
 def solve_many(objects: Sequence[WeightedPoint],
                sizes: Sequence[Tuple[float, float]], *,
                refine: bool = True,
-               engine: Optional["object"] = None) -> List[MaxRSResult]:
+               engine: Optional["object"] = None,
+               backend: BackendSpec = None) -> List[MaxRSResult]:
     """Answer many MaxRS queries over one dataset via the resident engine.
 
     This is the engine-backed counterpart of calling
@@ -173,11 +186,14 @@ def solve_many(objects: Sequence[WeightedPoint],
         An existing :class:`~repro.service.MaxRSEngine` to reuse (so its
         cache and indexes persist across calls); a private one is created
         when omitted.
+    backend:
+        Sweep backend for a newly created engine (ignored when ``engine`` is
+        passed -- reuse keeps the engine's own configuration).
     """
     from repro.service.engine import MaxRSEngine, QuerySpec
 
     if engine is None:
-        engine = MaxRSEngine()
+        engine = MaxRSEngine(sweep_backend=backend)
     handle = engine.register_dataset(objects)
     specs = [QuerySpec.maxrs(width, height, refine=refine)
              for width, height in sizes]

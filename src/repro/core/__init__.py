@@ -10,6 +10,9 @@ Layout of the package (bottom-up):
   the plane sweep and MergeSweep.
 * :mod:`repro.core.plane_sweep` -- the in-memory plane sweep, both the base
   case of the recursion and the exact reference solver.
+* :mod:`repro.core.backends` -- pluggable execution backends for that sweep:
+  the pure-Python reference tree and a numpy-vectorised implementation,
+  selected explicitly or by event count.
 * :mod:`repro.core.slab` -- slabs, boundary selection and the division phase.
 * :mod:`repro.core.slabfile` / :mod:`repro.core.maxinterval` -- slab-files and
   their max-interval tuples (Definition 6).
@@ -19,6 +22,12 @@ Layout of the package (bottom-up):
 * :mod:`repro.core.result` -- result value objects.
 """
 
+from repro.core.backends import (
+    SweepBackend,
+    available_backends,
+    get_backend,
+    resolve_backend,
+)
 from repro.core.beststrip import BestStrip, BestStripTracker
 from repro.core.dispatch import (
     fits_in_memory,
@@ -63,6 +72,10 @@ __all__ = [
     "BestStrip",
     "BestStripTracker",
     "ExactMaxRS",
+    "SweepBackend",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
     "MaxAddSegmentTree",
     "MaxCRSResult",
     "MaxInterval",

@@ -1,0 +1,218 @@
+"""Pluggable execution backends for the in-memory plane sweep.
+
+The in-memory sweep is the hot loop of the whole reproduction: it is the base
+case of the ExactMaxRS recursion and the refine stage of the resident query
+engine.  This package separates the sweep's *contract* from its *execution
+strategy*, the way hybrid-engine systems keep one logical operator with
+several specialised implementations:
+
+* :class:`SweepBackend` -- the protocol: event records in, slab-file tuples
+  plus the best strip out (exactly the signature of
+  :func:`repro.core.plane_sweep.sweep_events`);
+* :class:`~repro.core.backends.pure.PurePythonBackend` -- the reference
+  implementation, a lazy segment tree in pure Python.  Always available;
+* :class:`~repro.core.backends.numpy_backend.NumpySweepBackend` -- a
+  numpy-vectorised sweep (chunked difference-array profile maintenance) that
+  is several times faster at serving scale.  Available only when numpy is
+  importable.
+
+Selection is by name (``"pure"`` / ``"numpy"``), by instance, or automatic
+(``None`` / ``"auto"``): numpy for event counts at or above
+:func:`auto_crossover` (where vectorisation amortises its fixed overhead),
+pure Python below it and whenever numpy is absent.
+
+Determinism contract
+--------------------
+Both backends compute the same elementary cells, the same leftmost argmax
+and the same maximal-run extension rule, so whenever every intermediate
+location-weight sum is exactly representable in an IEEE-754 double (always
+true for integer-valued weights up to 2**53), their slab-files and results
+are **bit-identical**.  For weights whose partial sums round, answers agree
+up to floating-point associativity of the profile sums; the property tests
+pin the exact case.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Protocol, Sequence, Tuple, Union, runtime_checkable
+
+from repro.core.beststrip import BestStrip
+from repro.errors import ConfigurationError
+from repro.geometry import Interval
+
+__all__ = [
+    "BackendSpec",
+    "SweepBackend",
+    "SweepRecord",
+    "SweepOutput",
+    "DEFAULT_NUMPY_CROSSOVER",
+    "auto_crossover",
+    "available_backends",
+    "backend_summary",
+    "get_backend",
+    "numpy_available",
+    "numpy_version",
+    "resolve_backend",
+]
+
+SweepRecord = Tuple[float, ...]
+
+#: (slab-file records, best strip) -- the output contract of every backend.
+SweepOutput = Tuple[List[SweepRecord], BestStrip]
+
+#: Below this many event records the pure-Python sweep wins: the vectorised
+#: backend pays fixed costs (array conversion, per-chunk numpy dispatch) that
+#: only amortise on larger inputs.  Override with ``REPRO_SWEEP_CROSSOVER``.
+DEFAULT_NUMPY_CROSSOVER = 2048
+
+
+@runtime_checkable
+class SweepBackend(Protocol):
+    """The contract every sweep backend implements.
+
+    A backend is a drop-in execution strategy for
+    :func:`repro.core.plane_sweep.sweep_events`: it receives the flat event
+    records ``(y, kind, x1, x2, weight)`` of a slab's dual rectangles and
+    returns the slab-file (one max-interval tuple per distinct event
+    y-coordinate, ascending) together with the best strip of the sweep.
+    """
+
+    #: Stable identifier used for selection, metrics and artefact logging.
+    name: str
+
+    def sweep(self, event_records: Sequence[SweepRecord],
+              slab_range: Optional[Interval] = None, *,
+              include_records: bool = True) -> SweepOutput:
+        """Run the sweep.
+
+        With ``include_records=False`` the caller promises to ignore the
+        slab-file (as :func:`~repro.core.plane_sweep.solve_in_memory` does,
+        which only consumes the best strip); backends may then skip
+        materialising the per-h-line tuples and return an empty list.
+        """
+        ...
+
+
+#: Anything accepted as a backend selector throughout the library: a
+#: concrete instance, a backend name, or ``None`` / ``"auto"`` for the
+#: size-based rule of :func:`resolve_backend`.
+BackendSpec = Union[str, SweepBackend, None]
+
+
+def numpy_available() -> bool:
+    """Whether the numpy backend can run in this interpreter."""
+    from repro.core.backends.numpy_backend import np
+
+    return np is not None
+
+
+def numpy_version() -> Optional[str]:
+    """The importable numpy's version string, or ``None`` when absent."""
+    from repro.core.backends.numpy_backend import np
+
+    return None if np is None else str(np.__version__)
+
+
+def auto_crossover() -> int:
+    """Event-count threshold at which auto-selection switches to numpy.
+
+    Reads ``REPRO_SWEEP_CROSSOVER`` so deployments can tune the switch point
+    to their hardware without code changes.
+    """
+    raw = os.environ.get("REPRO_SWEEP_CROSSOVER")
+    if raw is None:
+        return DEFAULT_NUMPY_CROSSOVER
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_SWEEP_CROSSOVER must be an integer, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ConfigurationError(
+            f"REPRO_SWEEP_CROSSOVER must be non-negative, got {value}"
+        )
+    return value
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of the backends that can run right now, reference first."""
+    names = ["pure"]
+    if numpy_available():
+        names.append("numpy")
+    return tuple(names)
+
+
+def get_backend(name: str) -> SweepBackend:
+    """Return a backend instance by name.
+
+    Raises
+    ------
+    ConfigurationError
+        For unknown names, or for ``"numpy"`` when numpy is not importable.
+    """
+    if name == "pure":
+        from repro.core.backends.pure import PurePythonBackend
+
+        return PurePythonBackend()
+    if name == "numpy":
+        if not numpy_available():
+            raise ConfigurationError(
+                "the numpy sweep backend was requested but numpy is not "
+                "importable; install numpy or select backend='pure'"
+            )
+        from repro.core.backends.numpy_backend import NumpySweepBackend
+
+        return NumpySweepBackend()
+    raise ConfigurationError(
+        f"unknown sweep backend {name!r}; expected 'pure' or 'numpy' "
+        "(for 'auto' / size-based selection use resolve_backend)"
+    )
+
+
+def resolve_backend(backend: BackendSpec, num_events: int) -> SweepBackend:
+    """Resolve a backend specification to a concrete instance.
+
+    ``backend`` may be an instance (returned as-is), a name (``"pure"`` /
+    ``"numpy"``), or ``None`` / ``"auto"`` for the size-based rule: numpy for
+    ``num_events >= auto_crossover()`` when numpy is importable, pure Python
+    otherwise.  The rule keeps tiny sweeps (ExactMaxRS leaves, probe windows)
+    on the low-overhead reference path and routes big refines to the
+    vectorised one.
+
+    Raises
+    ------
+    ConfigurationError
+        For unknown names, unavailable backends, or objects that do not
+        implement the :class:`SweepBackend` protocol.
+    """
+    if backend is None or backend == "auto":
+        if numpy_available() and num_events >= auto_crossover():
+            return get_backend("numpy")
+        return get_backend("pure")
+    if isinstance(backend, str):
+        return get_backend(backend)
+    if not isinstance(backend, SweepBackend):
+        raise ConfigurationError(
+            f"sweep backend must be a name or implement SweepBackend "
+            f"(a 'name' attribute and a 'sweep' method), got {backend!r}"
+        )
+    return backend
+
+
+def backend_summary(backend: Union[str, SweepBackend, None] = None) -> str:
+    """One-line description of the active backend configuration.
+
+    Used by the benchmark artefact log so perf numbers recorded across PRs
+    stay attributable to the sweep implementation that produced them, e.g.
+    ``auto (numpy 2.4.6, crossover 2048)`` or ``pure (numpy absent)``.
+    """
+    version = numpy_version()
+    numpy_note = f"numpy {version}" if version is not None else "numpy absent"
+    if backend is None or backend == "auto":
+        if version is None:
+            return f"auto -> pure ({numpy_note})"
+        return f"auto ({numpy_note}, crossover {auto_crossover()})"
+    name = backend if isinstance(backend, str) else backend.name
+    return f"{name} ({numpy_note})"

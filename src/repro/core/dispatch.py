@@ -22,18 +22,25 @@ The dispatch is controlled by two flags:
     Always run the in-memory plane sweep, regardless of the configured buffer
     size.  The resident service uses this: its datasets are memory-resident by
     design, so simulating disk I/O for them would only add cost.
+
+Orthogonally to the strategy choice, ``backend`` selects the *execution
+backend* of the in-memory sweep itself (:mod:`repro.core.backends`): the
+pure-Python reference tree, the numpy-vectorised sweep, or ``None``/"auto"
+for the size-based rule.  The external path threads the same selection into
+the ExactMaxRS base case, so every sweep in the process honours one knob.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from repro.core.backends import BackendSpec, resolve_backend
 from repro.core.exact_maxrs import (
     ExactMaxRS,
     records_to_strips,
     select_disjoint_strips,
 )
-from repro.core.plane_sweep import solve_in_memory, sweep_events
+from repro.core.plane_sweep import solve_in_memory
 from repro.core.result import MaxRSResult
 from repro.core.transform import objects_to_event_records
 from repro.em.codecs import EVENT_CODEC
@@ -59,12 +66,15 @@ def solve_point_set(objects: Sequence[WeightedPoint], width: float,
                     height: float, *,
                     config: Optional[EMConfig] = None,
                     force_external: bool = False,
-                    force_in_memory: bool = False) -> MaxRSResult:
+                    force_in_memory: bool = False,
+                    backend: BackendSpec = None) -> MaxRSResult:
     """Solve a MaxRS instance, choosing the execution strategy automatically.
 
     Small inputs (per :func:`fits_in_memory`) are solved by the in-memory
     plane sweep; larger ones by the external-memory ExactMaxRS recursion on a
-    fresh :class:`~repro.em.context.EMContext`.
+    fresh :class:`~repro.em.context.EMContext`.  ``backend`` selects the
+    sweep execution backend for whichever path runs (see
+    :mod:`repro.core.backends`).
 
     Raises
     ------
@@ -74,21 +84,23 @@ def solve_point_set(objects: Sequence[WeightedPoint], width: float,
     config = _check_args(width, height, config, force_external, force_in_memory)
     if force_in_memory or (not force_external
                            and fits_in_memory(len(objects), config)):
-        return solve_in_memory(objects, width, height)
+        return solve_in_memory(objects, width, height, backend=backend)
     ctx = EMContext(config)
-    return ExactMaxRS(ctx, width, height).solve(objects)
+    return ExactMaxRS(ctx, width, height, sweep_backend=backend).solve(objects)
 
 
 def solve_point_set_top_k(objects: Sequence[WeightedPoint], width: float,
                           height: float, k: int, *,
                           config: Optional[EMConfig] = None,
                           force_external: bool = False,
-                          force_in_memory: bool = False) -> List[MaxRSResult]:
+                          force_in_memory: bool = False,
+                          backend: BackendSpec = None) -> List[MaxRSResult]:
     """Solve a MaxkRS instance (``k`` best vertically-disjoint placements).
 
     Follows the same strategy choice as :func:`solve_point_set`; the in-memory
-    path runs one plane sweep and selects the top strips directly from its
-    slab-file tuples, with no simulated I/O.
+    path runs one plane sweep (on the backend selected by ``backend``) and
+    selects the top strips directly from its slab-file tuples, with no
+    simulated I/O.
 
     Raises
     ------
@@ -102,7 +114,8 @@ def solve_point_set_top_k(objects: Sequence[WeightedPoint], width: float,
     if force_in_memory or (not force_external
                            and fits_in_memory(len(objects), config)):
         records = objects_to_event_records(objects, width, height)
-        tuples, _ = sweep_events(records, Interval.full())
+        sweep_backend = resolve_backend(backend, len(records))
+        tuples, _ = sweep_backend.sweep(records, Interval.full())
         chosen = select_disjoint_strips(records_to_strips(tuples), k)
         results: List[MaxRSResult] = []
         for strip in chosen:
@@ -117,7 +130,8 @@ def solve_point_set_top_k(objects: Sequence[WeightedPoint], width: float,
             ))
         return results
     ctx = EMContext(config)
-    return ExactMaxRS(ctx, width, height).solve_topk(objects, k)
+    return ExactMaxRS(ctx, width, height,
+                      sweep_backend=backend).solve_topk(objects, k)
 
 
 def _check_args(width: float, height: float, config: Optional[EMConfig],

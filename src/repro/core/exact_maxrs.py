@@ -29,10 +29,10 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from repro.core.backends import BackendSpec, resolve_backend
 from repro.core.beststrip import BestStrip
 from repro.core.events import events_sort_key
 from repro.core.merge_sweep import merge_sweep
-from repro.core.plane_sweep import sweep_events
 from repro.core.result import MaxRSResult
 from repro.core.slab import (
     Slab,
@@ -70,6 +70,10 @@ class ExactMaxRS:
     max_depth:
         Hard recursion-depth safety limit; beyond it the in-memory sweep is
         used regardless of size.
+    sweep_backend:
+        Execution backend for the in-memory sweep at the leaves (a
+        :class:`~repro.core.backends.SweepBackend`, a name, or ``None`` for
+        the per-leaf size-based auto rule; see :mod:`repro.core.backends`).
 
     Examples
     --------
@@ -84,7 +88,8 @@ class ExactMaxRS:
     def __init__(self, ctx: EMContext, width: float, height: float, *,
                  fanout: Optional[int] = None,
                  memory_records: Optional[int] = None,
-                 max_depth: int = 64) -> None:
+                 max_depth: int = 64,
+                 sweep_backend: BackendSpec = None) -> None:
         if width <= 0 or height <= 0:
             raise ConfigurationError(
                 f"query rectangle must have positive extent, got {width} x {height}"
@@ -104,8 +109,15 @@ class ExactMaxRS:
                 f"memory must hold at least two event records, got {self.memory_records}"
             )
         self.max_depth = max_depth
+        self.sweep_backend = sweep_backend
         self._leaf_count = 0
         self._deepest_level = 0
+
+    def _sweep(self, records: Sequence[Tuple[float, ...]],
+               x_range) -> Tuple[List[Tuple[float, ...]], BestStrip]:
+        """Run the in-memory sweep on the configured (or auto) backend."""
+        backend = resolve_backend(self.sweep_backend, len(records))
+        return backend.sweep(records, x_range)
 
     # ------------------------------------------------------------------ #
     # Public entry points
@@ -157,7 +169,7 @@ class ExactMaxRS:
             records = event_file.read_all()
             event_file.delete()
             self._leaf_count = 1
-            _, best = sweep_events(records, root.x_range)
+            _, best = self._sweep(records, root.x_range)
             return best
         slab_file, best = self._recurse(event_file, root, depth=1)
         slab_file.delete()
@@ -206,7 +218,7 @@ class ExactMaxRS:
         self._leaf_count += 1
         records = event_file.read_all()
         event_file.delete()
-        tuples, best = sweep_events(records, slab.x_range)
+        tuples, best = self._sweep(records, slab.x_range)
         slab_file = self.ctx.create_file(
             MAX_INTERVAL_CODEC, name=f"slabfile-{slab.index}")
         slab_file.write_all(tuples)
@@ -263,7 +275,7 @@ class ExactMaxRS:
             records = event_file.read_all()
             event_file.delete()
             self._leaf_count = 1
-            tuples, _ = sweep_events(records, root.x_range)
+            tuples, _ = self._sweep(records, root.x_range)
             return records_to_strips(tuples)
         slab_file, _ = self._recurse(event_file, root, depth=1)
         tuples = slab_file.read_all()

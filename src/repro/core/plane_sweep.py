@@ -17,13 +17,17 @@ x-intervals of the slab, maintained in a
 edges sharing one y-coordinate (one *h-line*), the profile's maximum and the
 maximal interval attaining it are emitted as the slab-file tuple for the strip
 above that h-line.
+
+:func:`sweep_events` is also the reference implementation behind the
+``"pure"`` entry of the pluggable backend layer (:mod:`repro.core.backends`);
+the vectorised backends are property-tested against it.
 """
 
 from __future__ import annotations
 
 import math
 from bisect import bisect_left
-from typing import List, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Sequence, Tuple
 
 from repro.core.beststrip import BestStrip, BestStripTracker
 from repro.core.segment_tree import MaxAddSegmentTree
@@ -31,6 +35,9 @@ from repro.core.transform import objects_to_event_records
 from repro.core.result import MaxRSResult
 from repro.em.codecs import EVENT_BOTTOM
 from repro.geometry import Interval, WeightedPoint
+
+if TYPE_CHECKING:  # lazily imported at runtime (see solve_in_memory)
+    from repro.core.backends import BackendSpec
 
 __all__ = ["sweep_events", "solve_in_memory", "PlaneSweepOutput"]
 
@@ -126,11 +133,18 @@ def _elementary_boundaries(events: Sequence[Record], slab_lo: float,
 
 
 def solve_in_memory(objects: Sequence[WeightedPoint], width: float,
-                    height: float) -> MaxRSResult:
+                    height: float, *,
+                    backend: "BackendSpec" = None) -> MaxRSResult:
     """Solve a MaxRS instance entirely in memory.
 
     This is the exact solver the tests use as an oracle and the fast path the
     public API takes when the dataset is small.  It performs no simulated I/O.
+
+    ``backend`` selects the sweep execution strategy (a
+    :class:`~repro.core.backends.SweepBackend` instance, a name, or ``None``
+    for the size-based auto rule -- see :mod:`repro.core.backends`).  Only
+    the best strip is consumed here, so backends may skip materialising the
+    slab-file tuples.
 
     Examples
     --------
@@ -139,8 +153,14 @@ def solve_in_memory(objects: Sequence[WeightedPoint], width: float,
     >>> result.total_weight
     2.0
     """
+    # Imported lazily: repro.core.backends imports this module's
+    # sweep_events for its reference backend.
+    from repro.core.backends import resolve_backend
+
     records = objects_to_event_records(objects, width, height)
-    _, best = sweep_events(records, Interval.full())
+    sweep_backend = resolve_backend(backend, len(records))
+    _, best = sweep_backend.sweep(records, Interval.full(),
+                                  include_records=False)
     region = best.to_region()
     return MaxRSResult(
         location=region.representative_point(),

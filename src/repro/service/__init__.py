@@ -25,10 +25,7 @@ argument).
 """
 
 from repro.service.cache import CacheStats, LRUCache
-from repro.service.engine import MaxRSEngine, QuerySpec
-from repro.service.grid_index import GridIndex
 from repro.service.metrics import EngineMetrics
-from repro.service.store import DatasetHandle, PointStore
 
 __all__ = [
     "CacheStats",
@@ -40,3 +37,27 @@ __all__ = [
     "PointStore",
     "QuerySpec",
 ]
+
+#: Lazily exported symbols and their defining submodules.  The engine, grid
+#: index and point store are numpy-backed; deferring their import keeps the
+#: numpy-free parts of the package (result cache, metrics) usable -- and
+#: their tests runnable -- on hosts without numpy.
+_LAZY_EXPORTS = {
+    "MaxRSEngine": "repro.service.engine",
+    "QuerySpec": "repro.service.engine",
+    "GridIndex": "repro.service.grid_index",
+    "DatasetHandle": "repro.service.store",
+    "PointStore": "repro.service.store",
+}
+
+
+def __getattr__(name: str):
+    """Lazily expose the numpy-backed service components."""
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module 'repro.service' has no attribute {name!r}"
+        )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

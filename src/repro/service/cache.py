@@ -1,4 +1,4 @@
-"""LRU result cache for the resident query engine.
+"""Cost-weighted LRU result cache for the resident query engine.
 
 Serving workloads repeat themselves: a popular dataset sees the same handful
 of rectangle sizes over and over ("where should a 1 km x 1 km ad region go?").
@@ -7,6 +7,17 @@ for ``(dataset fingerprint, query kind, parameters)`` is valid until the
 dataset changes -- and dataset snapshots in the
 :class:`~repro.service.store.PointStore` never change, so cached entries
 never expire, only get evicted.
+
+Entries are not all equally valuable, though: a refined answer over 50k
+points costs seconds to recompute while an approximate grid probe costs
+microseconds.  Eviction is therefore *cost-weighted*: each entry carries the
+computation cost recorded at insertion (the engine passes wall-clock solve
+seconds), and when the cache is full the **cheapest entry among the
+least-recently-used window** is evicted.  Recency still dominates -- a hot
+cheap entry is never considered while colder entries exist -- but within the
+cold tail the cache sheds what is easy to recompute and keeps what is
+expensive, which is exactly the miss-cost a serving system wants to
+minimise.  With uniform costs the policy degrades to plain LRU.
 
 All cached values are frozen dataclasses (or tuples of them), so sharing one
 instance between callers is safe.
@@ -45,21 +56,40 @@ class CacheStats:
 
 
 class LRUCache:
-    """A thread-safe least-recently-used cache with hit/miss accounting.
+    """A thread-safe cost-weighted LRU cache with hit/miss accounting.
 
     Parameters
     ----------
     capacity:
-        Maximum number of entries kept; the least recently *used* (read or
-        written) entry is evicted when a put would exceed it.
+        Maximum number of entries kept.
+    eviction_window:
+        How many of the least-recently-used entries are examined when one
+        must go; the cheapest of them (ties: the oldest) is evicted.  ``1``
+        recovers classic LRU regardless of costs.
+
+    Examples
+    --------
+    >>> cache = LRUCache(capacity=2, eviction_window=2)
+    >>> cache.put("approx", 1, cost=0.001)
+    >>> cache.put("refined", 2, cost=3.0)
+    >>> cache.put("new", 3)          # evicts "approx": cheapest of the cold
+    >>> cache.get("refined")
+    (True, 2)
     """
 
-    def __init__(self, capacity: int = 1024) -> None:
+    def __init__(self, capacity: int = 1024, *,
+                 eviction_window: int = 8) -> None:
         if capacity < 1:
             raise ConfigurationError(f"cache capacity must be at least 1, got {capacity}")
+        if eviction_window < 1:
+            raise ConfigurationError(
+                f"eviction window must be at least 1, got {eviction_window}"
+            )
         self.capacity = capacity
+        self.eviction_window = eviction_window
         self._lock = threading.Lock()
-        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        # key -> (value, cost); ordering encodes recency (oldest first).
+        self._entries: "OrderedDict[Hashable, Tuple[Any, float]]" = OrderedDict()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -67,23 +97,58 @@ class LRUCache:
     def get(self, key: Hashable) -> Tuple[bool, Optional[Any]]:
         """Look up ``key``; return ``(hit, value)`` and refresh its recency."""
         with self._lock:
-            value = self._entries.get(key, _MISSING)
-            if value is _MISSING:
+            entry = self._entries.get(key, _MISSING)
+            if entry is _MISSING:
                 self._misses += 1
                 return False, None
             self._entries.move_to_end(key)
             self._hits += 1
-            return True, value
+            return True, entry[0]
 
-    def put(self, key: Hashable, value: Any) -> None:
-        """Insert (or refresh) ``key``, evicting the LRU entry when full."""
+    def put(self, key: Hashable, value: Any, *, cost: float = 1.0) -> None:
+        """Insert (or refresh) ``key`` with its recomputation ``cost``.
+
+        ``cost`` is any non-negative weight on one consistent scale --
+        the engine uses solve wall-clock seconds.  When the cache is full,
+        the cheapest entry of the least-recently-used ``eviction_window``
+        is evicted.
+        """
+        if cost < 0:
+            raise ConfigurationError(f"cache entry cost must be >= 0, got {cost}")
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
-            self._entries[key] = value
+            self._entries[key] = (value, cost)
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self._evictions += 1
+                self._evict_one()
+
+    def _evict_one(self) -> None:
+        """Drop the cheapest entry among the ``eviction_window`` coldest.
+
+        The most recently used entry is never a candidate, so a fresh insert
+        cannot evict itself -- the classic LRU guarantee survives weighting.
+        """
+        victim = None
+        victim_cost = None
+        window = min(self.eviction_window, len(self._entries) - 1)
+        for index, (key, (_, cost)) in enumerate(self._entries.items()):
+            if index >= window:
+                break
+            # Strict comparison keeps the oldest entry on cost ties, which
+            # is what degrades the policy to plain LRU for uniform costs.
+            if victim_cost is None or cost < victim_cost:
+                victim, victim_cost = key, cost
+        self._entries.pop(victim)
+        self._evictions += 1
+
+    def cost_of(self, key: Hashable) -> Optional[float]:
+        """The recorded cost of one entry (``None`` when absent).
+
+        Does not count as a lookup or refresh recency.
+        """
+        with self._lock:
+            entry = self._entries.get(key, _MISSING)
+            return None if entry is _MISSING else entry[1]
 
     def invalidate(self, key: Hashable) -> bool:
         """Drop one entry; return whether it was present."""

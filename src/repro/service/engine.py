@@ -24,6 +24,7 @@ requests and fans independent ones out over a thread pool.
 from __future__ import annotations
 
 import math
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
@@ -31,6 +32,13 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.circles.exact_maxcrs import exact_maxcrs
+from repro.core.backends import (
+    BackendSpec,
+    SweepBackend,
+    backend_summary,
+    numpy_version,
+    resolve_backend,
+)
 from repro.core.dispatch import solve_point_set, solve_point_set_top_k
 from repro.core.plane_sweep import solve_in_memory
 from repro.core.result import MaxCRSResult, MaxRegion, MaxRSResult
@@ -127,6 +135,11 @@ class MaxRSEngine:
         MaxCRS queries run the quadratic exact circle solver on the pruned
         subset; when the subset exceeds this many points the engine raises
         :class:`~repro.errors.ServiceError` instead of hanging on one query.
+    sweep_backend:
+        Execution backend for every plane sweep the engine runs (``"pure"``,
+        ``"numpy"``, a :class:`~repro.core.backends.SweepBackend` instance,
+        or ``None`` / ``"auto"`` for the size-based rule).  The backend
+        chosen for each sweep is counted and reported by :meth:`stats`.
 
     Examples
     --------
@@ -141,15 +154,29 @@ class MaxRSEngine:
                  max_workers: Optional[int] = None,
                  target_points_per_cell: int = 1,
                  max_cells_per_side: int = 512,
-                 maxcrs_exact_limit: int = 5_000) -> None:
+                 maxcrs_exact_limit: int = 5_000,
+                 sweep_backend: BackendSpec = None) -> None:
         self.store = PointStore()
         self.cache = LRUCache(cache_size)
         self.metrics = EngineMetrics()
         self.max_workers = max_workers
         self.maxcrs_exact_limit = maxcrs_exact_limit
+        self.sweep_backend = sweep_backend
         self._target_points_per_cell = target_points_per_cell
         self._max_cells_per_side = max_cells_per_side
         self._grids: Dict[str, Optional[GridIndex]] = {}
+
+    def _backend_for(self, num_objects: int) -> SweepBackend:
+        """Resolve the sweep backend for a solve over ``num_objects`` points.
+
+        Resolution happens per sweep (each object contributes two event
+        records), so auto mode can route a small probe window to the
+        pure-Python backend and the big refine of the same query to numpy.
+        Every resolution is counted, which is what :meth:`stats` reports.
+        """
+        backend = resolve_backend(self.sweep_backend, 2 * num_objects)
+        self.metrics.increment(f"sweep_backend_{backend.name}")
+        return backend
 
     # ------------------------------------------------------------------ #
     # Dataset lifecycle
@@ -203,8 +230,13 @@ class MaxRSEngine:
         self.metrics.increment("queries")
         if hit:
             return value
+        start = time.perf_counter()
         result = self._compute(entry, spec)
-        self.cache.put(key, result)
+        elapsed = time.perf_counter() - start
+        # Cost-weighted caching: entries are charged their computation time,
+        # so eviction sheds cheap approximate answers before expensive
+        # refined ones (see LRUCache).
+        self.cache.put(key, result, cost=elapsed)
         return result
 
     def query_batch(self, dataset: Union[str, DatasetHandle],
@@ -244,7 +276,19 @@ class MaxRSEngine:
         """Serving statistics: cache behaviour, per-stage timings, datasets."""
         cache = self.cache.stats
         snapshot = self.metrics.snapshot()
+        configured = self.sweep_backend
+        if configured is not None and not isinstance(configured, str):
+            configured = configured.name
+        prefix = "sweep_backend_"
         return {
+            "sweep_backend": {
+                "configured": configured if configured is not None else "auto",
+                "summary": backend_summary(self.sweep_backend),
+                "numpy": numpy_version() or "absent",
+                "uses": {name[len(prefix):]: count
+                         for name, count in sorted(snapshot["counters"].items())
+                         if name.startswith(prefix)},
+            },
             "datasets": len(self.store),
             "queries": snapshot["counters"].get("queries", 0),
             "cache": {
@@ -281,7 +325,8 @@ class MaxRSEngine:
             with self.metrics.time_stage("maxkrs"):
                 return tuple(solve_point_set_top_k(
                     entry.objects, spec.width, spec.height, spec.k,
-                    force_in_memory=True))
+                    force_in_memory=True,
+                    backend=self._backend_for(entry.count)))
         return self._compute_maxcrs(entry, spec)
 
     def _compute_maxrs(self, entry: RegisteredDataset,
@@ -290,13 +335,16 @@ class MaxRSEngine:
         grid = self._grids.get(entry.handle.dataset_id)
         if grid is None:  # empty dataset
             return solve_point_set(entry.objects, width, height,
-                                   force_in_memory=True)
+                                   force_in_memory=True,
+                                   backend=self._backend_for(entry.count))
 
         with self.metrics.time_stage("approximate"):
             bounds = grid.upper_bounds(width, height)
             row, col, _ = grid.best_cell(width, height, bounds)
             probe_indices = grid.points_in_window(row, col, width, height)
-            probe = solve_in_memory(entry.subset(probe_indices), width, height)
+            probe = solve_in_memory(
+                entry.subset(probe_indices), width, height,
+                backend=self._backend_for(len(probe_indices)))
         if not spec.refine:
             return probe
 
@@ -306,13 +354,15 @@ class MaxRSEngine:
             if len(subset_indices) == entry.count:
                 self.metrics.increment("refine_unpruned")
                 return solve_point_set(entry.objects, width, height,
-                                       force_in_memory=True)
+                                       force_in_memory=True,
+                                       backend=self._backend_for(entry.count))
             self.metrics.increment("refine_pruned")
             if np.array_equal(subset_indices, probe_indices):
                 result = probe
             else:
-                result = solve_in_memory(entry.subset(subset_indices),
-                                         width, height)
+                result = solve_in_memory(
+                    entry.subset(subset_indices), width, height,
+                    backend=self._backend_for(len(subset_indices)))
             return _restore_closing_hline(result, entry, height)
 
     def _compute_maxcrs(self, entry: RegisteredDataset,

@@ -2,6 +2,8 @@
 
 import pytest
 
+pytest.importorskip("numpy")  # repro.circles pulls the numpy-backed exact solver
+
 from repro.circles import best_candidate, coverage_of_candidates, \
     coverage_of_candidates_file
 from repro.core.transform import write_objects_file

@@ -4,6 +4,8 @@ import random
 
 import pytest
 
+pytest.importorskip("numpy")  # the exact circle solver is numpy-backed
+
 from repro.baselines import brute_force_maxcrs
 from repro.circles import exact_maxcrs
 from repro.errors import ConfigurationError

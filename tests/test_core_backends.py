@@ -1,0 +1,254 @@
+"""Tests for the pluggable sweep backends (:mod:`repro.core.backends`).
+
+The heart of this module is the cross-backend parity property test: on
+randomised datasets with integer-valued weights (whose location-weight sums
+are exactly representable, the determinism contract of the backend layer),
+the numpy backend must produce **bit-identical** slab-files and best strips
+to the pure-Python reference sweep -- including argmax tie-breaking and
+maximal-run extension.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.backends import (
+    DEFAULT_NUMPY_CROSSOVER,
+    auto_crossover,
+    available_backends,
+    backend_summary,
+    get_backend,
+    numpy_available,
+    resolve_backend,
+)
+from repro.core.backends.pure import PurePythonBackend
+from repro.core.dispatch import solve_point_set, solve_point_set_top_k
+from repro.core.plane_sweep import solve_in_memory, sweep_events
+from repro.core.transform import objects_to_event_records
+from repro.errors import ConfigurationError
+from repro.geometry import Interval, WeightedPoint
+
+np = pytest.importorskip("numpy")
+
+from repro.core.backends.numpy_backend import NumpySweepBackend  # noqa: E402
+
+
+def _random_dataset(rng, count, *, domain=100.0, weight_choices=(0.0, 1.0, 2.0, 3.0),
+                    snap=None):
+    """Random weighted points; ``snap`` coarsens coordinates to force ties."""
+    objs = []
+    for _ in range(count):
+        x = rng.uniform(0.0, domain)
+        y = rng.uniform(0.0, domain)
+        if snap:
+            x = round(x / snap) * snap
+            y = round(y / snap) * snap
+        objs.append(WeightedPoint(x, y, rng.choice(weight_choices)))
+    return objs
+
+
+class TestRegistry:
+    def test_available_backends_include_pure_first(self):
+        names = available_backends()
+        assert names[0] == "pure"
+        assert "numpy" in names  # numpy importable in this environment
+
+    def test_get_backend_by_name(self):
+        assert get_backend("pure").name == "pure"
+        assert get_backend("numpy").name == "numpy"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_backend("cuda")
+
+    def test_resolve_passes_instances_through(self):
+        backend = PurePythonBackend()
+        assert resolve_backend(backend, 10 ** 9) is backend
+
+    def test_auto_selection_by_size(self):
+        crossover = auto_crossover()
+        assert resolve_backend(None, crossover - 1).name == "pure"
+        assert resolve_backend(None, crossover).name == "numpy"
+        assert resolve_backend("auto", crossover).name == "numpy"
+
+    def test_crossover_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_CROSSOVER", "7")
+        assert auto_crossover() == 7
+        assert resolve_backend(None, 7).name == "numpy"
+        assert resolve_backend(None, 6).name == "pure"
+        monkeypatch.setenv("REPRO_SWEEP_CROSSOVER", "banana")
+        with pytest.raises(ConfigurationError):
+            auto_crossover()
+        monkeypatch.setenv("REPRO_SWEEP_CROSSOVER", "-1")
+        with pytest.raises(ConfigurationError):
+            auto_crossover()
+
+    def test_default_crossover_sane(self):
+        assert 0 < DEFAULT_NUMPY_CROSSOVER <= 1_000_000
+
+    def test_backend_summary_mentions_numpy_version(self):
+        assert str(np.__version__) in backend_summary("numpy")
+        assert "auto" in backend_summary(None)
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NumpySweepBackend(chunk_hlines=0)
+
+
+class TestParityProperty:
+    """Randomised cross-backend equality of slab-files and best strips."""
+
+    def _assert_parity(self, records, slab_range):
+        pure_out = sweep_events(records, slab_range)
+        for backend in (NumpySweepBackend(), NumpySweepBackend(chunk_hlines=3)):
+            numpy_out = backend.sweep(records, slab_range)
+            assert numpy_out[0] == pure_out[0]  # slab-files, bit for bit
+            assert numpy_out[1] == pure_out[1]  # best strip
+            best_only = backend.sweep(records, slab_range,
+                                      include_records=False)
+            assert best_only[0] == []
+            assert best_only[1] == pure_out[1]
+
+    def test_random_datasets(self):
+        rng = random.Random(20260729)
+        for trial in range(25):
+            count = rng.randrange(0, 60)
+            snap = rng.choice((None, None, 1.0))  # 1/3 of trials force ties
+            objs = _random_dataset(rng, count, snap=snap)
+            width = rng.uniform(0.5, 30.0)
+            height = rng.uniform(0.5, 30.0)
+            records = objects_to_event_records(objs, width, height) if objs else []
+            self._assert_parity(records, None)
+
+    def test_random_datasets_clipped_slab(self):
+        rng = random.Random(42)
+        for trial in range(15):
+            objs = _random_dataset(rng, rng.randrange(1, 50))
+            records = objects_to_event_records(
+                objs, rng.uniform(1.0, 20.0), rng.uniform(1.0, 20.0))
+            slab = Interval(rng.uniform(0.0, 40.0), rng.uniform(60.0, 100.0))
+            self._assert_parity(records, slab)
+
+    def test_empty_and_degenerate(self):
+        empty = NumpySweepBackend().sweep([], None)
+        assert empty == ([], sweep_events([], None)[1])
+        # Degenerate slab: zero width, nothing can be strictly inside.
+        records = objects_to_event_records([WeightedPoint(1.0, 1.0)], 2.0, 2.0)
+        degenerate = Interval(5.0, 5.0)
+        assert NumpySweepBackend().sweep(records, degenerate) \
+            == sweep_events(records, degenerate)
+
+    def test_duplicate_coordinates_and_plateaus(self):
+        # A grid of identical weights maximises argmax ties and long runs.
+        objs = [WeightedPoint(float(x), float(y), 1.0)
+                for x in range(7) for y in range(7)]
+        records = objects_to_event_records(objs, 2.0, 2.0)
+        self._assert_parity(records, None)
+
+    def test_zero_weight_events_contribute_boundaries_only(self):
+        objs = [WeightedPoint(0.0, 0.0, 1.0), WeightedPoint(0.4, 0.1, 0.0),
+                WeightedPoint(0.8, 0.2, 2.0)]
+        records = objects_to_event_records(objs, 2.0, 2.0)
+        self._assert_parity(records, None)
+
+    def test_shared_hlines(self):
+        # Many events on the same y-coordinate exercise intra-h-line batching.
+        objs = [WeightedPoint(float(i), 5.0, float(1 + i % 3)) for i in range(20)]
+        objs += [WeightedPoint(float(i) + 0.5, 7.0, 1.0) for i in range(20)]
+        records = objects_to_event_records(objs, 3.0, 4.0)
+        self._assert_parity(records, None)
+
+
+class TestDispatchThreading:
+    """The backend knob reaches every solve path and changes no answer."""
+
+    def _dataset(self, seed=7, count=120):
+        rng = random.Random(seed)
+        return _random_dataset(rng, count, weight_choices=(1.0, 2.0, 3.0))
+
+    def test_solve_point_set_backends_agree(self):
+        objs = self._dataset()
+        results = {
+            name: solve_point_set(objs, 8.0, 6.0, force_in_memory=True,
+                                  backend=name)
+            for name in ("pure", "numpy")
+        }
+        assert results["pure"].total_weight == results["numpy"].total_weight
+        assert results["pure"].region == results["numpy"].region
+
+    def test_solve_top_k_backends_agree(self):
+        objs = self._dataset(seed=11)
+        pure = solve_point_set_top_k(objs, 8.0, 6.0, 3, force_in_memory=True,
+                                     backend="pure")
+        vec = solve_point_set_top_k(objs, 8.0, 6.0, 3, force_in_memory=True,
+                                    backend="numpy")
+        assert len(pure) == len(vec)
+        for a, b in zip(pure, vec):
+            assert a.total_weight == b.total_weight
+            assert a.region == b.region
+
+    def test_solve_in_memory_backend_param(self):
+        objs = self._dataset(seed=3, count=40)
+        pure = solve_in_memory(objs, 5.0, 5.0, backend="pure")
+        vec = solve_in_memory(objs, 5.0, 5.0, backend="numpy")
+        assert pure.total_weight == vec.total_weight
+        assert pure.region == vec.region
+
+    def test_exact_maxrs_leaves_use_backend(self):
+        """The external recursion's base case honours the selection too."""
+        from repro.core.exact_maxrs import ExactMaxRS
+        from repro.em.context import EMContext
+
+        objs = self._dataset(seed=19, count=60)
+        baseline = solve_in_memory(objs, 6.0, 6.0, backend="pure")
+        for backend in ("pure", "numpy"):
+            solver = ExactMaxRS(EMContext(), 6.0, 6.0, fanout=2,
+                                memory_records=16, sweep_backend=backend)
+            result = solver.solve(objs)
+            assert result.total_weight == baseline.total_weight
+            assert result.recursion_levels >= 1  # genuinely recursed
+
+    def test_api_solver_exposes_backend(self):
+        from repro.api import MaxRSSolver
+
+        objs = self._dataset(seed=23, count=50)
+        pure = MaxRSSolver(width=6.0, height=6.0, backend="pure").solve(objs)
+        vec = MaxRSSolver(width=6.0, height=6.0, backend="numpy").solve(objs)
+        assert pure.total_weight == vec.total_weight
+        assert pure.region == vec.region
+
+
+class TestEngineBackend:
+    """The resident engine's knob, use counters and stats reporting."""
+
+    def _dataset(self, count=300, seed=31):
+        rng = random.Random(seed)
+        return _random_dataset(rng, count, domain=1000.0,
+                               weight_choices=(1.0, 2.0, 3.0))
+
+    def test_engine_backends_bit_identical(self):
+        from repro.service import MaxRSEngine, QuerySpec
+
+        objs = self._dataset()
+        answers = {}
+        for name in ("pure", "numpy"):
+            engine = MaxRSEngine(sweep_backend=name)
+            handle = engine.register_dataset(objs)
+            answers[name] = engine.query(handle, QuerySpec.maxrs(80.0, 60.0))
+            uses = engine.stats()["sweep_backend"]["uses"]
+            assert set(uses) == {name}
+            assert uses[name] >= 1
+        assert answers["pure"].total_weight == answers["numpy"].total_weight
+        assert answers["pure"].region == answers["numpy"].region
+
+    def test_engine_stats_report_backend(self):
+        from repro.service import MaxRSEngine, QuerySpec
+
+        engine = MaxRSEngine()
+        handle = engine.register_dataset(self._dataset(count=50))
+        engine.query(handle, QuerySpec.maxrs(50.0, 50.0))
+        stats = engine.stats()["sweep_backend"]
+        assert stats["configured"] == "auto"
+        assert stats["numpy"] == str(np.__version__)
+        assert sum(stats["uses"].values()) >= 1

@@ -84,6 +84,91 @@ class TestArgmaxAndRuns:
         assert tree.max_run_from(0) == 4
 
 
+class TestReferencePinningEdgeCases:
+    """Edge cases pinning the reference backend's exact behaviour.
+
+    The vectorised sweep backends are property-tested against the pure
+    sweep, so the tree's corner-case semantics (single cell, negative
+    profiles, tie-breaking, interleaved insert/delete) must themselves be
+    pinned down first.
+    """
+
+    def test_single_cell_full_lifecycle(self):
+        tree = MaxAddSegmentTree(1)
+        tree.range_add(0, 0, 2.5)
+        tree.range_add(0, 0, -4.0)
+        assert tree.global_max() == -1.5
+        assert tree.global_min() == -1.5
+        assert tree.argmax_leftmost() == 0
+        assert tree.max_run_from(0) == 0
+        assert tree.find_first_below(0, -2.0) is None
+        assert tree.find_first_below(0, 0.0) == 0
+        tree.validate()
+
+    def test_all_negative_profile(self):
+        tree = MaxAddSegmentTree(4)
+        for index, delta in enumerate([-3.0, -1.0, -4.0, -1.0]):
+            tree.range_add(index, index, delta)
+        assert tree.global_max() == -1.0
+        assert tree.global_min() == -4.0
+        assert tree.argmax_leftmost() == 1       # leftmost of the -1.0 ties
+        assert tree.max_run_from(1) == 1         # -4.0 breaks the run
+        assert tree.to_list() == [-3.0, -1.0, -4.0, -1.0]
+        tree.validate()
+
+    def test_argmax_tie_breaking_is_leftmost_everywhere(self):
+        # Maximum attained on disjoint plateaus: always report the leftmost
+        # cell, and extend the run only through contiguous equal cells.
+        tree = MaxAddSegmentTree(9)
+        tree.range_add(1, 2, 5.0)
+        tree.range_add(5, 7, 5.0)
+        assert tree.argmax_leftmost() == 1
+        assert tree.max_run_from(1) == 2
+        # Raising the right plateau moves the argmax.
+        tree.range_add(5, 7, 0.5)
+        assert tree.argmax_leftmost() == 5
+        assert tree.max_run_from(5) == 7
+
+    def test_tie_after_equalising_update(self):
+        tree = MaxAddSegmentTree(6)
+        tree.range_add(4, 4, 3.0)
+        assert tree.argmax_leftmost() == 4
+        tree.range_add(0, 1, 3.0)      # new plateau further left, same value
+        assert tree.argmax_leftmost() == 0
+        assert tree.max_run_from(0) == 1
+
+    def test_interleaved_add_remove_mirrors_sweep_usage(self):
+        # The plane sweep inserts a rectangle's weight at its bottom edge and
+        # removes it at its top edge; interleave several such pairs and check
+        # the profile after every step against a list model.
+        tree = MaxAddSegmentTree(8)
+        model = [0.0] * 8
+        steps = [
+            (0, 4, +2.0), (2, 6, +1.0), (0, 4, -2.0),
+            (5, 7, +3.0), (2, 6, -1.0), (1, 3, +2.0),
+            (5, 7, -3.0), (1, 3, -2.0),
+        ]
+        for lo, hi, delta in steps:
+            tree.range_add(lo, hi, delta)
+            for index in range(lo, hi + 1):
+                model[index] += delta
+            assert tree.to_list() == model
+            assert tree.global_max() == max(model)
+            assert tree.argmax_leftmost() == model.index(max(model))
+            tree.validate()
+        assert model == [0.0] * 8      # fully drained, exactly
+
+    def test_remove_exposes_previous_maximum(self):
+        tree = MaxAddSegmentTree(5)
+        tree.range_add(0, 4, 1.0)      # baseline coverage
+        tree.range_add(2, 3, 4.0)      # hot rectangle
+        assert tree.argmax_leftmost() == 2
+        tree.range_add(2, 3, -4.0)     # hot rectangle's top edge passes
+        assert tree.global_max() == 1.0
+        assert tree.argmax_leftmost() == 0
+        assert tree.max_run_from(0) == 4
+
+
 class TestAgainstNaiveModel:
     @pytest.mark.parametrize("seed", [0, 1, 2, 3])
     def test_randomized_operations_match_list_model(self, seed):

@@ -2,6 +2,8 @@
 
 import pytest
 
+pytest.importorskip("numpy")  # the dataset generators are numpy-backed
+
 from repro.datasets import (
     DEFAULT_DOMAIN,
     DatasetSpec,

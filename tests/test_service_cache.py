@@ -69,6 +69,87 @@ class TestEviction:
         assert cache.stats.evictions == 7
 
 
+class TestCostWeightedEviction:
+    """Cheap entries leave before expensive ones within the cold window."""
+
+    def test_cheap_cold_entry_evicted_before_expensive_older_one(self):
+        cache = LRUCache(2, eviction_window=2)
+        cache.put("refined", "big answer", cost=3.0)   # oldest but expensive
+        cache.put("approx", "quick answer", cost=0.001)
+        cache.put("new", "x")                          # one must go
+        assert "refined" in cache                      # survived despite age
+        assert "approx" not in cache                   # cheapest of the cold
+        assert "new" in cache
+
+    def test_window_one_recovers_classic_lru(self):
+        cache = LRUCache(2, eviction_window=1)
+        cache.put("old-expensive", 1, cost=100.0)
+        cache.put("cheap", 2, cost=0.001)
+        cache.put("new", 3)
+        assert "old-expensive" not in cache            # pure recency
+        assert "cheap" in cache and "new" in cache
+
+    def test_equal_costs_degrade_to_lru(self):
+        cache = LRUCache(2, eviction_window=8)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert "a" not in cache and "b" in cache and "c" in cache
+
+    def test_recency_still_dominates_outside_window(self):
+        # The cheapest entry overall sits outside the cold window and must
+        # survive: cost only arbitrates among the least-recently-used.
+        cache = LRUCache(3, eviction_window=2)
+        cache.put("cold-1", 1, cost=5.0)
+        cache.put("cold-2", 2, cost=4.0)
+        cache.put("hot-cheap", 3, cost=0.001)
+        cache.put("new", 4, cost=1.0)
+        assert "hot-cheap" in cache
+        assert "cold-2" not in cache                   # cheapest of the window
+
+    def test_fresh_insert_never_evicts_itself(self):
+        cache = LRUCache(1, eviction_window=8)
+        cache.put("expensive", 1, cost=100.0)
+        cache.put("cheap", 2, cost=0.0)
+        assert "cheap" in cache and "expensive" not in cache
+
+    def test_refresh_updates_cost(self):
+        cache = LRUCache(4)
+        cache.put("a", 1, cost=0.5)
+        assert cache.cost_of("a") == 0.5
+        cache.put("a", 1, cost=9.0)
+        assert cache.cost_of("a") == 9.0
+        assert cache.cost_of("missing") is None
+
+    def test_negative_cost_rejected(self):
+        cache = LRUCache(4)
+        with pytest.raises(ConfigurationError):
+            cache.put("a", 1, cost=-1.0)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LRUCache(4, eviction_window=0)
+
+    def test_engine_records_compute_cost(self):
+        """The engine charges cached answers their solve wall-clock."""
+        import random
+
+        pytest.importorskip("numpy")  # the engine needs its grid index
+
+        from repro.geometry import WeightedPoint
+        from repro.service import MaxRSEngine, QuerySpec
+
+        rng = random.Random(5)
+        objs = [WeightedPoint(rng.uniform(0, 100), rng.uniform(0, 100), 1.0)
+                for _ in range(200)]
+        engine = MaxRSEngine()
+        handle = engine.register_dataset(objs)
+        engine.query(handle, QuerySpec.maxrs(10.0, 10.0))
+        key = (handle.fingerprint,) + QuerySpec.maxrs(10.0, 10.0).cache_params()
+        cost = engine.cache.cost_of(key)
+        assert cost is not None and cost > 0.0
+
+
 class TestStatsAndInvalidation:
     def test_hit_rate(self):
         cache = LRUCache(4)

@@ -10,6 +10,9 @@ around it (caching, batching, dataset lifecycle, statistics, the store).
 import math
 
 import pytest
+
+pytest.importorskip("numpy")  # the engine's grid index is numpy-backed
+
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
