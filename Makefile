@@ -4,6 +4,7 @@
 #   make bench-smoke    - the benchmark suite at its tiny "smoke" preset
 #   make bench          - the benchmark suite at its standard preset
 #   make bench-backends - sweep-backend A/B comparison (smoke preset)
+#   make bench-persist  - warm-start vs cold re-ingest comparison (fast preset)
 #   make examples       - run every example script end-to-end
 #
 # All targets run from the repository checkout without installation: the
@@ -12,7 +13,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench bench-backends examples
+.PHONY: test bench-smoke bench bench-backends bench-persist examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -25,6 +26,12 @@ bench-smoke:
 bench-backends:
 	REPRO_BENCH_PRESET=smoke $(PYTHON) -m pytest \
 		benchmarks/test_service_throughput.py -q -k backend
+
+# Warm-start (snapshot restore) vs cold re-ingest for the persistent engine;
+# the >= 5x acceptance bound is asserted at (near-)paper scale, e.g.
+# REPRO_BENCH_PRESET=paper make bench-persist.
+bench-persist:
+	$(PYTHON) -m pytest benchmarks/test_service_coldstart.py -q
 
 bench:
 	REPRO_BENCH_PRESET=bench $(PYTHON) -m pytest benchmarks -q

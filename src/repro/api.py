@@ -13,7 +13,9 @@ code that needs to control the EM environment precisely (the experiment
 harness, the benchmarks) uses :mod:`repro.core`, :mod:`repro.baselines` and
 :mod:`repro.circles` directly.
 
-Both façades are *one-shot*: every ``solve`` call re-ingests the point set.
+Both façades are *one-shot*: every ``solve`` call re-ingests the point set
+(:meth:`MaxRSSolver.from_snapshot` can at least source it from a durable
+:mod:`repro.persist` snapshot instead of a caller-held list).
 For the serve-many-queries workload -- one dataset, many rectangle sizes --
 use the engine-backed path instead: :func:`solve_many` here for a one-liner,
 or :class:`repro.service.MaxRSEngine` directly for full control (result
@@ -82,29 +84,95 @@ class MaxRSSolver:
         self.config = config if config is not None else EMConfig()
         self.force_external = force_external
         self.backend = backend
+        self._objects: Optional[List[WeightedPoint]] = None
 
-    def solve(self, objects: Sequence[WeightedPoint]) -> MaxRSResult:
-        """Return the optimal placement of the query rectangle over ``objects``."""
-        return solve_point_set(objects, self.width, self.height,
+    @classmethod
+    def from_snapshot(cls, persist_dir, dataset_id: str, *,
+                      width: float, height: float,
+                      config: Optional[EMConfig] = None,
+                      persist_config: Optional[EMConfig] = None,
+                      force_external: bool = False,
+                      backend: BackendSpec = None) -> "MaxRSSolver":
+        """Build a solver pre-loaded with a persisted dataset snapshot.
+
+        Reads ``dataset_id`` from the :mod:`repro.persist` snapshot store at
+        ``persist_dir`` (fingerprint-verified, block-accounted) and returns a
+        solver whose :meth:`solve` / :meth:`solve_top_k` can then be called
+        with no arguments.  This is the one-shot sibling of
+        ``MaxRSEngine(persist_dir=...)``: no resident engine, no cache --
+        just "solve this query over that saved dataset".
+
+        ``config`` controls the *solve's* EM environment, as everywhere else;
+        ``persist_config`` is the snapshot store's (block size of the saved
+        blobs, the paper's 4 KB default) -- they are deliberately separate,
+        mirroring the engine's ``persist_config``, so experimenting with
+        solver block sizes never rejects a valid snapshot.
+
+        Raises
+        ------
+        PersistError
+            If the dataset is not in the catalog or its snapshot is corrupt.
+        """
+        from repro.persist import SnapshotStore
+
+        store = SnapshotStore(persist_dir, config=persist_config)
+        loaded = store.load_dataset(dataset_id)
+        solver = cls(width=width, height=height, config=config,
+                     force_external=force_external, backend=backend)
+        solver._objects = loaded.objects()
+        return solver
+
+    def _resolve_objects(
+            self, objects: Optional[Sequence[WeightedPoint]]
+    ) -> Sequence[WeightedPoint]:
+        if objects is not None:
+            return objects
+        if self._objects is None:
+            raise ConfigurationError(
+                "no point set: pass objects explicitly or build the solver "
+                "with MaxRSSolver.from_snapshot(...)"
+            )
+        return self._objects
+
+    def solve(self, objects: Optional[Sequence[WeightedPoint]] = None) -> MaxRSResult:
+        """Return the optimal placement of the query rectangle over ``objects``.
+
+        ``objects`` may be omitted for a solver built via
+        :meth:`from_snapshot`, which solves over the loaded snapshot.
+        """
+        return solve_point_set(self._resolve_objects(objects),
+                               self.width, self.height,
                                config=self.config,
                                force_external=self.force_external,
                                backend=self.backend)
 
-    def solve_top_k(self, objects: Sequence[WeightedPoint], k: int) -> List[MaxRSResult]:
+    def solve_top_k(self, objects: Optional[Sequence[WeightedPoint]] = None,
+                    k: int = 1) -> List[MaxRSResult]:
         """Return the ``k`` best vertically-disjoint placements (MaxkRS).
 
         Follows the same strategy contract as :meth:`solve`: small inputs are
         answered by the in-memory sweep, large ones (or ``force_external``)
-        by the external-memory recursion.
+        by the external-memory recursion.  As with :meth:`solve`, ``objects``
+        may be omitted for a snapshot-loaded solver.
 
         Raises
         ------
         ConfigurationError
             If ``k < 1``.
         """
+        # Catch solve_top_k(3) on a snapshot-loaded solver early: the 3 binds
+        # to ``objects``, not ``k``, and would otherwise surface as a cryptic
+        # TypeError deep inside the dispatch.
+        if isinstance(objects, int):
+            raise ConfigurationError(
+                f"objects must be a sequence of WeightedPoint, got the int "
+                f"{objects}; on a snapshot-loaded solver pass k by keyword, "
+                "e.g. solve_top_k(k=3)"
+            )
         if k < 1:
             raise ConfigurationError(f"k must be at least 1, got {k}")
-        return solve_point_set_top_k(objects, self.width, self.height, k,
+        return solve_point_set_top_k(self._resolve_objects(objects),
+                                     self.width, self.height, k,
                                      config=self.config,
                                      force_external=self.force_external,
                                      backend=self.backend)

@@ -26,6 +26,7 @@ transfers exactly while remaining machine independent.
 
 from repro.em.buffer_pool import BufferPool, Frame
 from repro.em.codecs import (
+    COLUMN_CODEC,
     EVENT_BOTTOM,
     EVENT_CODEC,
     EVENT_TOP,
@@ -48,6 +49,7 @@ from repro.em.serializer import RecordCodec, StructRecordCodec
 __all__ = [
     "BlockDevice",
     "BufferPool",
+    "COLUMN_CODEC",
     "DEFAULT_BLOCK_SIZE",
     "DEFAULT_BUFFER_SIZE",
     "EMConfig",

@@ -1,6 +1,6 @@
 """Concrete record codecs for every disk-resident record type.
 
-The reproduction stores four kinds of records on the simulated disk:
+The reproduction stores five kinds of records on the simulated disk:
 
 * **object records** ``(x, y, weight)`` -- the input dataset ``O``;
 * **rectangle records** ``(x1, y1, x2, y2, weight)`` -- the dual rectangles
@@ -10,12 +10,17 @@ The reproduction stores four kinds of records on the simulated disk:
   (Definition 6: ``t = <y, [x1, x2], sum>``);
 * **event records** ``(y, kind, x1, x2, weight)`` -- sweep-line events used by
   the externalized plane-sweep baselines (kind is +1 for a bottom edge and -1
-  for a top edge).
+  for a top edge);
+* **column records** ``(value,)`` -- one float64 component of a *columnar*
+  snapshot (:mod:`repro.persist`): a dataset's ``x``, ``y`` and ``weight``
+  columns (and a grid index's flattened cell aggregates) are each stored as a
+  dense run of column records, so a block is exactly a contiguous slice of one
+  numpy column and decoding is a ``frombuffer`` away.
 
 All codecs use little-endian IEEE-754 doubles, so record sizes -- and thus the
-EM parameter ``B`` -- are identical on every platform: 24, 40, 32 and 40 bytes
-respectively.  With the paper's 4 KB blocks this yields B = 170, 102, 128 and
-102 records per block.
+EM parameter ``B`` -- are identical on every platform: 24, 40, 32, 40 and 8
+bytes respectively.  With the paper's 4 KB blocks this yields B = 170, 102,
+128, 102 and 512 records per block.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ from repro.em.serializer import StructRecordCodec
 from repro.geometry import Rect, WeightedPoint
 
 __all__ = [
+    "COLUMN_CODEC",
     "OBJECT_CODEC",
     "RECT_CODEC",
     "MAX_INTERVAL_CODEC",
@@ -49,6 +55,9 @@ MAX_INTERVAL_CODEC = StructRecordCodec("<dddd")
 
 #: Codec for plane-sweep events ``(y, kind, x1, x2, weight)``.
 EVENT_CODEC = StructRecordCodec("<ddddd")
+
+#: Codec for columnar snapshots: one float64 column component per record.
+COLUMN_CODEC = StructRecordCodec("<d")
 
 #: Event kind marking the bottom edge of a rectangle (interval insertion).
 EVENT_BOTTOM = 1.0

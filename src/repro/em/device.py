@@ -74,6 +74,28 @@ class BlockDevice:
         del self._blocks[block_id]
         self._free_ids.append(block_id)
 
+    def restore_block(self, data: bytes) -> int:
+        """Install a block image that already lives on durable media.
+
+        Used by :mod:`repro.persist` to mirror a host-file snapshot back onto
+        the simulated disk after a restart.  Installing is free -- the bytes
+        are already "on disk"; the transfer into memory is charged when the
+        block is subsequently read through the buffer pool, exactly as for
+        any other disk-resident block.
+
+        Raises
+        ------
+        StorageError
+            If the payload exceeds the block size.
+        """
+        if len(data) > self.config.block_size:
+            raise StorageError(
+                f"payload of {len(data)} B exceeds block size {self.config.block_size} B"
+            )
+        block_id = self.allocate()
+        self._blocks[block_id] = bytes(data)
+        return block_id
+
     # ------------------------------------------------------------------ #
     # Transfers (each call is one charged I/O)
     # ------------------------------------------------------------------ #

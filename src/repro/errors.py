@@ -18,6 +18,9 @@ More specific subclasses indicate which subsystem detected the problem:
 * :class:`DatasetError` -- dataset generation or loading failed.
 * :class:`ServiceError` -- the resident query service (:mod:`repro.service`)
   was misused (unknown dataset id, conflicting registrations, ...).
+* :class:`PersistError` -- the durable snapshot store (:mod:`repro.persist`)
+  found a corrupt, truncated, or incompatible snapshot (bad magic, checksum
+  mismatch, fingerprint mismatch, unsupported catalog version, ...).
 """
 
 from __future__ import annotations
@@ -30,6 +33,7 @@ __all__ = [
     "GeometryError",
     "AlgorithmError",
     "DatasetError",
+    "PersistError",
     "ServiceError",
 ]
 
@@ -64,3 +68,11 @@ class DatasetError(ReproError):
 
 class ServiceError(ReproError):
     """Raised when the resident query service (:mod:`repro.service`) is misused."""
+
+
+class PersistError(StorageError):
+    """Raised when a durable snapshot (:mod:`repro.persist`) is corrupt or unusable.
+
+    A subclass of :class:`StorageError` because snapshots live on the storage
+    layer; callers that already guard storage failures need no new handler.
+    """

@@ -1,0 +1,361 @@
+"""On-disk format of the durable snapshot store.
+
+Two kinds of files live in a persist directory (see the package docstring in
+:mod:`repro.persist` for the full layout):
+
+* **Blob files** (``*.points``, ``*.grid``) hold the raw blocks of one
+  columnar :class:`~repro.em.record_file.RecordFile`, exactly as they existed
+  on the simulated :class:`~repro.em.device.BlockDevice`, behind a fixed
+  64-byte header::
+
+      magic (8 B) | block_size (u64) | num_blocks (u64) | num_records (u64)
+                  | sha256 of the padded block payload (32 B)
+
+    Every block is padded to ``block_size`` bytes, so block ``i`` starts at
+    byte ``64 + i * block_size`` and the whole payload is one contiguous
+    little-endian float64 stream (columnar layout, one column after another).
+    The checksum rejects torn or bit-flipped files before any record is
+    decoded; the magic's trailing byte is the blob format version.
+
+* **The catalog** (``catalog.json``) is the manifest: a versioned JSON
+  document mapping every ``dataset_id`` to its fingerprint, record counts,
+  codec name, blob file names and (optionally) the persisted grid-index
+  geometry.  The catalog is rewritten atomically (temp file + ``os.replace``)
+  on every save or delete, so a crash mid-write never leaves a half-updated
+  manifest -- at worst an orphaned blob, which a later save overwrites.
+
+This module knows nothing about the service layer: it deals in numpy columns,
+dataclasses and bytes, so the same machinery can back future sharded or
+replicated deployments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.em.serializer import StructRecordCodec
+from repro.errors import PersistError
+from repro.geometry import WeightedPoint
+
+__all__ = [
+    "BLOB_MAGIC",
+    "CATALOG_FILENAME",
+    "CATALOG_VERSION",
+    "POINTS_CODEC_NAME",
+    "RESULT_CODEC",
+    "DatasetManifest",
+    "GridManifest",
+    "GridSnapshot",
+    "SnapshotCatalog",
+    "fingerprint_columns",
+    "load_catalog",
+    "points_from_columns",
+    "read_blob",
+    "save_catalog",
+    "write_blob",
+]
+
+#: Blob file magic; the trailing byte is the blob format version.
+BLOB_MAGIC = b"RPSNAP\x00\x01"
+
+#: Fixed blob header: magic, block size, block count, record count, checksum.
+_BLOB_HEADER = struct.Struct("<8sQQQ32s")
+
+#: Name of the manifest file inside a persist directory.
+CATALOG_FILENAME = "catalog.json"
+
+#: Catalog format version understood by this build.
+CATALOG_VERSION = 1
+
+#: Codec identifier recorded in every manifest entry.  Bump alongside any
+#: change to the column encoding so old stores are rejected, not misread.
+POINTS_CODEC_NAME = "f64-column/1"
+
+#: Codec for persisted hot refined-MaxRS results (``*.results`` blobs): one
+#: record per cached answer --
+#: ``(width, height, loc_x, loc_y, x1, y1, x2, y2, region_weight,
+#: total_weight, recursion_levels, leaf_count, cost)``.
+#: All-doubles so the round trip is bit-exact and the record size (104 B,
+#: 39 records per 4 KB block) is platform independent.
+RESULT_CODEC = StructRecordCodec("<13d")
+
+
+def fingerprint_columns(xs: np.ndarray, ys: np.ndarray, ws: np.ndarray) -> str:
+    """Hex SHA-256 over the packed little-endian float64 columns.
+
+    This is *the* dataset identity of the serving stack: the
+    :class:`~repro.service.store.PointStore` keys its result cache with it and
+    the snapshot store verifies it on every load, so a snapshot that decodes
+    to different bytes than were saved can never be served.
+    """
+    digest = hashlib.sha256()
+    for column in (xs, ys, ws):
+        digest.update(np.ascontiguousarray(column, dtype="<f8").tobytes())
+    return digest.hexdigest()
+
+
+def points_from_columns(xs: np.ndarray, ys: np.ndarray, ws: np.ndarray,
+                        indices=None) -> List[WeightedPoint]:
+    """Materialise :class:`~repro.geometry.WeightedPoint` objects from columns.
+
+    The one place column values become point objects, shared by the snapshot
+    loader and the lazy paths of the service's
+    :class:`~repro.service.store.RegisteredDataset`.  ``indices`` selects a
+    subset (in the given order); ``None`` materialises every point.
+    """
+    if indices is None:
+        return [WeightedPoint(float(x), float(y), float(w))
+                for x, y, w in zip(xs, ys, ws)]
+    return [WeightedPoint(float(xs[i]), float(ys[i]), float(ws[i]))
+            for i in indices]
+
+
+# ---------------------------------------------------------------------- #
+# Blob files
+# ---------------------------------------------------------------------- #
+def write_blob(path: Path, *, block_size: int, payloads: Sequence[bytes],
+               num_records: int) -> None:
+    """Write a blob file atomically (temp file + rename).
+
+    ``payloads`` are the raw block images in file order; each may be shorter
+    than ``block_size`` (a trailing partial block) and is zero-padded so the
+    on-disk blocks are fixed size.
+    """
+    body = b"".join(payload.ljust(block_size, b"\x00") for payload in payloads)
+    header = _BLOB_HEADER.pack(BLOB_MAGIC, block_size, len(payloads),
+                               num_records, hashlib.sha256(body).digest())
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(header)
+            handle.write(body)
+        os.replace(tmp, path)
+    except OSError:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def read_blob(path: Path) -> Tuple[int, int, List[bytes]]:
+    """Read and verify a blob file; return ``(block_size, num_records, blocks)``.
+
+    Raises
+    ------
+    PersistError
+        If the file is missing, truncated, carries the wrong magic/version,
+        or its payload checksum does not match the header.
+    """
+    try:
+        raw = Path(path).read_bytes()
+    except OSError as exc:
+        raise PersistError(f"cannot read snapshot blob {path}: {exc}") from exc
+    if len(raw) < _BLOB_HEADER.size:
+        raise PersistError(f"snapshot blob {path} is truncated "
+                           f"({len(raw)} B < {_BLOB_HEADER.size} B header)")
+    magic, block_size, num_blocks, num_records, digest = _BLOB_HEADER.unpack(
+        raw[:_BLOB_HEADER.size])
+    if magic != BLOB_MAGIC:
+        raise PersistError(
+            f"snapshot blob {path} has magic {magic!r}, expected {BLOB_MAGIC!r} "
+            "(corrupt file or incompatible blob format version)"
+        )
+    body = raw[_BLOB_HEADER.size:]
+    if len(body) != num_blocks * block_size:
+        raise PersistError(
+            f"snapshot blob {path} is truncated: header promises "
+            f"{num_blocks} x {block_size} B, found {len(body)} B"
+        )
+    if hashlib.sha256(body).digest() != digest:
+        raise PersistError(f"snapshot blob {path} fails its checksum; "
+                           "rejecting the corrupt snapshot")
+    blocks = [body[i * block_size:(i + 1) * block_size]
+              for i in range(num_blocks)]
+    return block_size, num_records, blocks
+
+
+# ---------------------------------------------------------------------- #
+# Manifest dataclasses
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True, slots=True)
+class GridSnapshot:
+    """The persistable state of one :class:`~repro.service.grid_index.GridIndex`.
+
+    Geometry plus the per-cell aggregates.  The CSR point lists and the
+    prefix-sum table are *not* persisted -- they are rebuilt from the point
+    columns in vectorised time on load, and recomputing the per-cell counts
+    doubles as a structural consistency check against the persisted ones.
+    """
+
+    n_rows: int
+    n_cols: int
+    x0: float
+    y0: float
+    cell_w: float
+    cell_h: float
+    cell_weights: np.ndarray  # float64, shape (n_rows, n_cols)
+    cell_counts: np.ndarray   # int64,  shape (n_rows, n_cols)
+
+
+@dataclass(frozen=True, slots=True)
+class GridManifest:
+    """Catalog entry describing one persisted grid-index blob."""
+
+    file: str
+    n_rows: int
+    n_cols: int
+    x0: float
+    y0: float
+    cell_w: float
+    cell_h: float
+
+    def to_json(self) -> Dict[str, object]:
+        return {"file": self.file, "n_rows": self.n_rows, "n_cols": self.n_cols,
+                "x0": self.x0, "y0": self.y0,
+                "cell_w": self.cell_w, "cell_h": self.cell_h}
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "GridManifest":
+        try:
+            return cls(file=str(data["file"]),
+                       n_rows=int(data["n_rows"]), n_cols=int(data["n_cols"]),
+                       x0=float(data["x0"]), y0=float(data["y0"]),
+                       cell_w=float(data["cell_w"]), cell_h=float(data["cell_h"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PersistError(f"malformed grid manifest entry: {exc}") from exc
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetManifest:
+    """Catalog entry describing one persisted dataset snapshot."""
+
+    dataset_id: str
+    fingerprint: str
+    count: int
+    total_weight: float
+    codec: str
+    block_size: int
+    points_file: str
+    grid: Optional[GridManifest] = None
+    results_file: Optional[str] = None
+    results_count: int = 0
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "fingerprint": self.fingerprint,
+            "count": self.count,
+            "total_weight": self.total_weight,
+            "codec": self.codec,
+            "block_size": self.block_size,
+            "points_file": self.points_file,
+            "grid": self.grid.to_json() if self.grid is not None else None,
+            "results_file": self.results_file,
+            "results_count": self.results_count,
+        }
+
+    @classmethod
+    def from_json(cls, dataset_id: str, data: Dict[str, object]) -> "DatasetManifest":
+        try:
+            grid_data = data.get("grid")
+            results_file = data.get("results_file")
+            return cls(
+                dataset_id=dataset_id,
+                fingerprint=str(data["fingerprint"]),
+                count=int(data["count"]),
+                total_weight=float(data["total_weight"]),
+                codec=str(data["codec"]),
+                block_size=int(data["block_size"]),
+                points_file=str(data["points_file"]),
+                grid=GridManifest.from_json(grid_data) if grid_data else None,
+                results_file=str(results_file) if results_file else None,
+                results_count=int(data.get("results_count", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PersistError(
+                f"malformed catalog entry for dataset {dataset_id!r}: {exc}"
+            ) from exc
+
+
+@dataclass(slots=True)
+class SnapshotCatalog:
+    """The manifest of a persist directory: ``dataset_id -> DatasetManifest``."""
+
+    datasets: Dict[str, DatasetManifest] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.datasets)
+
+    def __contains__(self, dataset_id: str) -> bool:
+        return dataset_id in self.datasets
+
+    def get(self, dataset_id: str) -> Optional[DatasetManifest]:
+        return self.datasets.get(dataset_id)
+
+    def references(self, file_name: str, *, excluding: Optional[str] = None) -> bool:
+        """Whether any entry (except ``excluding``) references ``file_name``.
+
+        Datasets with identical content share blob files, so deletion must
+        check for remaining references before unlinking.
+        """
+        for dataset_id, manifest in self.datasets.items():
+            if dataset_id == excluding:
+                continue
+            if manifest.points_file == file_name:
+                return True
+            if manifest.grid is not None and manifest.grid.file == file_name:
+                return True
+            if manifest.results_file == file_name:
+                return True
+        return False
+
+
+def load_catalog(directory: Path) -> SnapshotCatalog:
+    """Load the catalog of a persist directory (empty when none exists yet).
+
+    Raises
+    ------
+    PersistError
+        If the catalog exists but is unreadable, malformed, or written by a
+        newer format version than this build understands.
+    """
+    path = Path(directory) / CATALOG_FILENAME
+    if not path.exists():
+        return SnapshotCatalog()
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise PersistError(f"cannot read snapshot catalog {path}: {exc}") from exc
+    if not isinstance(document, dict) or "format_version" not in document:
+        raise PersistError(f"snapshot catalog {path} is not a versioned manifest")
+    version = document["format_version"]
+    if version != CATALOG_VERSION:
+        raise PersistError(
+            f"snapshot catalog {path} has format version {version}; this "
+            f"build understands version {CATALOG_VERSION}"
+        )
+    entries = document.get("datasets", {})
+    if not isinstance(entries, dict):
+        raise PersistError(f"snapshot catalog {path} has a malformed dataset map")
+    return SnapshotCatalog(datasets={
+        dataset_id: DatasetManifest.from_json(dataset_id, entry)
+        for dataset_id, entry in entries.items()
+    })
+
+
+def save_catalog(directory: Path, catalog: SnapshotCatalog) -> None:
+    """Atomically rewrite the catalog of a persist directory."""
+    path = Path(directory) / CATALOG_FILENAME
+    document = {
+        "format_version": CATALOG_VERSION,
+        "datasets": {dataset_id: manifest.to_json()
+                     for dataset_id, manifest in sorted(catalog.datasets.items())},
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)

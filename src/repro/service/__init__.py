@@ -17,6 +17,11 @@ many queries* with varying rectangle / circle sizes:
   the façade tying the pieces together (``register_dataset`` / ``query`` /
   ``query_batch`` / ``stats``).
 
+Constructed with ``persist_dir=...`` the engine is durable: datasets and
+grid aggregates are written through to a :mod:`repro.persist` snapshot store
+(block-accounted through :mod:`repro.em`), and a restarted engine restores
+the catalog and re-serves without re-ingesting.
+
 Exact answers returned by the engine (``refine=True``, the default) are
 identical to running :func:`repro.core.plane_sweep.solve_in_memory` on the
 full dataset -- the grid only removes points that provably cannot take part

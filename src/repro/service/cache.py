@@ -28,7 +28,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Hashable, Optional, Tuple
+from typing import Any, Callable, Hashable, Optional, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -141,6 +141,17 @@ class LRUCache:
         self._entries.pop(victim)
         self._evictions += 1
 
+    def entries(self) -> list:
+        """A consistent ``(key, value, cost)`` snapshot of every entry.
+
+        Ordered coldest-first (LRU order).  Does not count as lookups or
+        refresh recency; used by the engine's ``checkpoint()`` to spill warm
+        serving state.
+        """
+        with self._lock:
+            return [(key, value, cost)
+                    for key, (value, cost) in self._entries.items()]
+
     def cost_of(self, key: Hashable) -> Optional[float]:
         """The recorded cost of one entry (``None`` when absent).
 
@@ -154,6 +165,21 @@ class LRUCache:
         """Drop one entry; return whether it was present."""
         with self._lock:
             return self._entries.pop(key, _MISSING) is not _MISSING
+
+    def invalidate_matching(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose key satisfies ``predicate``; return the count.
+
+        The TTL-free invalidation hook for mutable-dataset workflows: when a
+        dataset is unregistered or a name is rebound to different data, the
+        engine drops that fingerprint's entries *now* instead of letting them
+        squat in the LRU until they age out.  Invalidations are not counted
+        as evictions (they are correctness hygiene, not capacity pressure).
+        """
+        with self._lock:
+            victims = [key for key in self._entries if predicate(key)]
+            for key in victims:
+                del self._entries[key]
+            return len(victims)
 
     def clear(self) -> None:
         """Drop every entry (the hit/miss/eviction counters are kept)."""

@@ -19,11 +19,20 @@ Refined (default) answers are therefore *identical* to solving the full
 dataset in memory -- same weight, same max-region -- while touching only the
 points near contention hot spots.  ``query_batch`` deduplicates identical
 requests and fans independent ones out over a thread pool.
+
+With ``persist_dir=...`` the engine is additionally **durable**: registered
+datasets (and their grid aggregates) are written through to a
+:class:`~repro.persist.SnapshotStore`, the catalog is restored on
+construction, and a restarted engine re-serves every previously registered
+dataset -- bit-identical refined answers -- without re-ingesting.  All
+snapshot I/O flows through the EM substrate and is reported, in block
+transfers, by :meth:`MaxRSEngine.stats`.
 """
 
 from __future__ import annotations
 
 import math
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -42,8 +51,10 @@ from repro.core.backends import (
 from repro.core.dispatch import solve_point_set, solve_point_set_top_k
 from repro.core.plane_sweep import solve_in_memory
 from repro.core.result import MaxCRSResult, MaxRegion, MaxRSResult
-from repro.errors import ConfigurationError, ServiceError
-from repro.geometry import WeightedPoint
+from repro.em.config import EMConfig
+from repro.errors import ConfigurationError, PersistError, ServiceError
+from repro.geometry import Point, WeightedPoint
+from repro.persist.store import SnapshotStore
 from repro.service.cache import LRUCache
 from repro.service.grid_index import GridIndex
 from repro.service.metrics import EngineMetrics
@@ -140,6 +151,22 @@ class MaxRSEngine:
         ``"numpy"``, a :class:`~repro.core.backends.SweepBackend` instance,
         or ``None`` / ``"auto"`` for the size-based rule).  The backend
         chosen for each sweep is counted and reported by :meth:`stats`.
+    persist_dir:
+        Directory for durable dataset snapshots (:mod:`repro.persist`).  When
+        given, the snapshot catalog found there is restored on construction
+        (every restorable dataset is registered and indexed again, ready to
+        serve), ``register_dataset`` writes new datasets through by default,
+        and ``unregister_dataset`` drops their snapshots.  Datasets whose
+        snapshots fail verification are skipped and reported under
+        ``stats()["persist"]["restore_errors"]``.
+    persist_config:
+        External-memory configuration (block size / buffer size) for the
+        snapshot store's accounting substrate; defaults to the paper's.
+    persist_grid:
+        Whether write-through saves include the grid-index aggregates
+        (default ``True``; costs roughly as many blocks as the points but
+        lets a restart adopt the exact serving resolution instead of
+        re-deriving it).
 
     Examples
     --------
@@ -155,7 +182,10 @@ class MaxRSEngine:
                  target_points_per_cell: int = 1,
                  max_cells_per_side: int = 512,
                  maxcrs_exact_limit: int = 5_000,
-                 sweep_backend: BackendSpec = None) -> None:
+                 sweep_backend: BackendSpec = None,
+                 persist_dir: Union[str, os.PathLike, None] = None,
+                 persist_config: Optional[EMConfig] = None,
+                 persist_grid: bool = True) -> None:
         self.store = PointStore()
         self.cache = LRUCache(cache_size)
         self.metrics = EngineMetrics()
@@ -165,6 +195,12 @@ class MaxRSEngine:
         self._target_points_per_cell = target_points_per_cell
         self._max_cells_per_side = max_cells_per_side
         self._grids: Dict[str, Optional[GridIndex]] = {}
+        self._persist_grid = persist_grid
+        self._restore_errors: Dict[str, str] = {}
+        self.persist: Optional[SnapshotStore] = None
+        if persist_dir is not None:
+            self.persist = SnapshotStore(persist_dir, config=persist_config)
+            self._restore_catalog()
 
     def _backend_for(self, num_objects: int) -> SweepBackend:
         """Resolve the sweep backend for a solve over ``num_objects`` points.
@@ -182,14 +218,44 @@ class MaxRSEngine:
     # Dataset lifecycle
     # ------------------------------------------------------------------ #
     def register_dataset(self, objects: Sequence[WeightedPoint], *,
-                         name: Optional[str] = None) -> DatasetHandle:
+                         name: Optional[str] = None,
+                         persist: Optional[bool] = None,
+                         replace: bool = False) -> DatasetHandle:
         """Snapshot, fingerprint and index a dataset; return its handle.
 
         Registering byte-identical data again is a cheap no-op returning the
         existing handle (the grid index is reused, cached results stay warm).
+        Registering *different* data under an existing name raises unless
+        ``replace=True``, which unregisters the old dataset first -- evicting
+        its cached results and dropping its snapshot, so the name's new
+        meaning can never serve the old data's answers.
+
+        ``persist`` controls write-through to the snapshot store: ``None``
+        (default) persists exactly when the engine has a ``persist_dir``,
+        ``True`` demands it (a :class:`~repro.errors.ServiceError` if the
+        engine has none), ``False`` keeps this dataset memory-only.
         """
+        if persist is True and self.persist is None:
+            raise ServiceError(
+                "register_dataset(persist=True) needs an engine constructed "
+                "with persist_dir=..."
+            )
         with self.metrics.time_stage("register"):
-            handle = self.store.register(objects, name=name)
+            old_fingerprint = None
+            if replace and name is not None and name in self.store:
+                old_fingerprint = self.store.get(name).handle.fingerprint
+            handle = self.store.register(objects, name=name, replace=replace)
+            if old_fingerprint is not None and old_fingerprint != handle.fingerprint:
+                # The name now means different data: drop the stale grid,
+                # evict the old fingerprint's cached results (unless another
+                # dataset still holds byte-identical data), and never let an
+                # opted-out snapshot resurrect the old binding on restart.
+                self._grids.pop(handle.dataset_id, None)
+                if not any(h.fingerprint == old_fingerprint
+                           for h in self.store.handles()):
+                    self._evict_fingerprint(old_fingerprint)
+                if self.persist is not None and persist is False:
+                    self.persist.delete_dataset(handle.dataset_id)
             if handle.dataset_id not in self._grids:
                 entry = self.store.get(handle.dataset_id)
                 grid: Optional[GridIndex] = None
@@ -201,17 +267,189 @@ class MaxRSEngine:
                             max_cells_per_side=self._max_cells_per_side,
                         )
                 self._grids[handle.dataset_id] = grid
+            if self.persist is not None and persist is not False:
+                self._persist_dataset(handle)
         return handle
 
-    def unregister_dataset(self, dataset: Union[str, DatasetHandle]) -> None:
-        """Forget a dataset and its grid index.
+    def _persist_dataset(self, handle: DatasetHandle) -> None:
+        """Write one registered dataset through to the snapshot store."""
+        grid = self._grids.get(handle.dataset_id)
+        want_grid = grid is not None and self._persist_grid
+        manifest = self.persist.manifest_for(handle.dataset_id)
+        if manifest is not None and manifest.fingerprint == handle.fingerprint \
+                and (manifest.grid is not None) == want_grid:
+            return  # identical snapshot (and grid coverage) already on disk
+        entry = self.store.get(handle.dataset_id)
+        with self.metrics.time_stage("persist_save"):
+            self.persist.save_dataset(
+                handle.dataset_id, entry.xs, entry.ys, entry.ws,
+                grid=grid.snapshot() if want_grid else None,
+            )
+        self.metrics.increment("snapshots_saved")
 
-        Cached results stay keyed by the data fingerprint, so they are never
-        wrong -- re-registering the same data revives them.
+    def unregister_dataset(self, dataset: Union[str, DatasetHandle], *,
+                           keep_snapshot: bool = False) -> None:
+        """Forget a dataset: drop its grid index, cached results and snapshot.
+
+        The dataset's result-cache entries are evicted immediately (the
+        TTL-free invalidation hook) unless another registered dataset has the
+        same fingerprint, i.e. byte-identical data, in which case the entries
+        are still valid and stay.  With a persistent engine the durable
+        snapshot is deleted too; pass ``keep_snapshot=True`` to keep it for a
+        later restart.
         """
         dataset_id = _dataset_id(dataset)
+        fingerprint = self.store.get(dataset_id).handle.fingerprint
         self.store.unregister(dataset_id)
         self._grids.pop(dataset_id, None)
+        if not any(h.fingerprint == fingerprint for h in self.store.handles()):
+            self._evict_fingerprint(fingerprint)
+        if self.persist is not None and not keep_snapshot:
+            self.persist.delete_dataset(dataset_id)
+
+    def checkpoint(self) -> None:
+        """Flush warm serving state: persist every dataset's hot results.
+
+        For each persisted dataset, the refined MaxRS answers currently in
+        the result cache are spilled (via
+        :meth:`~repro.persist.SnapshotStore.save_results`) so a restarted
+        engine re-serves them as cache hits instead of re-running their
+        sweeps.  Checkpoints *merge*: previously persisted results whose
+        query is no longer cached (evicted under LRU pressure) are kept --
+        they are fingerprint-keyed, hence still valid -- so a checkpoint can
+        only grow or refresh the durable warm state, never erase it.
+        Approximate and MaxkRS/MaxCRS entries are not persisted -- they are
+        cheap to recompute or structurally variable -- and datasets
+        registered with ``persist=False`` are skipped.  Call it whenever the
+        served working set is worth surviving a restart (end of warm-up, on
+        graceful shutdown, periodically).
+        """
+        if self.persist is None:
+            raise ServiceError(
+                "checkpoint() needs an engine constructed with persist_dir=..."
+            )
+        with self.metrics.time_stage("checkpoint"):
+            entries = self.cache.entries()
+            for handle in self.store.handles():
+                manifest = self.persist.manifest_for(handle.dataset_id)
+                if manifest is None or manifest.fingerprint != handle.fingerprint:
+                    continue
+                records = self._hot_result_records(handle.fingerprint, entries)
+                try:
+                    existing = self.persist.load_results(handle.dataset_id)
+                except PersistError:
+                    existing = []  # corrupt or unreadable: overwrite
+                by_query = {record[:2]: record for record in existing}
+                by_query.update((record[:2], record) for record in records)
+                merged = list(by_query.values())
+                if merged == existing:
+                    continue  # nothing new to persist
+                self.persist.save_results(handle.dataset_id, merged)
+                self.metrics.increment("results_saved", len(merged))
+
+    @staticmethod
+    def _hot_result_records(fingerprint: str, entries) -> List[tuple]:
+        """RESULT_CODEC records for one fingerprint's cached refined answers."""
+        records = []
+        for key, value, cost in entries:
+            if not (isinstance(key, tuple) and len(key) == 7):
+                continue
+            fp, kind, width, height, k, diameter, refine = key
+            if fp != fingerprint or kind != "maxrs" or refine is not True:
+                continue
+            if not isinstance(value, MaxRSResult) or value.region is None:
+                continue
+            records.append((
+                float(width), float(height),
+                float(value.location.x), float(value.location.y),
+                float(value.region.x1), float(value.region.y1),
+                float(value.region.x2), float(value.region.y2),
+                float(value.region.weight), float(value.total_weight),
+                float(value.recursion_levels), float(value.leaf_count),
+                float(cost),
+            ))
+        return records
+
+    def _restore_results(self, handle: DatasetHandle) -> None:
+        """Reload a dataset's persisted hot results into the result cache."""
+        records = self.persist.load_results(handle.dataset_id)
+        for (width, height, loc_x, loc_y, x1, y1, x2, y2, region_weight,
+             total_weight, levels, leaves, cost) in records:
+            region = MaxRegion(x1=x1, y1=y1, x2=x2, y2=y2, weight=region_weight)
+            result = MaxRSResult(
+                location=Point(loc_x, loc_y), region=region,
+                total_weight=total_weight, io=None,
+                recursion_levels=int(levels), leaf_count=int(leaves),
+            )
+            key = (handle.fingerprint, "maxrs", width, height, 1, None, True)
+            self.cache.put(key, result, cost=max(0.0, cost))
+        if records:
+            self.metrics.increment("results_restored", len(records))
+
+    def _evict_fingerprint(self, fingerprint: str) -> None:
+        """Drop every cached result computed for one data fingerprint."""
+        evicted = self.cache.invalidate_matching(
+            lambda key: isinstance(key, tuple) and bool(key)
+            and key[0] == fingerprint
+        )
+        if evicted:
+            self.metrics.increment("cache_invalidated", evicted)
+
+    def _restore_catalog(self) -> None:
+        """Re-register every restorable dataset in the snapshot catalog.
+
+        Corrupt or mismatched snapshots are skipped (recorded in
+        ``stats()["persist"]["restore_errors"]``); a bad grid blob only
+        degrades to an in-memory grid rebuild, never loses the dataset.
+        """
+        for dataset_id in self.persist.dataset_ids():
+            try:
+                with self.metrics.time_stage("restore"):
+                    loaded = self.persist.load_dataset(dataset_id)
+                    handle = self.store.register_columns(
+                        loaded.xs, loaded.ys, loaded.ws, name=dataset_id,
+                        expected_fingerprint=loaded.manifest.fingerprint,
+                    )
+                    entry = self.store.get(handle.dataset_id)
+                    grid: Optional[GridIndex] = None
+                    if entry.count > 0:
+                        if loaded.grid is not None:
+                            try:
+                                grid = GridIndex.from_snapshot(
+                                    entry.xs, entry.ys, entry.ws, loaded.grid)
+                                self.metrics.increment("grids_restored")
+                            except PersistError:
+                                grid = None
+                                self.metrics.increment("grid_restore_failures")
+                        elif loaded.grid_error is not None:
+                            self.metrics.increment("grid_restore_failures")
+                        if grid is None:
+                            with self.metrics.time_stage("grid_build"):
+                                grid = GridIndex(
+                                    entry.xs, entry.ys, entry.ws,
+                                    target_points_per_cell=self._target_points_per_cell,
+                                    max_cells_per_side=self._max_cells_per_side,
+                                )
+                            if loaded.manifest.grid is not None and self._persist_grid:
+                                # Self-heal: the persisted grid was unusable,
+                                # so replace it with the rebuilt one (results
+                                # survive -- the fingerprint is unchanged).
+                                self.persist.save_dataset(
+                                    dataset_id, entry.xs, entry.ys, entry.ws,
+                                    grid=grid.snapshot())
+                                self.metrics.increment("grids_repaired")
+                    self._grids[handle.dataset_id] = grid
+                    try:
+                        self._restore_results(handle)
+                    except PersistError as exc:
+                        # Hot results are an optimisation: losing them costs
+                        # recomputation, never correctness.
+                        self._restore_errors[f"{dataset_id}:results"] = str(exc)
+                        self.metrics.increment("result_restore_failures")
+                    self.metrics.increment("datasets_restored")
+            except (PersistError, ServiceError) as exc:
+                self._restore_errors[dataset_id] = str(exc)
+                self.metrics.increment("restore_failures")
 
     def grid_index(self, dataset: Union[str, DatasetHandle]) -> Optional[GridIndex]:
         """The grid index of a registered dataset (``None`` when empty)."""
@@ -273,14 +511,40 @@ class MaxRSEngine:
     # Introspection
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, object]:
-        """Serving statistics: cache behaviour, per-stage timings, datasets."""
+        """Serving statistics: cache, per-stage timings, datasets, snapshot I/O.
+
+        ``stats()["persist"]`` is ``None`` for a memory-only engine; for a
+        persistent one it reports the snapshot catalog size, restore results,
+        and -- via the snapshot store's ``em.counters`` -- the block reads and
+        writes every save and load cost, in the paper's transfer units.
+        """
         cache = self.cache.stats
         snapshot = self.metrics.snapshot()
         configured = self.sweep_backend
         if configured is not None and not isinstance(configured, str):
             configured = configured.name
+        persist: Optional[Dict[str, object]] = None
+        if self.persist is not None:
+            io = self.persist.counters
+            persist = {
+                "dir": str(self.persist.root),
+                "datasets_in_catalog": len(self.persist),
+                "snapshots_saved": snapshot["counters"].get("snapshots_saved", 0),
+                "datasets_restored": snapshot["counters"].get("datasets_restored", 0),
+                "grids_restored": snapshot["counters"].get("grids_restored", 0),
+                "results_saved": snapshot["counters"].get("results_saved", 0),
+                "results_restored": snapshot["counters"].get("results_restored", 0),
+                "restore_errors": dict(self._restore_errors),
+                "io": {
+                    "block_reads": io.block_reads,
+                    "block_writes": io.block_writes,
+                    "cache_hits": io.cache_hits,
+                    "total_ios": io.total_ios,
+                },
+            }
         prefix = "sweep_backend_"
         return {
+            "persist": persist,
             "sweep_backend": {
                 "configured": configured if configured is not None else "auto",
                 "summary": backend_summary(self.sweep_backend),

@@ -39,7 +39,8 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, PersistError
+from repro.persist.format import GridSnapshot
 
 __all__ = ["GridIndex"]
 
@@ -107,11 +108,7 @@ class GridIndex:
         if self.cell_h <= 0.0:
             self.n_rows, self.cell_h = 1, 1.0
 
-        cols = np.clip((xs - self.x0) / self.cell_w, 0, self.n_cols - 1).astype(np.int64)
-        rows = np.clip((ys - self.y0) / self.cell_h, 0, self.n_rows - 1).astype(np.int64)
-        #: Flat cell id of every point, row-major.
-        self.point_cell = rows * self.n_cols + cols
-
+        self._assign_points(xs, ys)
         num_cells = self.n_rows * self.n_cols
         #: Per-cell aggregates: total weight and point count.
         self.cell_weights = np.bincount(
@@ -120,7 +117,99 @@ class GridIndex:
         self.cell_counts = np.bincount(
             self.point_cell, minlength=num_cells
         ).reshape(self.n_rows, self.n_cols)
+        self._build_derived()
 
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> GridSnapshot:
+        """The persistable state of this index: geometry + cell aggregates.
+
+        The CSR point lists and the prefix-sum table are derived data and are
+        rebuilt (vectorised) by :meth:`from_snapshot`; only what cannot be
+        reproduced bit-identically from the point columns alone -- the chosen
+        resolution and the aggregate tables -- is part of the snapshot.
+        """
+        return GridSnapshot(
+            n_rows=self.n_rows, n_cols=self.n_cols,
+            x0=self.x0, y0=self.y0,
+            cell_w=self.cell_w, cell_h=self.cell_h,
+            cell_weights=self.cell_weights.copy(),
+            cell_counts=self.cell_counts.astype(np.int64),
+        )
+
+    @classmethod
+    def from_snapshot(cls, xs: np.ndarray, ys: np.ndarray, ws: np.ndarray,
+                      snap: GridSnapshot) -> "GridIndex":
+        """Rebuild an index from persisted aggregates, verifying consistency.
+
+        The persisted geometry is adopted verbatim -- a restarted engine
+        prunes with *exactly* the resolution it served before, even if the
+        sizing heuristic changes between versions.  The per-cell point counts
+        are recomputed from the columns and must match the persisted ones
+        exactly; the persisted weights must agree with the recomputed ones to
+        within float tolerance (bincount summation order may differ across
+        numpy versions).  Any disagreement raises
+        :class:`~repro.errors.PersistError`, and callers fall back to a full
+        rebuild -- a stale or corrupt aggregate must never silently loosen or
+        tighten the pruning bound.
+        """
+        count = len(xs)
+        if count == 0:
+            raise ConfigurationError("GridIndex requires a non-empty dataset")
+        if (snap.n_rows < 1 or snap.n_cols < 1
+                or not (snap.cell_w > 0.0 and snap.cell_h > 0.0)
+                or not (math.isfinite(snap.x0) and math.isfinite(snap.y0))):
+            raise PersistError(
+                f"persisted grid geometry is degenerate: "
+                f"{snap.n_rows} x {snap.n_cols} cells of "
+                f"{snap.cell_w} x {snap.cell_h}"
+            )
+        if snap.cell_weights.shape != (snap.n_rows, snap.n_cols) \
+                or snap.cell_counts.shape != (snap.n_rows, snap.n_cols):
+            raise PersistError("persisted grid aggregates have the wrong shape")
+
+        self = cls.__new__(cls)
+        self.count = count
+        self.x0, self.y0 = snap.x0, snap.y0
+        self.n_rows, self.n_cols = snap.n_rows, snap.n_cols
+        self.cell_w, self.cell_h = snap.cell_w, snap.cell_h
+        self._assign_points(xs, ys)
+
+        num_cells = self.n_rows * self.n_cols
+        counts = np.bincount(self.point_cell, minlength=num_cells)
+        if not np.array_equal(counts, snap.cell_counts.ravel()):
+            raise PersistError(
+                "persisted per-cell point counts disagree with the point "
+                "columns; the grid snapshot is stale or corrupt"
+            )
+        weights = np.bincount(self.point_cell, weights=ws, minlength=num_cells)
+        persisted = snap.cell_weights.ravel()
+        tolerance = 1e-9 * max(1.0, float(np.abs(weights).max(initial=0.0)))
+        if not np.allclose(weights, persisted, rtol=0.0, atol=tolerance):
+            raise PersistError(
+                "persisted per-cell weights disagree with the point columns; "
+                "the grid snapshot is stale or corrupt"
+            )
+        # Serve from the *persisted* aggregates (not the recomputation), so a
+        # restarted engine's bounds are bit-identical to the ones it saved.
+        self.cell_weights = snap.cell_weights.astype(np.float64).reshape(
+            self.n_rows, self.n_cols)
+        self.cell_counts = snap.cell_counts.astype(np.int64).reshape(
+            self.n_rows, self.n_cols)
+        self._build_derived()
+        return self
+
+    def _assign_points(self, xs: np.ndarray, ys: np.ndarray) -> None:
+        """Bin every point into the (already fixed) grid geometry."""
+        cols = np.clip((xs - self.x0) / self.cell_w, 0, self.n_cols - 1).astype(np.int64)
+        rows = np.clip((ys - self.y0) / self.cell_h, 0, self.n_rows - 1).astype(np.int64)
+        #: Flat cell id of every point, row-major.
+        self.point_cell = rows * self.n_cols + cols
+
+    def _build_derived(self) -> None:
+        """Build the CSR point lists and prefix-sum table from the aggregates."""
+        num_cells = self.n_rows * self.n_cols
         #: Per-cell point lists in compact CSR form: ``point_order`` holds the
         #: point indices grouped by cell, ``cell_offsets[c]:cell_offsets[c+1]``
         #: delimits cell ``c``'s group.

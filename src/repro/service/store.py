@@ -10,14 +10,23 @@ every registered dataset into immutable, query-friendly form:
 * coordinate / weight :mod:`numpy` columns, pre-sorted views of the
   y-coordinates (used by the engine to reconstruct exact region boundaries
   after pruning), the bounding box and the total weight;
-* a SHA-256 **fingerprint** of the packed ``(x, y, weight)`` columns.  Two
-  registrations of byte-identical data share one entry, and the fingerprint
-  keys the result cache so cached answers can never leak across datasets.
+* a SHA-256 **fingerprint** of the packed ``(x, y, weight)`` columns
+  (:func:`repro.persist.format.fingerprint_columns` -- the same identity the
+  durable snapshot store verifies on load).  Two registrations of
+  byte-identical data share one entry, and the fingerprint keys the result
+  cache so cached answers can never leak across datasets.
+
+Datasets can also be registered straight from packed columns
+(:meth:`PointStore.register_columns`) -- the warm-start path of
+:mod:`repro.persist`.  Such entries materialise their
+:class:`~repro.geometry.WeightedPoint` tuple lazily: a pruned query touches
+only the points of its candidate cells, so a restarted service starts
+answering before it has ever paid the per-object construction cost of the
+full dataset.
 """
 
 from __future__ import annotations
 
-import hashlib
 import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -26,6 +35,7 @@ import numpy as np
 
 from repro.errors import ServiceError
 from repro.geometry import Rect, WeightedPoint
+from repro.persist.format import fingerprint_columns, points_from_columns
 
 __all__ = ["DatasetHandle", "RegisteredDataset", "PointStore"]
 
@@ -56,7 +66,6 @@ class DatasetHandle:
     bounds: Optional[Rect]
 
 
-@dataclass(frozen=True, slots=True)
 class RegisteredDataset:
     """The internal snapshot behind a :class:`DatasetHandle`.
 
@@ -64,23 +73,43 @@ class RegisteredDataset:
     read-only.  ``ys_sorted`` exists so the engine can compute, in
     ``O(n)`` vectorised time, the exact h-line that closes a pruned sweep's
     best strip (see :meth:`~repro.service.engine.MaxRSEngine.query`).
+
+    The object tuple is eager for datasets registered from objects and
+    **lazy** for datasets registered from columns (snapshot warm-start):
+    :meth:`subset` then builds only the points a pruned sweep actually
+    touches, and the full tuple is materialised -- once -- only if a
+    whole-dataset path (MaxkRS, an unpruned refine) needs it.
     """
 
-    handle: DatasetHandle
-    objects: Tuple[WeightedPoint, ...]
-    xs: np.ndarray
-    ys: np.ndarray
-    ws: np.ndarray
-    ys_sorted: np.ndarray
+    __slots__ = ("handle", "xs", "ys", "ws", "ys_sorted", "_objects")
+
+    def __init__(self, handle: DatasetHandle, xs: np.ndarray, ys: np.ndarray,
+                 ws: np.ndarray, ys_sorted: np.ndarray,
+                 objects: Optional[Tuple[WeightedPoint, ...]] = None) -> None:
+        self.handle = handle
+        self.xs = xs
+        self.ys = ys
+        self.ws = ws
+        self.ys_sorted = ys_sorted
+        self._objects = objects
 
     @property
     def count(self) -> int:
         return self.handle.count
 
+    @property
+    def objects(self) -> Tuple[WeightedPoint, ...]:
+        """The full object tuple (materialised from the columns on demand)."""
+        if self._objects is None:
+            self._objects = tuple(points_from_columns(self.xs, self.ys, self.ws))
+        return self._objects
+
     def subset(self, indices: np.ndarray) -> List[WeightedPoint]:
         """Materialise the objects at ``indices`` (ascending original order)."""
-        objects = self.objects
-        return [objects[i] for i in indices]
+        if self._objects is not None:
+            objects = self._objects
+            return [objects[i] for i in indices]
+        return points_from_columns(self.xs, self.ys, self.ws, indices)
 
 
 class PointStore:
@@ -90,7 +119,8 @@ class PointStore:
     (under the same or no name) returns the existing handle.  Reusing a name
     for *different* data raises :class:`~repro.errors.ServiceError` -- a
     resident service must never silently serve stale results for a name whose
-    meaning changed; unregister first.
+    meaning changed; unregister first (or, at the engine level, register with
+    ``replace=True``).
     """
 
     def __init__(self) -> None:
@@ -101,48 +131,99 @@ class PointStore:
     # Registration
     # ------------------------------------------------------------------ #
     def register(self, objects: Sequence[WeightedPoint],
-                 name: Optional[str] = None) -> DatasetHandle:
-        """Snapshot ``objects`` and return the handle addressing them."""
+                 name: Optional[str] = None, *,
+                 replace: bool = False) -> DatasetHandle:
+        """Snapshot ``objects`` and return the handle addressing them.
+
+        ``replace=True`` allows rebinding an existing ``name`` to different
+        data (the entry is swapped only after the new data validates, so a
+        rejected registration never loses the old dataset).
+        """
         snapshot = tuple(objects)
         xs = np.fromiter((o.x for o in snapshot), dtype=np.float64, count=len(snapshot))
         ys = np.fromiter((o.y for o in snapshot), dtype=np.float64, count=len(snapshot))
         ws = np.fromiter((o.weight for o in snapshot), dtype=np.float64, count=len(snapshot))
+        return self._register(xs, ys, ws, name=name, objects=snapshot,
+                              replace=replace)
+
+    def register_columns(self, xs: np.ndarray, ys: np.ndarray, ws: np.ndarray,
+                         *, name: Optional[str] = None,
+                         expected_fingerprint: Optional[str] = None
+                         ) -> DatasetHandle:
+        """Register a dataset straight from packed float64 columns.
+
+        The warm-start path: no per-object Python cost is paid up front (the
+        object tuple is lazy; see :class:`RegisteredDataset`).  When
+        ``expected_fingerprint`` is given (a snapshot manifest's), a mismatch
+        raises :class:`~repro.errors.ServiceError` before anything is
+        registered.
+        """
+        if not (len(xs) == len(ys) == len(ws)):
+            raise ServiceError(
+                f"column lengths differ: {len(xs)} x, {len(ys)} y, {len(ws)} weights"
+            )
+        # Always copy: the snapshot must stay immutable (and match its
+        # fingerprint forever) even if the caller mutates the arrays later.
+        xs = np.array(xs, dtype=np.float64)
+        ys = np.array(ys, dtype=np.float64)
+        ws = np.array(ws, dtype=np.float64)
+        return self._register(xs, ys, ws, name=name,
+                              expected_fingerprint=expected_fingerprint)
+
+    def _register(self, xs: np.ndarray, ys: np.ndarray, ws: np.ndarray, *,
+                  name: Optional[str],
+                  objects: Optional[Tuple[WeightedPoint, ...]] = None,
+                  expected_fingerprint: Optional[str] = None,
+                  replace: bool = False) -> DatasetHandle:
         # The one-shot solvers tolerate infinite coordinates, but the grid
         # index cannot aggregate them (an infinite extent collapses every
         # cell computation); reject at the service boundary with a clear
         # error instead of failing deep inside numpy.
-        if snapshot and not (np.isfinite(xs).all() and np.isfinite(ys).all()
-                             and np.isfinite(ws).all()):
+        if len(xs) and not (np.isfinite(xs).all() and np.isfinite(ys).all()
+                            and np.isfinite(ws).all()):
             raise ServiceError(
                 "datasets registered with the query service must have finite "
                 "coordinates and weights"
             )
-        fingerprint = _fingerprint(xs, ys, ws)
+        fingerprint = fingerprint_columns(xs, ys, ws)
+        if expected_fingerprint is not None and fingerprint != expected_fingerprint:
+            raise ServiceError(
+                f"columns hash to fingerprint {fingerprint[:12]}..., expected "
+                f"{expected_fingerprint[:12]}...; refusing to register "
+                "mismatched snapshot data"
+            )
         dataset_id = name if name is not None else f"ds-{fingerprint[:12]}"
 
         with self._lock:
             existing = self._by_id.get(dataset_id)
             if existing is not None:
-                if existing.handle.fingerprint != fingerprint:
+                if existing.handle.fingerprint == fingerprint:
+                    return existing.handle
+                if not replace:
                     raise ServiceError(
                         f"dataset id {dataset_id!r} is already registered with "
-                        "different data; unregister it first"
+                        f"different data: registered fingerprint is "
+                        f"{existing.handle.fingerprint}, the new data's is "
+                        f"{fingerprint}; unregister the id first (or use the "
+                        "engine's replace=True) instead of silently changing "
+                        "what a name means"
                     )
-                return existing.handle
+                # replace=True: fall through and overwrite the entry -- the
+                # new data has already passed validation above.
             bounds = None
-            if snapshot:
+            if len(xs):
                 bounds = Rect(float(xs.min()), float(ys.min()),
                               float(xs.max()), float(ys.max()))
             handle = DatasetHandle(
                 dataset_id=dataset_id,
                 fingerprint=fingerprint,
-                count=len(snapshot),
+                count=int(len(xs)),
                 total_weight=float(ws.sum()),
                 bounds=bounds,
             )
             self._by_id[dataset_id] = RegisteredDataset(
-                handle=handle, objects=snapshot, xs=xs, ys=ys, ws=ws,
-                ys_sorted=np.sort(ys),
+                handle=handle, xs=xs, ys=ys, ws=ws,
+                ys_sorted=np.sort(ys), objects=objects,
             )
             return handle
 
@@ -183,11 +264,3 @@ class PointStore:
     def __contains__(self, dataset_id: str) -> bool:
         with self._lock:
             return dataset_id in self._by_id
-
-
-def _fingerprint(xs: np.ndarray, ys: np.ndarray, ws: np.ndarray) -> str:
-    """Hex SHA-256 over the packed little-endian float64 columns."""
-    digest = hashlib.sha256()
-    for column in (xs, ys, ws):
-        digest.update(column.astype("<f8", copy=False).tobytes())
-    return digest.hexdigest()

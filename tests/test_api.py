@@ -99,6 +99,93 @@ class TestMaxRSSolver:
             [r.total_weight for r in external])
 
 
+class TestFromSnapshot:
+    def _persist(self, tmp_path, objects):
+        import numpy as np
+
+        from repro.persist import SnapshotStore
+
+        store = SnapshotStore(tmp_path)
+        store.save_dataset(
+            "demo",
+            np.array([o.x for o in objects]),
+            np.array([o.y for o in objects]),
+            np.array([o.weight for o in objects]),
+        )
+
+    def test_solves_over_loaded_snapshot(self, tmp_path, make_objects):
+        objects = make_objects(50, seed=8)
+        self._persist(tmp_path, objects)
+        solver = MaxRSSolver.from_snapshot(tmp_path, "demo",
+                                           width=5.0, height=5.0)
+        from_snapshot = solver.solve()
+        direct = MaxRSSolver(width=5.0, height=5.0).solve(objects)
+        assert from_snapshot.total_weight == direct.total_weight
+        assert from_snapshot.region == direct.region
+        # Explicit objects still take precedence over the loaded snapshot.
+        subset = solver.solve(objects[:5])
+        assert subset.total_weight <= from_snapshot.total_weight
+
+    def test_solve_top_k_over_loaded_snapshot(self, tmp_path, make_objects):
+        objects = make_objects(50, seed=9)
+        self._persist(tmp_path, objects)
+        solver = MaxRSSolver.from_snapshot(tmp_path, "demo",
+                                           width=5.0, height=5.0)
+        assert [r.total_weight for r in solver.solve_top_k(k=2)] == \
+               [r.total_weight
+                for r in MaxRSSolver(width=5.0, height=5.0).solve_top_k(objects, k=2)]
+
+    def test_solver_config_is_independent_of_snapshot_block_size(
+            self, tmp_path, make_objects):
+        """A non-default *solver* EM config must not reject a 4 KB snapshot."""
+        objects = make_objects(30, seed=10)
+        self._persist(tmp_path, objects)
+        solver = MaxRSSolver.from_snapshot(
+            tmp_path, "demo", width=5.0, height=5.0,
+            config=EMConfig(block_size=512, buffer_size=2048))
+        direct = MaxRSSolver(width=5.0, height=5.0).solve(objects)
+        assert solver.solve().total_weight == direct.total_weight
+
+    def test_unknown_dataset_rejected(self, tmp_path):
+        from repro.errors import PersistError
+        from repro.persist import SnapshotStore
+
+        SnapshotStore(tmp_path)  # an empty store
+        with pytest.raises(PersistError):
+            MaxRSSolver.from_snapshot(tmp_path, "ghost", width=1.0, height=1.0)
+
+    def test_solve_without_objects_or_snapshot_rejected(self):
+        with pytest.raises(ConfigurationError, match="no point set"):
+            MaxRSSolver(width=1.0, height=1.0).solve()
+
+    def test_positional_k_mistake_is_caught_early(self, tmp_path, make_objects):
+        """solve_top_k(3) on a preloaded solver must not bind 3 to objects."""
+        self._persist(tmp_path, make_objects(20, seed=11))
+        solver = MaxRSSolver.from_snapshot(tmp_path, "demo",
+                                           width=5.0, height=5.0)
+        with pytest.raises(ConfigurationError, match="k by keyword"):
+            solver.solve_top_k(3)
+
+    def test_solve_accepts_non_sequence_iterables(self, make_objects):
+        """Arbitrary len()-able iterables (e.g. numpy object arrays) still work."""
+        import numpy as np
+
+        objects = make_objects(20, seed=12)
+        array = np.empty(len(objects), dtype=object)
+        array[:] = objects
+        direct = MaxRSSolver(width=5.0, height=5.0).solve(objects)
+        assert MaxRSSolver(width=5.0, height=5.0).solve(array).total_weight \
+            == direct.total_weight
+
+    def test_read_path_does_not_create_directories(self, tmp_path):
+        from repro.errors import PersistError
+
+        missing = tmp_path / "typo" / "snapshots"
+        with pytest.raises(PersistError):
+            MaxRSSolver.from_snapshot(missing, "ds", width=1.0, height=1.0)
+        assert not missing.exists()
+
+
 class TestMaxCRSSolver:
     def test_invalid_diameter_rejected(self):
         with pytest.raises(ConfigurationError):

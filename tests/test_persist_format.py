@@ -1,0 +1,161 @@
+"""Tests for the snapshot on-disk format (:mod:`repro.persist.format`)."""
+
+import json
+
+import pytest
+
+pytest.importorskip("numpy")  # the format helpers hash numpy columns
+
+import numpy as np
+
+from repro.errors import PersistError
+from repro.persist.format import (
+    BLOB_MAGIC,
+    CATALOG_FILENAME,
+    CATALOG_VERSION,
+    DatasetManifest,
+    GridManifest,
+    SnapshotCatalog,
+    fingerprint_columns,
+    load_catalog,
+    read_blob,
+    save_catalog,
+    write_blob,
+)
+
+
+def _column(values):
+    return np.asarray(values, dtype=np.float64)
+
+
+class TestFingerprint:
+    def test_deterministic_and_sensitive(self):
+        xs, ys, ws = _column([1.0, 2.0]), _column([3.0, 4.0]), _column([1.0, 1.0])
+        a = fingerprint_columns(xs, ys, ws)
+        assert a == fingerprint_columns(xs.copy(), ys.copy(), ws.copy())
+        assert len(a) == 64
+        assert a != fingerprint_columns(xs, ys, _column([1.0, 2.0]))
+
+    def test_matches_point_store_fingerprints(self):
+        """The store and the persist layer must agree on dataset identity."""
+        from repro.geometry import WeightedPoint
+        from repro.service.store import PointStore
+
+        objects = [WeightedPoint(1.5, -2.25, 3.0), WeightedPoint(0.0, 0.0, 1.0)]
+        handle = PointStore().register(objects)
+        xs = _column([o.x for o in objects])
+        ys = _column([o.y for o in objects])
+        ws = _column([o.weight for o in objects])
+        assert handle.fingerprint == fingerprint_columns(xs, ys, ws)
+
+
+class TestBlob:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "test.blob"
+        payloads = [b"a" * 512, b"b" * 512, b"c" * 100]  # trailing partial block
+        write_blob(path, block_size=512, payloads=payloads, num_records=282)
+        block_size, num_records, blocks = read_blob(path)
+        assert block_size == 512
+        assert num_records == 282
+        assert blocks[0] == b"a" * 512
+        assert blocks[2] == b"c" * 100 + b"\x00" * 412  # padded on disk
+
+    def test_empty_blob(self, tmp_path):
+        path = tmp_path / "empty.blob"
+        write_blob(path, block_size=512, payloads=[], num_records=0)
+        assert read_blob(path) == (512, 0, [])
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(PersistError, match="cannot read"):
+            read_blob(tmp_path / "nope.blob")
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.blob"
+        write_blob(path, block_size=512, payloads=[b"x" * 512], num_records=64)
+        raw = bytearray(path.read_bytes())
+        raw[:8] = b"NOTMAGIC"
+        path.write_bytes(bytes(raw))
+        with pytest.raises(PersistError, match="magic"):
+            read_blob(path)
+
+    def test_truncation_rejected(self, tmp_path):
+        path = tmp_path / "short.blob"
+        write_blob(path, block_size=512, payloads=[b"x" * 512], num_records=64)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-10])
+        with pytest.raises(PersistError, match="truncated"):
+            read_blob(path)
+
+    def test_bit_flip_fails_checksum(self, tmp_path):
+        path = tmp_path / "flip.blob"
+        write_blob(path, block_size=512, payloads=[b"x" * 512], num_records=64)
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0x01  # flip one payload bit
+        path.write_bytes(bytes(raw))
+        with pytest.raises(PersistError, match="checksum"):
+            read_blob(path)
+
+    def test_magic_identifies_version(self):
+        assert BLOB_MAGIC.endswith(b"\x01")
+
+
+class TestCatalog:
+    def _manifest(self, dataset_id="demo", fingerprint="ab" * 32, *,
+                  with_grid=True):
+        grid = GridManifest(file="abab.grid", n_rows=3, n_cols=4, x0=0.0,
+                            y0=-1.0, cell_w=2.5, cell_h=1.25) if with_grid else None
+        return DatasetManifest(
+            dataset_id=dataset_id, fingerprint=fingerprint, count=7,
+            total_weight=11.5, codec="f64-column/1", block_size=4096,
+            points_file="abab.points", grid=grid,
+            results_file="abab.results" if with_grid else None,
+            results_count=2 if with_grid else 0,
+        )
+
+    def test_round_trip(self, tmp_path):
+        catalog = SnapshotCatalog(datasets={
+            "demo": self._manifest(),
+            "bare": self._manifest("bare", "cd" * 32, with_grid=False),
+        })
+        save_catalog(tmp_path, catalog)
+        loaded = load_catalog(tmp_path)
+        assert loaded.datasets == catalog.datasets
+
+    def test_missing_catalog_is_empty(self, tmp_path):
+        assert len(load_catalog(tmp_path)) == 0
+
+    def test_newer_version_rejected(self, tmp_path):
+        save_catalog(tmp_path, SnapshotCatalog())
+        path = tmp_path / CATALOG_FILENAME
+        document = json.loads(path.read_text())
+        document["format_version"] = CATALOG_VERSION + 1
+        path.write_text(json.dumps(document))
+        with pytest.raises(PersistError, match="format version"):
+            load_catalog(tmp_path)
+
+    def test_unversioned_document_rejected(self, tmp_path):
+        (tmp_path / CATALOG_FILENAME).write_text("{}")
+        with pytest.raises(PersistError, match="versioned"):
+            load_catalog(tmp_path)
+
+    def test_malformed_json_rejected(self, tmp_path):
+        (tmp_path / CATALOG_FILENAME).write_text("{not json")
+        with pytest.raises(PersistError, match="cannot read"):
+            load_catalog(tmp_path)
+
+    def test_malformed_entry_rejected(self, tmp_path):
+        save_catalog(tmp_path, SnapshotCatalog(datasets={"demo": self._manifest()}))
+        path = tmp_path / CATALOG_FILENAME
+        document = json.loads(path.read_text())
+        del document["datasets"]["demo"]["fingerprint"]
+        path.write_text(json.dumps(document))
+        with pytest.raises(PersistError, match="malformed catalog entry"):
+            load_catalog(tmp_path)
+
+    def test_references_tracks_shared_blobs(self):
+        catalog = SnapshotCatalog(datasets={"demo": self._manifest()})
+        assert catalog.references("abab.points")
+        assert catalog.references("abab.grid")
+        assert catalog.references("abab.results")
+        assert not catalog.references("abab.points", excluding="demo")
+        assert not catalog.references("other.points")

@@ -171,6 +171,30 @@ class TestStatsAndInvalidation:
         assert cache.invalidate("a") is False
         assert cache.get("a") == (False, None)
 
+    def test_invalidate_matching(self):
+        cache = LRUCache(8)
+        cache.put(("fp1", "maxrs", 2.0), 1)
+        cache.put(("fp1", "maxrs", 3.0), 2)
+        cache.put(("fp2", "maxrs", 2.0), 3)
+        dropped = cache.invalidate_matching(lambda key: key[0] == "fp1")
+        assert dropped == 2
+        assert len(cache) == 1
+        assert cache.get(("fp2", "maxrs", 2.0)) == (True, 3)
+
+    def test_invalidate_matching_is_not_an_eviction(self):
+        cache = LRUCache(8)
+        cache.put("a", 1)
+        cache.invalidate_matching(lambda key: True)
+        assert cache.stats.evictions == 0
+
+    def test_entries_snapshot(self):
+        cache = LRUCache(8)
+        cache.put("a", 1, cost=0.5)
+        cache.put("b", 2, cost=2.0)
+        cache.get("a")  # refresh: "a" becomes the most recent
+        assert cache.entries() == [("b", 2, 2.0), ("a", 1, 0.5)]
+        assert cache.stats.hits == 1  # entries() itself counted nothing
+
     def test_clear_keeps_counters(self):
         cache = LRUCache(4)
         cache.put("a", 1)

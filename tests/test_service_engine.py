@@ -230,6 +230,17 @@ class TestDatasetLifecycle:
         with pytest.raises(ServiceError):
             engine.register_dataset(make_objects(10, seed=14), name="ds")
 
+    def test_name_conflict_error_names_both_fingerprints(self, make_objects):
+        store = PointStore()
+        old = store.register(make_objects(10, seed=13), name="ds")
+        new_objects = make_objects(10, seed=14)
+        with pytest.raises(ServiceError) as excinfo:
+            store.register(new_objects, name="ds")
+        message = str(excinfo.value)
+        assert old.fingerprint in message
+        new_fingerprint = store.register(new_objects).fingerprint
+        assert new_fingerprint in message
+
     def test_unregister(self, make_objects):
         engine = MaxRSEngine()
         handle = engine.register_dataset(make_objects(10, seed=15), name="gone")
@@ -238,6 +249,55 @@ class TestDatasetLifecycle:
             engine.query("gone", QuerySpec.maxrs(1.0, 1.0))
         with pytest.raises(ServiceError):
             engine.unregister_dataset("gone")
+
+    def test_unregister_evicts_cached_results(self, make_objects):
+        """The TTL-free invalidation hook: no stale entries squat in the LRU."""
+        objects = make_objects(30, seed=41)
+        engine = MaxRSEngine()
+        handle = engine.register_dataset(objects, name="ds")
+        engine.query(handle, QuerySpec.maxrs(4.0, 4.0))
+        engine.query(handle, QuerySpec.maxrs(9.0, 3.0))
+        assert engine.stats()["cache"]["size"] == 2
+        engine.unregister_dataset(handle)
+        assert engine.stats()["cache"]["size"] == 0
+        assert engine.metrics.counter("cache_invalidated") == 2
+
+    def test_unregister_keeps_entries_shared_by_identical_data(self, make_objects):
+        """Byte-identical data under another id keeps its cache entries."""
+        objects = make_objects(30, seed=42)
+        engine = MaxRSEngine()
+        a = engine.register_dataset(objects, name="a")
+        engine.register_dataset(list(objects), name="b")
+        engine.query(a, QuerySpec.maxrs(4.0, 4.0))
+        engine.unregister_dataset("a")
+        assert engine.stats()["cache"]["size"] == 1
+        engine.query("b", QuerySpec.maxrs(4.0, 4.0))
+        assert engine.stats()["cache"]["hits"] == 1
+
+    def test_replace_rebinds_name_and_evicts_old_results(self, make_objects):
+        old_objects = make_objects(30, seed=43)
+        new_objects = make_objects(30, seed=44)
+        engine = MaxRSEngine()
+        engine.register_dataset(old_objects, name="ds")
+        engine.query("ds", QuerySpec.maxrs(4.0, 4.0))
+        handle = engine.register_dataset(new_objects, name="ds", replace=True)
+        assert engine.stats()["cache"]["size"] == 0
+        assert engine.stats()["datasets"] == 1
+        result = engine.query("ds", QuerySpec.maxrs(4.0, 4.0))
+        reference = solve_in_memory(new_objects, 4.0, 4.0)
+        assert result.total_weight == reference.total_weight
+        assert handle.count == 30
+
+    def test_replace_with_invalid_data_keeps_old_dataset(self, make_objects):
+        """A rejected replacement must not destroy what the name meant."""
+        objects = make_objects(10, seed=45)
+        engine = MaxRSEngine()
+        engine.register_dataset(objects, name="ds")
+        with pytest.raises(ServiceError):
+            engine.register_dataset([WeightedPoint(float("inf"), 0.0)],
+                                    name="ds", replace=True)
+        assert engine.stats()["datasets"] == 1
+        engine.query("ds", QuerySpec.maxrs(1.0, 1.0))  # still serveable
 
     def test_handle_metadata(self, make_objects):
         objects = make_objects(25, seed=16)
