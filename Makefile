@@ -5,6 +5,7 @@
 #   make bench          - the benchmark suite at its standard preset
 #   make bench-backends - sweep-backend A/B comparison (smoke preset)
 #   make bench-persist  - warm-start vs cold re-ingest comparison (fast preset)
+#   make bench-shards   - sharded vs unsharded grid index (fast preset)
 #   make examples       - run every example script end-to-end
 #
 # All targets run from the repository checkout without installation: the
@@ -13,7 +14,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench bench-backends bench-persist examples
+.PHONY: test bench-smoke bench bench-backends bench-persist bench-shards examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -32,6 +33,13 @@ bench-backends:
 # REPRO_BENCH_PRESET=paper make bench-persist.
 bench-persist:
 	$(PYTHON) -m pytest benchmarks/test_service_coldstart.py -q
+
+# Sharded (4 threaded shards) vs unsharded grid index on registration and
+# refined cold queries; the >= 2x acceptance bound is asserted at
+# (near-)paper scale on hosts with >= 4 cores, e.g.
+# REPRO_BENCH_PRESET=paper make bench-shards.
+bench-shards:
+	$(PYTHON) -m pytest benchmarks/test_service_shards.py -q
 
 bench:
 	REPRO_BENCH_PRESET=bench $(PYTHON) -m pytest benchmarks -q

@@ -65,6 +65,10 @@ def main() -> None:
     dataset = engine.register_dataset(objects, name="city")
     register_seconds = time.perf_counter() - start
     print(f"register + index      : {register_seconds * 1e3:.1f} ms")
+    grid_stats = engine.stats()["grids"]["city"]
+    print(f"grid index            : {grid_stats['shard_count']} shard(s), "
+          f"executor {grid_stats['executor']} "
+          f"({grid_stats['rows']} x {grid_stats['cols']} cells)")
 
     start = time.perf_counter()
     results = engine.query_batch(dataset, [QuerySpec.maxrs(w, h)

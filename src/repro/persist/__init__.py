@@ -60,9 +60,13 @@ from repro.persist.format import (
     CATALOG_VERSION,
     POINTS_CODEC_NAME,
     RESULT_CODEC,
+    SUPPORTED_CATALOG_VERSIONS,
     DatasetManifest,
     GridManifest,
+    GridShardManifest,
+    GridShardSnapshot,
     GridSnapshot,
+    ShardedGridSnapshot,
     SnapshotCatalog,
     fingerprint_columns,
 )
@@ -71,12 +75,16 @@ from repro.persist.store import LoadedSnapshot, SnapshotStore, open_catalog
 __all__ = [
     "CATALOG_FILENAME",
     "CATALOG_VERSION",
+    "SUPPORTED_CATALOG_VERSIONS",
     "POINTS_CODEC_NAME",
     "DatasetManifest",
     "GridManifest",
+    "GridShardManifest",
+    "GridShardSnapshot",
     "GridSnapshot",
     "LoadedSnapshot",
     "RESULT_CODEC",
+    "ShardedGridSnapshot",
     "SnapshotCatalog",
     "SnapshotStore",
     "fingerprint_columns",

@@ -49,11 +49,15 @@ __all__ = [
     "BLOB_MAGIC",
     "CATALOG_FILENAME",
     "CATALOG_VERSION",
+    "SUPPORTED_CATALOG_VERSIONS",
     "POINTS_CODEC_NAME",
     "RESULT_CODEC",
     "DatasetManifest",
     "GridManifest",
+    "GridShardManifest",
+    "GridShardSnapshot",
     "GridSnapshot",
+    "ShardedGridSnapshot",
     "SnapshotCatalog",
     "fingerprint_columns",
     "load_catalog",
@@ -72,8 +76,13 @@ _BLOB_HEADER = struct.Struct("<8sQQQ32s")
 #: Name of the manifest file inside a persist directory.
 CATALOG_FILENAME = "catalog.json"
 
-#: Catalog format version understood by this build.
-CATALOG_VERSION = 1
+#: Catalog format version this build writes.  Version 2 added sharded grid
+#: manifests (one blob per shard); version-1 catalogs (a single grid blob per
+#: dataset) are still read and their grids adopted as 1-shard indexes.
+CATALOG_VERSION = 2
+
+#: Catalog format versions this build can read.
+SUPPORTED_CATALOG_VERSIONS = (1, 2)
 
 #: Codec identifier recorded in every manifest entry.  Bump alongside any
 #: change to the column encoding so old stores are rejected, not misread.
@@ -204,29 +213,144 @@ class GridSnapshot:
 
 
 @dataclass(frozen=True, slots=True)
-class GridManifest:
-    """Catalog entry describing one persisted grid-index blob."""
+class GridShardSnapshot:
+    """The persistable state of one shard: its cell block plus aggregates.
 
-    file: str
+    ``row0:row1`` / ``col0:col1`` is the shard's half-open block of **global**
+    grid cells; the aggregate arrays have the block's shape.  The blocks of a
+    :class:`ShardedGridSnapshot` tile the global grid exactly -- loaders
+    verify that before adopting a persisted layout.
+    """
+
+    row0: int
+    row1: int
+    col0: int
+    col1: int
+    cell_weights: np.ndarray  # float64, shape (row1-row0, col1-col0)
+    cell_counts: np.ndarray   # int64,  shape (row1-row0, col1-col0)
+
+
+@dataclass(frozen=True, slots=True)
+class ShardedGridSnapshot:
+    """Format-v2 grid state: one global geometry, one aggregate block per shard.
+
+    The sharded sibling of :class:`GridSnapshot`.  Each shard's aggregates are
+    persisted (and restored) as their own blob so a warm start can rebuild
+    shard partitions in parallel.
+    """
+
     n_rows: int
     n_cols: int
     x0: float
     y0: float
     cell_w: float
     cell_h: float
+    shards: Tuple[GridShardSnapshot, ...]
+
+    @classmethod
+    def from_single(cls, snap: GridSnapshot) -> "ShardedGridSnapshot":
+        """Adopt a v1 single-grid snapshot as a 1-shard layout."""
+        return cls(
+            n_rows=snap.n_rows, n_cols=snap.n_cols,
+            x0=snap.x0, y0=snap.y0, cell_w=snap.cell_w, cell_h=snap.cell_h,
+            shards=(GridShardSnapshot(
+                row0=0, row1=snap.n_rows, col0=0, col1=snap.n_cols,
+                cell_weights=snap.cell_weights,
+                cell_counts=snap.cell_counts),),
+        )
+
+    def tiles_exactly(self) -> bool:
+        """Whether the shard blocks partition the global grid exactly."""
+        coverage = np.zeros((self.n_rows, self.n_cols), dtype=np.int64)
+        for shard in self.shards:
+            if not (0 <= shard.row0 < shard.row1 <= self.n_rows
+                    and 0 <= shard.col0 < shard.col1 <= self.n_cols):
+                return False
+            coverage[shard.row0:shard.row1, shard.col0:shard.col1] += 1
+        return bool((coverage == 1).all())
+
+
+@dataclass(frozen=True, slots=True)
+class GridShardManifest:
+    """Catalog entry describing one shard's grid blob and cell block."""
+
+    file: str
+    row0: int
+    row1: int
+    col0: int
+    col1: int
 
     def to_json(self) -> Dict[str, object]:
-        return {"file": self.file, "n_rows": self.n_rows, "n_cols": self.n_cols,
-                "x0": self.x0, "y0": self.y0,
-                "cell_w": self.cell_w, "cell_h": self.cell_h}
+        return {"file": self.file, "row0": self.row0, "row1": self.row1,
+                "col0": self.col0, "col1": self.col1}
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "GridShardManifest":
+        try:
+            return cls(file=str(data["file"]),
+                       row0=int(data["row0"]), row1=int(data["row1"]),
+                       col0=int(data["col0"]), col1=int(data["col1"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PersistError(f"malformed grid shard manifest entry: {exc}") from exc
+
+
+@dataclass(frozen=True, slots=True)
+class GridManifest:
+    """Catalog entry describing one persisted grid index.
+
+    Two layouts share this entry: the version-1 single-blob grid (``file``
+    set, ``shards`` ``None``) and the version-2 sharded grid (``shards`` set,
+    ``file`` ``None``).  Exactly one of the two must be present.
+    """
+
+    file: Optional[str]
+    n_rows: int
+    n_cols: int
+    x0: float
+    y0: float
+    cell_w: float
+    cell_h: float
+    shards: Optional[Tuple[GridShardManifest, ...]] = None
+
+    def files(self) -> Tuple[str, ...]:
+        """Every blob file this grid entry references."""
+        if self.shards is not None:
+            return tuple(shard.file for shard in self.shards)
+        return (self.file,) if self.file is not None else ()
+
+    def to_json(self) -> Dict[str, object]:
+        document: Dict[str, object] = {
+            "file": self.file, "n_rows": self.n_rows, "n_cols": self.n_cols,
+            "x0": self.x0, "y0": self.y0,
+            "cell_w": self.cell_w, "cell_h": self.cell_h,
+        }
+        if self.shards is not None:
+            document["shards"] = [shard.to_json() for shard in self.shards]
+        return document
 
     @classmethod
     def from_json(cls, data: Dict[str, object]) -> "GridManifest":
         try:
-            return cls(file=str(data["file"]),
+            raw_shards = data.get("shards")
+            shards = None
+            if raw_shards is not None:
+                if not isinstance(raw_shards, list) or not raw_shards:
+                    raise ValueError("'shards' must be a non-empty list")
+                shards = tuple(GridShardManifest.from_json(entry)
+                               for entry in raw_shards)
+            raw_file = data.get("file")
+            file = str(raw_file) if raw_file is not None else None
+            if (file is None) == (shards is None):
+                raise ValueError(
+                    "exactly one of 'file' and 'shards' must be present"
+                )
+            return cls(file=file,
                        n_rows=int(data["n_rows"]), n_cols=int(data["n_cols"]),
                        x0=float(data["x0"]), y0=float(data["y0"]),
-                       cell_w=float(data["cell_w"]), cell_h=float(data["cell_h"]))
+                       cell_w=float(data["cell_w"]), cell_h=float(data["cell_h"]),
+                       shards=shards)
+        except PersistError:
+            raise
         except (KeyError, TypeError, ValueError) as exc:
             raise PersistError(f"malformed grid manifest entry: {exc}") from exc
 
@@ -308,7 +432,7 @@ class SnapshotCatalog:
                 continue
             if manifest.points_file == file_name:
                 return True
-            if manifest.grid is not None and manifest.grid.file == file_name:
+            if manifest.grid is not None and file_name in manifest.grid.files():
                 return True
             if manifest.results_file == file_name:
                 return True
@@ -334,10 +458,10 @@ def load_catalog(directory: Path) -> SnapshotCatalog:
     if not isinstance(document, dict) or "format_version" not in document:
         raise PersistError(f"snapshot catalog {path} is not a versioned manifest")
     version = document["format_version"]
-    if version != CATALOG_VERSION:
+    if version not in SUPPORTED_CATALOG_VERSIONS:
         raise PersistError(
             f"snapshot catalog {path} has format version {version}; this "
-            f"build understands version {CATALOG_VERSION}"
+            f"build understands versions {SUPPORTED_CATALOG_VERSIONS}"
         )
     entries = document.get("datasets", {})
     if not isinstance(entries, dict):
@@ -349,10 +473,19 @@ def load_catalog(directory: Path) -> SnapshotCatalog:
 
 
 def save_catalog(directory: Path, catalog: SnapshotCatalog) -> None:
-    """Atomically rewrite the catalog of a persist directory."""
+    """Atomically rewrite the catalog of a persist directory.
+
+    The stamped format version is the *lowest* one that can express the
+    catalog: a store whose grids are all single-blob (or absent) is written
+    as version 1, so it stays readable by pre-sharding builds after a
+    rollback; only a catalog actually containing sharded grid entries is
+    stamped version 2.
+    """
     path = Path(directory) / CATALOG_FILENAME
+    sharded = any(manifest.grid is not None and manifest.grid.shards is not None
+                  for manifest in catalog.datasets.values())
     document = {
-        "format_version": CATALOG_VERSION,
+        "format_version": CATALOG_VERSION if sharded else 1,
         "datasets": {dataset_id: manifest.to_json()
                      for dataset_id, manifest in sorted(catalog.datasets.items())},
     }

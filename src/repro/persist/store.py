@@ -26,7 +26,7 @@ import dataclasses
 import hashlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -42,7 +42,10 @@ from repro.persist.format import (
     RESULT_CODEC,
     DatasetManifest,
     GridManifest,
+    GridShardManifest,
+    GridShardSnapshot,
     GridSnapshot,
+    ShardedGridSnapshot,
     SnapshotCatalog,
     fingerprint_columns,
     load_catalog,
@@ -79,7 +82,9 @@ class LoadedSnapshot:
     xs: np.ndarray
     ys: np.ndarray
     ws: np.ndarray
-    grid: Optional[GridSnapshot]
+    #: A :class:`GridSnapshot` (format v1, single grid) or a
+    #: :class:`ShardedGridSnapshot` (format v2, one aggregate block per shard).
+    grid: Union[GridSnapshot, ShardedGridSnapshot, None]
     grid_error: Optional[str] = None
 
     def objects(self) -> List[WeightedPoint]:
@@ -137,11 +142,16 @@ class SnapshotStore:
     # ------------------------------------------------------------------ #
     def save_dataset(self, dataset_id: str, xs: np.ndarray, ys: np.ndarray,
                      ws: np.ndarray, *,
-                     grid: Optional[GridSnapshot] = None) -> DatasetManifest:
+                     grid: Union[GridSnapshot, ShardedGridSnapshot,
+                                 None] = None) -> DatasetManifest:
         """Persist one dataset's columns (and optionally its grid aggregates).
 
-        Overwrites any existing snapshot under ``dataset_id``.  Returns the
-        new manifest; the catalog file is rewritten atomically.
+        ``grid`` may be a single-grid :class:`GridSnapshot` (persisted as one
+        blob, the format-v1 layout) or a :class:`ShardedGridSnapshot`
+        (persisted as **one blob per shard**, so a warm start can verify and
+        adopt the shards in parallel).  Overwrites any existing snapshot under
+        ``dataset_id``.  Returns the new manifest; the catalog file is
+        rewritten atomically.
         """
         self.root.mkdir(parents=True, exist_ok=True)
         fingerprint = fingerprint_columns(xs, ys, ws)
@@ -150,7 +160,9 @@ class SnapshotStore:
         self._write_columns(points_file, [xs, ys, ws])
 
         grid_manifest = None
-        if grid is not None:
+        if isinstance(grid, ShardedGridSnapshot):
+            grid_manifest = self._save_sharded_grid(stem, grid)
+        elif grid is not None:
             # The resolution is part of the stem: byte-identical datasets
             # share points blobs, but grids indexed at different resolutions
             # are different content and must not clobber each other.
@@ -188,6 +200,33 @@ class SnapshotStore:
         if previous is not None:
             self._remove_orphaned_blobs(previous)
         return manifest
+
+    def _save_sharded_grid(self, stem: str,
+                           grid: ShardedGridSnapshot) -> GridManifest:
+        """Write one aggregate blob per shard and return the v2 manifest.
+
+        Each blob's name carries the global resolution *and* the shard's cell
+        block, so grids indexed at different resolutions or partitioned
+        differently are different content and never clobber each other.
+        """
+        shard_manifests = []
+        for shard in grid.shards:
+            shard_file = (f"{stem}-{grid.n_rows}x{grid.n_cols}"
+                          f"-r{shard.row0}-{shard.row1}"
+                          f"-c{shard.col0}-{shard.col1}.grid")
+            self._write_columns(
+                shard_file,
+                [shard.cell_weights.ravel(),
+                 shard.cell_counts.ravel().astype(np.float64)],
+            )
+            shard_manifests.append(GridShardManifest(
+                file=shard_file, row0=shard.row0, row1=shard.row1,
+                col0=shard.col0, col1=shard.col1))
+        return GridManifest(
+            file=None, n_rows=grid.n_rows, n_cols=grid.n_cols,
+            x0=grid.x0, y0=grid.y0, cell_w=grid.cell_w, cell_h=grid.cell_h,
+            shards=tuple(shard_manifests),
+        )
 
     def save_results(self, dataset_id: str,
                      records: List[tuple]) -> DatasetManifest:
@@ -296,7 +335,7 @@ class SnapshotStore:
                 f"{manifest.fingerprint[:12]}...; rejecting the corrupt snapshot"
             )
 
-        grid: Optional[GridSnapshot] = None
+        grid: Union[GridSnapshot, ShardedGridSnapshot, None] = None
         grid_error: Optional[str] = None
         if manifest.grid is not None:
             try:
@@ -436,37 +475,77 @@ class SnapshotStore:
                                  record_size=COLUMN_CODEC.record_size)
         return np.frombuffer(data, dtype="<f8")
 
-    def _load_grid(self, dataset_id: str, manifest: GridManifest) -> GridSnapshot:
-        flat = self._read_columns(manifest.file,
-                                  expected_block_size=self.catalog.datasets[
-                                      dataset_id].block_size)
-        num_cells = manifest.n_rows * manifest.n_cols
-        if len(flat) != 2 * num_cells:
-            raise PersistError(
-                f"grid blob of {dataset_id!r} holds {len(flat)} values, "
-                f"expected {2 * num_cells}"
-            )
-        weights = flat[:num_cells].copy().reshape(manifest.n_rows, manifest.n_cols)
-        counts_f = flat[num_cells:]
-        counts = counts_f.astype(np.int64)
-        if not np.array_equal(counts_f, counts.astype(np.float64)):
-            raise PersistError(
-                f"grid blob of {dataset_id!r} holds non-integral cell counts; "
-                "rejecting the corrupt grid snapshot"
-            )
+    def _load_grid(self, dataset_id: str, manifest: GridManifest
+                   ) -> Union[GridSnapshot, ShardedGridSnapshot]:
+        if manifest.shards is not None:
+            return self._load_sharded_grid(dataset_id, manifest)
+        weights, counts = self._read_grid_blob(
+            dataset_id, manifest.file, manifest.n_rows, manifest.n_cols)
         return GridSnapshot(
             n_rows=manifest.n_rows, n_cols=manifest.n_cols,
             x0=manifest.x0, y0=manifest.y0,
             cell_w=manifest.cell_w, cell_h=manifest.cell_h,
-            cell_weights=weights,
-            cell_counts=counts.reshape(manifest.n_rows, manifest.n_cols),
+            cell_weights=weights, cell_counts=counts,
         )
+
+    def _load_sharded_grid(self, dataset_id: str,
+                           manifest: GridManifest) -> ShardedGridSnapshot:
+        shards = []
+        for shard in manifest.shards:
+            rows = shard.row1 - shard.row0
+            cols = shard.col1 - shard.col0
+            if rows < 1 or cols < 1:
+                raise PersistError(
+                    f"grid shard of {dataset_id!r} spans an empty cell block "
+                    f"[{shard.row0}, {shard.row1}) x [{shard.col0}, {shard.col1})"
+                )
+            weights, counts = self._read_grid_blob(
+                dataset_id, shard.file, rows, cols)
+            shards.append(GridShardSnapshot(
+                row0=shard.row0, row1=shard.row1,
+                col0=shard.col0, col1=shard.col1,
+                cell_weights=weights, cell_counts=counts))
+        snap = ShardedGridSnapshot(
+            n_rows=manifest.n_rows, n_cols=manifest.n_cols,
+            x0=manifest.x0, y0=manifest.y0,
+            cell_w=manifest.cell_w, cell_h=manifest.cell_h,
+            shards=tuple(shards),
+        )
+        if not snap.tiles_exactly():
+            raise PersistError(
+                f"grid shards of {dataset_id!r} do not tile the "
+                f"{manifest.n_rows} x {manifest.n_cols} grid exactly; "
+                "rejecting the corrupt sharded grid snapshot"
+            )
+        return snap
+
+    def _read_grid_blob(self, dataset_id: str, file_name: str,
+                        n_rows: int, n_cols: int):
+        """Read one grid aggregate blob (weights column, counts column)."""
+        flat = self._read_columns(file_name,
+                                  expected_block_size=self.catalog.datasets[
+                                      dataset_id].block_size)
+        num_cells = n_rows * n_cols
+        if len(flat) != 2 * num_cells:
+            raise PersistError(
+                f"grid blob {file_name} of {dataset_id!r} holds {len(flat)} "
+                f"values, expected {2 * num_cells}"
+            )
+        weights = flat[:num_cells].copy().reshape(n_rows, n_cols)
+        counts_f = flat[num_cells:]
+        counts = counts_f.astype(np.int64)
+        if not np.array_equal(counts_f, counts.astype(np.float64)):
+            raise PersistError(
+                f"grid blob {file_name} of {dataset_id!r} holds non-integral "
+                "cell counts; rejecting the corrupt grid snapshot"
+            )
+        return weights, counts.reshape(n_rows, n_cols)
 
     def _remove_orphaned_blobs(self, manifest: DatasetManifest) -> None:
         """Unlink the blob files of a dropped manifest if nothing shares them."""
         candidates = [manifest.points_file]
         if manifest.grid is not None:
-            candidates.append(manifest.grid.file)
+            candidates.extend(manifest.grid.files())
         if manifest.results_file is not None:
             candidates.append(manifest.results_file)
         for file_name in candidates:

@@ -10,6 +10,11 @@ many queries* with varying rectangle / circle sizes:
 * :mod:`repro.service.grid_index` -- a uniform-grid pre-aggregation index
   (per-cell weight sums and point lists) built once per dataset; it serves
   fast approximate answers and prunes the exact sweep to candidate regions;
+* :mod:`repro.service.sharding` -- per-region shards of that index behind a
+  pluggable parallel executor (``serial`` / ``threaded``): registration,
+  window bounds and pruned-point gathering fan out across cores while the
+  cross-shard merge keeps refined answers bit-identical to the unsharded
+  index (``MaxRSEngine(shards=..., shard_executor=...)``);
 * :mod:`repro.service.cache` -- an LRU result cache keyed by
   ``(dataset fingerprint, query kind, parameters)``;
 * :mod:`repro.service.metrics` -- per-stage timing and counter aggregation;
@@ -41,18 +46,34 @@ __all__ = [
     "MaxRSEngine",
     "PointStore",
     "QuerySpec",
+    "SerialExecutor",
+    "ShardExecutor",
+    "ShardedGridIndex",
+    "ThreadedExecutor",
+    "available_executors",
+    "default_shard_count",
+    "get_executor",
+    "resolve_executor",
 ]
 
 #: Lazily exported symbols and their defining submodules.  The engine, grid
-#: index and point store are numpy-backed; deferring their import keeps the
-#: numpy-free parts of the package (result cache, metrics) usable -- and
-#: their tests runnable -- on hosts without numpy.
+#: index, sharding layer and point store are numpy-backed; deferring their
+#: import keeps the numpy-free parts of the package (result cache, metrics)
+#: usable -- and their tests runnable -- on hosts without numpy.
 _LAZY_EXPORTS = {
     "MaxRSEngine": "repro.service.engine",
     "QuerySpec": "repro.service.engine",
     "GridIndex": "repro.service.grid_index",
     "DatasetHandle": "repro.service.store",
     "PointStore": "repro.service.store",
+    "SerialExecutor": "repro.service.sharding",
+    "ShardExecutor": "repro.service.sharding",
+    "ShardedGridIndex": "repro.service.sharding",
+    "ThreadedExecutor": "repro.service.sharding",
+    "available_executors": "repro.service.sharding",
+    "default_shard_count": "repro.service.sharding",
+    "get_executor": "repro.service.sharding",
+    "resolve_executor": "repro.service.sharding",
 }
 
 

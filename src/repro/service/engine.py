@@ -18,7 +18,11 @@ parameters cheaply.  Per query it composes four layers:
 Refined (default) answers are therefore *identical* to solving the full
 dataset in memory -- same weight, same max-region -- while touching only the
 points near contention hot spots.  ``query_batch`` deduplicates identical
-requests and fans independent ones out over a thread pool.
+requests and fans independent ones out over the engine's **long-lived**
+thread pool -- the same pool threaded shard fan-out uses (``shards=`` builds
+a :class:`~repro.service.sharding.ShardedGridIndex` whose per-region work
+parallelises); ``close()`` (or using the engine as a context manager) shuts
+it down.
 
 With ``persist_dir=...`` the engine is additionally **durable**: registered
 datasets (and their grid aggregates) are written through to a
@@ -33,6 +37,7 @@ from __future__ import annotations
 
 import math
 import os
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -54,11 +59,23 @@ from repro.core.result import MaxCRSResult, MaxRegion, MaxRSResult
 from repro.em.config import EMConfig
 from repro.errors import ConfigurationError, PersistError, ServiceError
 from repro.geometry import Point, WeightedPoint
+from repro.persist.format import ShardedGridSnapshot
 from repro.persist.store import SnapshotStore
 from repro.service.cache import LRUCache
 from repro.service.grid_index import GridIndex
 from repro.service.metrics import EngineMetrics
+from repro.service.sharding import (
+    ExecutorSpec,
+    SerialExecutor,
+    ShardedGridIndex,
+    ThreadedExecutor,
+    default_shard_count,
+    resolve_executor,
+)
 from repro.service.store import DatasetHandle, PointStore, RegisteredDataset
+
+#: Either index layout a registered dataset may carry.
+AnyGridIndex = Union[GridIndex, ShardedGridIndex]
 
 __all__ = ["MaxRSEngine", "QuerySpec"]
 
@@ -151,6 +168,18 @@ class MaxRSEngine:
         ``"numpy"``, a :class:`~repro.core.backends.SweepBackend` instance,
         or ``None`` / ``"auto"`` for the size-based rule).  The backend
         chosen for each sweep is counted and reported by :meth:`stats`.
+    shards:
+        Shard count for new grid indexes: ``None`` (default) auto-sizes from
+        the core count, ``1`` keeps the monolithic
+        :class:`~repro.service.grid_index.GridIndex`, and higher values build
+        a :class:`~repro.service.sharding.ShardedGridIndex` whose
+        registration, window bounds and pruned-point gathering fan out
+        per region -- with answers bit-identical to the unsharded index.
+    shard_executor:
+        Executor for the shard fan-out (``"serial"``, ``"threaded"``, a
+        :class:`~repro.service.sharding.ShardExecutor` instance, or ``None``
+        / ``"auto"`` for the core-count rule).  Named/auto threaded
+        executors run on the engine's shared long-lived thread pool.
     persist_dir:
         Directory for durable dataset snapshots (:mod:`repro.persist`).  When
         given, the snapshot catalog found there is restored on construction
@@ -183,24 +212,124 @@ class MaxRSEngine:
                  max_cells_per_side: int = 512,
                  maxcrs_exact_limit: int = 5_000,
                  sweep_backend: BackendSpec = None,
+                 shards: Optional[int] = None,
+                 shard_executor: ExecutorSpec = None,
                  persist_dir: Union[str, os.PathLike, None] = None,
                  persist_config: Optional[EMConfig] = None,
                  persist_grid: bool = True) -> None:
+        if shards is not None and shards < 1:
+            raise ConfigurationError(
+                f"shards must be positive (or None for auto), got {shards}")
+        # Fail at the configuration site, not on the first registration (or,
+        # worse, from stats()): resolving validates names and the protocol.
+        resolve_executor(shard_executor, 2)
         self.store = PointStore()
         self.cache = LRUCache(cache_size)
         self.metrics = EngineMetrics()
         self.max_workers = max_workers
         self.maxcrs_exact_limit = maxcrs_exact_limit
         self.sweep_backend = sweep_backend
+        self.shards = shards
+        self.shard_executor = shard_executor
         self._target_points_per_cell = target_points_per_cell
         self._max_cells_per_side = max_cells_per_side
-        self._grids: Dict[str, Optional[GridIndex]] = {}
+        self._grids: Dict[str, Optional[AnyGridIndex]] = {}
         self._persist_grid = persist_grid
         self._restore_errors: Dict[str, str] = {}
+        # One long-lived thread pool serves both query_batch fan-out and
+        # threaded shard executors; created lazily, shut down by close().
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._closed = False
         self.persist: Optional[SnapshotStore] = None
         if persist_dir is not None:
             self.persist = SnapshotStore(persist_dir, config=persist_config)
             self._restore_catalog()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self) -> Optional[ThreadPoolExecutor]:
+        """The engine's shared thread pool (``None`` once closed)."""
+        if self._closed:
+            return None
+        with self._pool_lock:
+            if self._pool is None and not self._closed:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-engine")
+            return self._pool
+
+    def close(self) -> None:
+        """Shut down the shared thread pool (idempotent).
+
+        The engine stays queryable afterwards -- batch execution and shard
+        fan-out simply degrade to the calling thread, so a drained service
+        can still answer stragglers during shutdown.
+        """
+        with self._pool_lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "MaxRSEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _effective_shards(self) -> int:
+        """The shard count new indexes are built with."""
+        return self.shards if self.shards is not None else default_shard_count()
+
+    def _resolve_shard_executor(self, shard_count: int):
+        """Resolve the executor for a shard fan-out, wiring in the shared pool.
+
+        Named/auto threaded executors run on the engine's long-lived pool
+        (the same one ``query_batch`` uses -- the executor's
+        cancel-or-inline ``map`` keeps nested fan-out deadlock-free); a
+        closed engine always fans out serially.
+        """
+        spec = self.shard_executor
+        if spec is not None and not isinstance(spec, str):
+            return resolve_executor(spec, shard_count)
+        resolved = resolve_executor(spec, shard_count)
+        if isinstance(resolved, ThreadedExecutor):
+            pool = self._ensure_pool()
+            if pool is None:
+                return SerialExecutor()
+            return ThreadedExecutor(pool=pool)
+        return resolved
+
+    def _build_index(self, entry: RegisteredDataset) -> AnyGridIndex:
+        """Build the grid index for one non-empty dataset.
+
+        One shard keeps the plain :class:`GridIndex` (and hence the v1
+        snapshot layout); more than one builds a :class:`ShardedGridIndex`
+        whose construction fans out over the resolved executor.  A sharded
+        build whose tiling *collapses* to a single region (a grid too small
+        to tile, e.g. a single-point dataset) also keeps the plain index --
+        the shard layer would add fan-out overhead and stamp the snapshot
+        with format v2 for content fully expressible in v1.
+        """
+        shard_count = self._effective_shards()
+        if shard_count > 1:
+            index = ShardedGridIndex(
+                *entry.columns(),
+                shards=shard_count,
+                executor=self._resolve_shard_executor(shard_count),
+                target_points_per_cell=self._target_points_per_cell,
+                max_cells_per_side=self._max_cells_per_side,
+                timing_hook=self.metrics.observe_shard,
+            )
+            if index.shard_count > 1:
+                return index
+        return GridIndex(
+            *entry.columns(),
+            target_points_per_cell=self._target_points_per_cell,
+            max_cells_per_side=self._max_cells_per_side,
+        )
 
     def _backend_for(self, num_objects: int) -> SweepBackend:
         """Resolve the sweep backend for a solve over ``num_objects`` points.
@@ -258,14 +387,10 @@ class MaxRSEngine:
                     self.persist.delete_dataset(handle.dataset_id)
             if handle.dataset_id not in self._grids:
                 entry = self.store.get(handle.dataset_id)
-                grid: Optional[GridIndex] = None
+                grid: Optional[AnyGridIndex] = None
                 if entry.count > 0:
                     with self.metrics.time_stage("grid_build"):
-                        grid = GridIndex(
-                            entry.xs, entry.ys, entry.ws,
-                            target_points_per_cell=self._target_points_per_cell,
-                            max_cells_per_side=self._max_cells_per_side,
-                        )
+                        grid = self._build_index(entry)
                 self._grids[handle.dataset_id] = grid
             if self.persist is not None and persist is not False:
                 self._persist_dataset(handle)
@@ -277,8 +402,10 @@ class MaxRSEngine:
         want_grid = grid is not None and self._persist_grid
         manifest = self.persist.manifest_for(handle.dataset_id)
         if manifest is not None and manifest.fingerprint == handle.fingerprint \
-                and (manifest.grid is not None) == want_grid:
-            return  # identical snapshot (and grid coverage) already on disk
+                and (manifest.grid is not None) == want_grid \
+                and (not want_grid
+                     or _grid_layout_matches(manifest.grid, grid)):
+            return  # identical snapshot (grid coverage and layout) on disk
         entry = self.store.get(handle.dataset_id)
         with self.metrics.time_stage("persist_save"):
             self.persist.save_dataset(
@@ -411,12 +538,12 @@ class MaxRSEngine:
                         expected_fingerprint=loaded.manifest.fingerprint,
                     )
                     entry = self.store.get(handle.dataset_id)
-                    grid: Optional[GridIndex] = None
+                    grid: Optional[AnyGridIndex] = None
                     if entry.count > 0:
                         if loaded.grid is not None:
                             try:
-                                grid = GridIndex.from_snapshot(
-                                    entry.xs, entry.ys, entry.ws, loaded.grid)
+                                grid = self._adopt_grid_snapshot(entry,
+                                                                 loaded.grid)
                                 self.metrics.increment("grids_restored")
                             except PersistError:
                                 grid = None
@@ -425,11 +552,7 @@ class MaxRSEngine:
                             self.metrics.increment("grid_restore_failures")
                         if grid is None:
                             with self.metrics.time_stage("grid_build"):
-                                grid = GridIndex(
-                                    entry.xs, entry.ys, entry.ws,
-                                    target_points_per_cell=self._target_points_per_cell,
-                                    max_cells_per_side=self._max_cells_per_side,
-                                )
+                                grid = self._build_index(entry)
                             if loaded.manifest.grid is not None and self._persist_grid:
                                 # Self-heal: the persisted grid was unusable,
                                 # so replace it with the rebuilt one (results
@@ -451,7 +574,25 @@ class MaxRSEngine:
                 self._restore_errors[dataset_id] = str(exc)
                 self.metrics.increment("restore_failures")
 
-    def grid_index(self, dataset: Union[str, DatasetHandle]) -> Optional[GridIndex]:
+    def _adopt_grid_snapshot(self, entry: RegisteredDataset,
+                             snap) -> AnyGridIndex:
+        """Rebuild a dataset's index from its persisted aggregates.
+
+        A v2 sharded snapshot restores its shard partitions in parallel over
+        the resolved executor and adopts the persisted layout verbatim; a v1
+        single-grid snapshot keeps the plain index (i.e. is adopted as a
+        1-shard layout), whatever this engine's ``shards=`` configuration.
+        """
+        if isinstance(snap, ShardedGridSnapshot):
+            return ShardedGridIndex.from_snapshot(
+                entry.xs, entry.ys, entry.ws, snap,
+                executor=self._resolve_shard_executor(len(snap.shards)),
+                timing_hook=self.metrics.observe_shard,
+            )
+        return GridIndex.from_snapshot(entry.xs, entry.ys, entry.ws, snap)
+
+    def grid_index(self, dataset: Union[str, DatasetHandle]
+                   ) -> Optional[AnyGridIndex]:
         """The grid index of a registered dataset (``None`` when empty)."""
         entry = self.store.get(_dataset_id(dataset))
         return self._grids.get(entry.handle.dataset_id)
@@ -483,8 +624,12 @@ class MaxRSEngine:
         """Answer many queries, deduplicating and fanning out over threads.
 
         Identical specs in one batch are computed once; distinct cache-missing
-        specs run concurrently on a :class:`ThreadPoolExecutor`.  Results come
-        back aligned with ``specs``.
+        specs run concurrently on the engine's **long-lived** thread pool (one
+        pool for the engine's lifetime, shared with threaded shard fan-out,
+        instead of a pool built and torn down per call -- ``close()`` shuts it
+        down).  A per-call ``max_workers`` that differs from the engine's
+        cannot resize the shared pool and is honoured with a one-off pool.
+        Results come back aligned with ``specs``.
         """
         entry = self.store.get(_dataset_id(dataset))
         dataset_id = entry.handle.dataset_id
@@ -496,14 +641,25 @@ class MaxRSEngine:
         if len(distinct) < len(specs):
             self.metrics.increment("batch_deduplicated",
                                    len(specs) - len(distinct))
+
+        def run_query(spec: QuerySpec) -> QueryResult:
+            return self.query(dataset_id, spec)
+
         if len(distinct) <= 1:
-            answers = [self.query(dataset_id, spec) for spec in distinct]
+            answers = [run_query(spec) for spec in distinct]
+        elif max_workers is not None and max_workers != self.max_workers:
+            with ThreadPoolExecutor(max_workers=max_workers) as one_off:
+                answers = ThreadedExecutor(pool=one_off).map(run_query,
+                                                             distinct)
         else:
-            workers = max_workers if max_workers is not None else self.max_workers
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                futures = [pool.submit(self.query, dataset_id, spec)
-                           for spec in distinct]
-                answers = [future.result() for future in futures]
+            pool = self._ensure_pool()
+            if pool is None:  # closed: degrade to the calling thread
+                answers = [run_query(spec) for spec in distinct]
+            else:
+                # ThreadedExecutor.map is cancel-or-inline, so a batch issued
+                # from inside a pool thread (or racing a close()) still makes
+                # progress instead of deadlocking on its own workers.
+                answers = ThreadedExecutor(pool=pool).map(run_query, distinct)
         by_spec = dict(zip(distinct, answers))
         return [by_spec[spec] for spec in specs]
 
@@ -542,6 +698,10 @@ class MaxRSEngine:
                     "total_ios": io.total_ios,
                 },
             }
+        configured_executor = self.shard_executor
+        if configured_executor is not None \
+                and not isinstance(configured_executor, str):
+            configured_executor = configured_executor.name
         prefix = "sweep_backend_"
         return {
             "persist": persist,
@@ -552,6 +712,17 @@ class MaxRSEngine:
                 "uses": {name[len(prefix):]: count
                          for name, count in sorted(snapshot["counters"].items())
                          if name.startswith(prefix)},
+            },
+            "sharding": {
+                "configured_shards": self.shards,
+                "effective_shards": self._effective_shards(),
+                "configured_executor": (configured_executor
+                                        if configured_executor is not None
+                                        else "auto"),
+                # Resolved without touching the shared pool: naming the
+                # executor must not spawn threads as a side effect.
+                "resolved_executor": resolve_executor(
+                    self.shard_executor, self._effective_shards()).name,
             },
             "datasets": len(self.store),
             "queries": snapshot["counters"].get("queries", 0),
@@ -565,6 +736,7 @@ class MaxRSEngine:
             },
             "stages": snapshot["stages"],
             "counters": snapshot["counters"],
+            "shard_stages": snapshot["shards"],
             "grids": {
                 handle.dataset_id: (grid.stats() if grid is not None else None)
                 for handle in self.store.handles()
@@ -706,6 +878,28 @@ def _restore_closing_hline(result: MaxRSResult, entry: RegisteredDataset,
         recursion_levels=0,
         leaf_count=1,
     )
+
+
+def _grid_layout_matches(grid_manifest, grid: "AnyGridIndex") -> bool:
+    """Whether a persisted grid manifest matches an index's exact layout.
+
+    Used by write-through to decide whether a snapshot with the right
+    fingerprint still needs re-saving: an engine re-registering a dataset
+    under a different resolution, shard count or tile partitioning (or
+    switching between the single-grid and sharded layouts) must refresh the
+    durable grid, or a restart would adopt a layout the engine no longer
+    serves with.
+    """
+    if (grid_manifest.n_rows, grid_manifest.n_cols) != (grid.n_rows,
+                                                        grid.n_cols):
+        return False
+    if isinstance(grid, ShardedGridIndex):
+        if grid_manifest.shards is None:
+            return False
+        return ([(m.row0, m.row1, m.col0, m.col1)
+                 for m in grid_manifest.shards]
+                == [(s.row0, s.row1, s.col0, s.col1) for s in grid.shards])
+    return grid_manifest.shards is None
 
 
 def _dataset_id(dataset: Union[str, DatasetHandle]) -> str:

@@ -35,14 +35,14 @@ inside its bounding square), so the engine reuses it for MaxCRS pruning.
 from __future__ import annotations
 
 import math
-from typing import Dict, Tuple
+from typing import Dict, NamedTuple, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError, PersistError
 from repro.persist.format import GridSnapshot
 
-__all__ = ["GridIndex"]
+__all__ = ["GridGeometry", "GridIndex", "GridQueryOps", "plan_geometry"]
 
 #: Relative slack applied when comparing upper bounds against a lower bound,
 #: guarding against prefix-sum rounding pruning a borderline-optimal cell.
@@ -58,7 +58,155 @@ def _axis_halo(half_extent: float, cell_size: float, limit: int) -> int:
     return min(limit, int(ratio) + 2)
 
 
-class GridIndex:
+class GridGeometry(NamedTuple):
+    """The fixed frame of a grid index: origin, resolution and cell sizes.
+
+    Shared by :class:`GridIndex` and the sharded index
+    (:mod:`repro.service.sharding`): shards are blocks of cells of **one**
+    global geometry, so every per-cell quantity a shard computes coincides
+    exactly with what the unsharded index would compute for the same cell.
+    """
+
+    n_rows: int
+    n_cols: int
+    x0: float
+    y0: float
+    cell_w: float
+    cell_h: float
+
+
+def plan_geometry(xs: np.ndarray, ys: np.ndarray, *,
+                  target_points_per_cell: int = 1,
+                  max_cells_per_side: int = 512) -> GridGeometry:
+    """Choose the grid frame for a non-empty point set.
+
+    This is *the* sizing rule of the serving stack -- the sharded index calls
+    it too, so a ``shards=1`` index and an unsharded one always agree on the
+    frame (and hence on every bound).  A degenerate axis (all points aligned,
+    or an extent so small the per-cell width underflows) collapses to a single
+    cell of nominal unit width so index arithmetic stays well defined.
+    """
+    count = len(xs)
+    if count == 0:
+        raise ConfigurationError("GridIndex requires a non-empty dataset")
+    if target_points_per_cell < 1 or max_cells_per_side < 1:
+        raise ConfigurationError(
+            "target_points_per_cell and max_cells_per_side must be positive"
+        )
+    side = int(round(math.sqrt(count / target_points_per_cell)))
+    side = max(1, min(max_cells_per_side, side))
+
+    x0 = float(xs.min())
+    y0 = float(ys.min())
+    x_extent = float(xs.max()) - x0
+    y_extent = float(ys.max()) - y0
+    n_cols = side if x_extent > 0.0 else 1
+    n_rows = side if y_extent > 0.0 else 1
+    cell_w = x_extent / n_cols if x_extent > 0.0 else 1.0
+    cell_h = y_extent / n_rows if y_extent > 0.0 else 1.0
+    if cell_w <= 0.0:
+        n_cols, cell_w = 1, 1.0
+    if cell_h <= 0.0:
+        n_rows, cell_h = 1, 1.0
+    return GridGeometry(n_rows, n_cols, x0, y0, cell_w, cell_h)
+
+
+class GridQueryOps:
+    """The bound-safety query surface shared by both index layouts.
+
+    :class:`GridIndex` and :class:`~repro.service.sharding.ShardedGridIndex`
+    serve queries through *exactly* these methods -- one implementation, so
+    the pruning-correctness invariants (halo margin, prune slack, dilation)
+    can never diverge between the monolithic and sharded layouts.  Subclasses
+    provide the geometry attributes (``n_rows`` / ``n_cols`` / ``x0`` /
+    ``y0`` / ``cell_w`` / ``cell_h``), :meth:`_window_sums` (how window sums
+    are evaluated -- in one block, or fanned out per shard) and
+    ``points_in_mask``.
+    """
+
+    def halo(self, width: float, height: float) -> Tuple[int, int]:
+        """Return the halo ``(rows, cols)`` for a ``width x height`` query.
+
+        The halo is how many cells a query rectangle centred in a cell can
+        reach beyond that cell in each direction.  Two extra cells of margin
+        absorb the worst-case rounding of the float cell-index computation,
+        so the window bound stays a true upper bound.  Halos are capped at
+        the grid dimensions: a window spanning the whole grid is the loosest
+        (but still valid) bound, and the cap keeps queries much larger than
+        the data extent -- or denormal cell sizes -- well behaved.
+        """
+        if width <= 0 or height <= 0:
+            raise ConfigurationError(
+                f"query extent must be positive, got {width} x {height}"
+            )
+        return (_axis_halo(height / 2.0, self.cell_h, self.n_rows),
+                _axis_halo(width / 2.0, self.cell_w, self.n_cols))
+
+    def cell_of(self, x: float, y: float) -> Tuple[int, int]:
+        """Return the ``(row, col)`` cell a location falls in (clamped)."""
+        col = int(np.clip((x - self.x0) / self.cell_w, 0, self.n_cols - 1))
+        row = int(np.clip((y - self.y0) / self.cell_h, 0, self.n_rows - 1))
+        return row, col
+
+    def upper_bounds(self, width: float, height: float) -> np.ndarray:
+        """Per-cell upper bound on the weight of any placement centred there.
+
+        ``result[r, c]`` bounds ``W(p)`` for every location ``p`` in cell
+        ``(r, c)`` (cells on the boundary extend to infinity: points only
+        exist inside the grid, so the clamped window still covers them).
+        """
+        halo_rows, halo_cols = self.halo(width, height)
+        return self._window_sums(halo_rows, halo_cols)
+
+    def best_cell(self, width: float, height: float,
+                  bounds: np.ndarray | None = None) -> Tuple[int, int, float]:
+        """Return ``(row, col, upper_bound)`` of the most promising cell.
+
+        Pass a precomputed ``bounds`` array (from :meth:`upper_bounds` for
+        the same query size) to avoid recomputing the window sums.
+        """
+        if bounds is None:
+            bounds = self.upper_bounds(width, height)
+        flat = int(np.argmax(bounds))
+        row, col = divmod(flat, self.n_cols)
+        return row, col, float(bounds[row, col])
+
+    def candidate_mask(self, width: float, height: float, lower_bound: float,
+                       bounds: np.ndarray | None = None) -> np.ndarray:
+        """Boolean mask of cells that may contain an optimal centre.
+
+        A cell is kept when its upper bound reaches ``lower_bound`` (minus a
+        tiny float-safety slack).  Every cell containing an optimal centre
+        satisfies ``ub >= W* >= lower_bound`` for any achievable lower bound,
+        so pruning by this mask never discards an optimal placement.  As with
+        :meth:`best_cell`, ``bounds`` may be supplied to reuse the window
+        sums of the same query size.
+        """
+        if bounds is None:
+            bounds = self.upper_bounds(width, height)
+        slack = _PRUNE_SLACK * max(1.0, abs(lower_bound))
+        return bounds >= lower_bound - slack
+
+    def dilate(self, mask: np.ndarray, width: float, height: float) -> np.ndarray:
+        """Expand a cell mask by the query halo (box dilation).
+
+        A placement centred in a masked cell can cover points up to one halo
+        away, so the point subset fed to the exact sweep must include every
+        cell within the halo of a masked cell.
+        """
+        halo_rows, halo_cols = self.halo(width, height)
+        return self._window_sums(halo_rows, halo_cols,
+                                 values=mask.astype(np.float64)) > 0.0
+
+    def points_in_window(self, row: int, col: int, width: float,
+                         height: float) -> np.ndarray:
+        """Indices of the points within the query halo of one cell."""
+        mask = np.zeros((self.n_rows, self.n_cols), dtype=bool)
+        mask[row, col] = True
+        return self.points_in_mask(self.dilate(mask, width, height))
+
+
+class GridIndex(GridQueryOps):
     """Uniform-grid pre-aggregation over one immutable point set.
 
     Parameters
@@ -81,34 +229,44 @@ class GridIndex:
     def __init__(self, xs: np.ndarray, ys: np.ndarray, ws: np.ndarray, *,
                  target_points_per_cell: int = 1,
                  max_cells_per_side: int = 512) -> None:
-        count = len(xs)
-        if count == 0:
-            raise ConfigurationError("GridIndex requires a non-empty dataset")
-        if target_points_per_cell < 1 or max_cells_per_side < 1:
-            raise ConfigurationError(
-                "target_points_per_cell and max_cells_per_side must be positive"
-            )
-        self.count = count
-        side = int(round(math.sqrt(count / target_points_per_cell)))
-        side = max(1, min(max_cells_per_side, side))
-
-        self.x0 = float(xs.min())
-        self.y0 = float(ys.min())
-        x_extent = float(xs.max()) - self.x0
-        y_extent = float(ys.max()) - self.y0
-        # A degenerate axis (all points aligned, or an extent so small the
-        # per-cell width underflows) collapses to a single cell of nominal
-        # unit width so index arithmetic stays well defined.
-        self.n_cols = side if x_extent > 0.0 else 1
-        self.n_rows = side if y_extent > 0.0 else 1
-        self.cell_w = x_extent / self.n_cols if x_extent > 0.0 else 1.0
-        self.cell_h = y_extent / self.n_rows if y_extent > 0.0 else 1.0
-        if self.cell_w <= 0.0:
-            self.n_cols, self.cell_w = 1, 1.0
-        if self.cell_h <= 0.0:
-            self.n_rows, self.cell_h = 1, 1.0
-
+        self.count = len(xs)
+        self._adopt_geometry(plan_geometry(
+            xs, ys, target_points_per_cell=target_points_per_cell,
+            max_cells_per_side=max_cells_per_side))
         self._assign_points(xs, ys)
+        self._aggregate(ws)
+        self._build_derived()
+
+    @classmethod
+    def from_cells(cls, ws: np.ndarray, point_cell: np.ndarray, *,
+                   geometry: GridGeometry) -> "GridIndex":
+        """Build an index over points already binned into an imposed frame.
+
+        The shard constructor: the sharded index bins every point against the
+        *global* geometry exactly once (one float computation per point, so a
+        boundary point can never land in different cells under different shard
+        counts) and hands each shard its points' local cell ids.  Unlike the
+        public constructor this accepts an **empty** partition -- a spatial
+        shard may own no points.
+        """
+        self = cls.__new__(cls)
+        self.count = len(ws)
+        self._adopt_geometry(geometry)
+        self.point_cell = np.asarray(point_cell, dtype=np.int64)
+        self._aggregate(ws)
+        self._build_derived()
+        return self
+
+    def _adopt_geometry(self, geometry: GridGeometry) -> None:
+        (self.n_rows, self.n_cols, self.x0, self.y0,
+         self.cell_w, self.cell_h) = geometry
+
+    @property
+    def geometry(self) -> GridGeometry:
+        return GridGeometry(self.n_rows, self.n_cols, self.x0, self.y0,
+                            self.cell_w, self.cell_h)
+
+    def _aggregate(self, ws: np.ndarray) -> None:
         num_cells = self.n_rows * self.n_cols
         #: Per-cell aggregates: total weight and point count.
         self.cell_weights = np.bincount(
@@ -117,7 +275,6 @@ class GridIndex:
         self.cell_counts = np.bincount(
             self.point_cell, minlength=num_cells
         ).reshape(self.n_rows, self.n_cols)
-        self._build_derived()
 
     # ------------------------------------------------------------------ #
     # Persistence
@@ -224,98 +381,11 @@ class GridIndex:
                   out=self._prefix[1:, 1:])
 
     # ------------------------------------------------------------------ #
-    # Geometry helpers
-    # ------------------------------------------------------------------ #
-    def halo(self, width: float, height: float) -> Tuple[int, int]:
-        """Return the halo ``(rows, cols)`` for a ``width x height`` query.
-
-        The halo is how many cells a query rectangle centred in a cell can
-        reach beyond that cell in each direction.  Two extra cells of margin
-        absorb the worst-case rounding of the float cell-index computation,
-        so the window bound stays a true upper bound.  Halos are capped at
-        the grid dimensions: a window spanning the whole grid is the loosest
-        (but still valid) bound, and the cap keeps queries much larger than
-        the data extent -- or denormal cell sizes -- well behaved.
-        """
-        if width <= 0 or height <= 0:
-            raise ConfigurationError(
-                f"query extent must be positive, got {width} x {height}"
-            )
-        return (_axis_halo(height / 2.0, self.cell_h, self.n_rows),
-                _axis_halo(width / 2.0, self.cell_w, self.n_cols))
-
-    def cell_of(self, x: float, y: float) -> Tuple[int, int]:
-        """Return the ``(row, col)`` cell a location falls in (clamped)."""
-        col = int(np.clip((x - self.x0) / self.cell_w, 0, self.n_cols - 1))
-        row = int(np.clip((y - self.y0) / self.cell_h, 0, self.n_rows - 1))
-        return row, col
-
-    # ------------------------------------------------------------------ #
-    # Aggregate queries
-    # ------------------------------------------------------------------ #
-    def upper_bounds(self, width: float, height: float) -> np.ndarray:
-        """Per-cell upper bound on the weight of any placement centred there.
-
-        ``result[r, c]`` bounds ``W(p)`` for every location ``p`` in cell
-        ``(r, c)`` (cells on the boundary extend to infinity: points only
-        exist inside the grid, so the clamped window still covers them).
-        """
-        halo_rows, halo_cols = self.halo(width, height)
-        return self._window_sums(halo_rows, halo_cols)
-
-    def best_cell(self, width: float, height: float,
-                  bounds: np.ndarray | None = None) -> Tuple[int, int, float]:
-        """Return ``(row, col, upper_bound)`` of the most promising cell.
-
-        Pass a precomputed ``bounds`` array (from :meth:`upper_bounds` for
-        the same query size) to avoid recomputing the window sums.
-        """
-        if bounds is None:
-            bounds = self.upper_bounds(width, height)
-        flat = int(np.argmax(bounds))
-        row, col = divmod(flat, self.n_cols)
-        return row, col, float(bounds[row, col])
-
-    def candidate_mask(self, width: float, height: float, lower_bound: float,
-                       bounds: np.ndarray | None = None) -> np.ndarray:
-        """Boolean mask of cells that may contain an optimal centre.
-
-        A cell is kept when its upper bound reaches ``lower_bound`` (minus a
-        tiny float-safety slack).  Every cell containing an optimal centre
-        satisfies ``ub >= W* >= lower_bound`` for any achievable lower bound,
-        so pruning by this mask never discards an optimal placement.  As with
-        :meth:`best_cell`, ``bounds`` may be supplied to reuse the window
-        sums of the same query size.
-        """
-        if bounds is None:
-            bounds = self.upper_bounds(width, height)
-        slack = _PRUNE_SLACK * max(1.0, abs(lower_bound))
-        return bounds >= lower_bound - slack
-
-    def dilate(self, mask: np.ndarray, width: float, height: float) -> np.ndarray:
-        """Expand a cell mask by the query halo (box dilation).
-
-        A placement centred in a masked cell can cover points up to one halo
-        away, so the point subset fed to the exact sweep must include every
-        cell within the halo of a masked cell.
-        """
-        halo_rows, halo_cols = self.halo(width, height)
-        return self._window_sums(halo_rows, halo_cols,
-                                 values=mask.astype(np.float64)) > 0.0
-
-    # ------------------------------------------------------------------ #
-    # Point retrieval
+    # Point retrieval (the query surface itself lives on GridQueryOps)
     # ------------------------------------------------------------------ #
     def points_in_mask(self, mask: np.ndarray) -> np.ndarray:
         """Indices (ascending) of the points lying in the masked cells."""
         return np.flatnonzero(mask.ravel()[self.point_cell])
-
-    def points_in_window(self, row: int, col: int, width: float,
-                         height: float) -> np.ndarray:
-        """Indices of the points within the query halo of one cell."""
-        mask = np.zeros((self.n_rows, self.n_cols), dtype=bool)
-        mask[row, col] = True
-        return self.points_in_mask(self.dilate(mask, width, height))
 
     def points_in_cell(self, row: int, col: int) -> np.ndarray:
         """Indices of the points assigned to one cell (CSR lookup)."""
@@ -326,7 +396,12 @@ class GridIndex:
     # Introspection
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, float]:
-        """Shape and occupancy statistics (for ``MaxRSEngine.stats()``)."""
+        """Shape and occupancy statistics (for ``MaxRSEngine.stats()``).
+
+        ``shard_count`` / ``executor`` mirror the keys the sharded index
+        reports, so callers can read one schema regardless of which index
+        layout a dataset got.
+        """
         occupied = int((self.cell_counts > 0).sum())
         return {
             "rows": self.n_rows,
@@ -336,6 +411,8 @@ class GridIndex:
             "points": self.count,
             "occupied_cells": occupied,
             "max_points_per_cell": int(self.cell_counts.max()),
+            "shard_count": 1,
+            "executor": "serial",
         }
 
     # ------------------------------------------------------------------ #

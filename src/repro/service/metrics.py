@@ -24,13 +24,22 @@ StageTimings = Dict[str, float]
 
 
 class EngineMetrics:
-    """Thread-safe counters and per-stage wall-clock timing accumulators."""
+    """Thread-safe counters and per-stage wall-clock timing accumulators.
+
+    Every mutator (:meth:`increment`, :meth:`observe_seconds`,
+    :meth:`observe_shard`) takes the instance lock: ``query_batch`` already
+    mutates counters from pool threads, and shard fan-out widens the set of
+    concurrent writers to every per-shard build/gather task.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: Dict[str, int] = {}
         self._stage_count: Dict[str, int] = {}
         self._stage_seconds: Dict[str, float] = {}
+        #: Per-shard timing accumulators: ``(stage, shard_id) -> count/total``.
+        self._shard_count: Dict[tuple, int] = {}
+        self._shard_seconds: Dict[tuple, float] = {}
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -45,6 +54,19 @@ class EngineMetrics:
         with self._lock:
             self._stage_count[stage] = self._stage_count.get(stage, 0) + 1
             self._stage_seconds[stage] = self._stage_seconds.get(stage, 0.0) + seconds
+
+    def observe_shard(self, stage: str, shard_id: int, seconds: float) -> None:
+        """Record one observation of ``stage`` on one shard.
+
+        The sharded grid index reports every per-shard build, restore and
+        gather task through this hook (from whichever executor thread ran
+        it), so ``snapshot()["shards"]`` exposes how balanced the spatial
+        partitioning actually is.
+        """
+        key = (stage, int(shard_id))
+        with self._lock:
+            self._shard_count[key] = self._shard_count.get(key, 0) + 1
+            self._shard_seconds[key] = self._shard_seconds.get(key, 0.0) + seconds
 
     @contextmanager
     def time_stage(self, stage: str) -> Iterator[None]:
@@ -64,7 +86,11 @@ class EngineMetrics:
             return self._counters.get(name, 0)
 
     def snapshot(self) -> Dict[str, object]:
-        """Return all counters and stage timings as plain dictionaries."""
+        """Return all counters, stage timings and per-shard timings.
+
+        ``"shards"`` maps each shard stage to a per-shard-id breakdown, e.g.
+        ``snapshot()["shards"]["shard_build"][0]["total_seconds"]``.
+        """
         with self._lock:
             stages: Dict[str, StageTimings] = {}
             for stage, count in self._stage_count.items():
@@ -74,7 +100,16 @@ class EngineMetrics:
                     "total_seconds": total,
                     "mean_seconds": total / count if count else 0.0,
                 }
-            return {"counters": dict(self._counters), "stages": stages}
+            shards: Dict[str, Dict[int, StageTimings]] = {}
+            for (stage, shard_id), count in self._shard_count.items():
+                total = self._shard_seconds[(stage, shard_id)]
+                shards.setdefault(stage, {})[shard_id] = {
+                    "count": count,
+                    "total_seconds": total,
+                    "mean_seconds": total / count if count else 0.0,
+                }
+            return {"counters": dict(self._counters), "stages": stages,
+                    "shards": shards}
 
     def reset(self) -> None:
         """Clear every counter and timing accumulator."""
@@ -82,3 +117,5 @@ class EngineMetrics:
             self._counters.clear()
             self._stage_count.clear()
             self._stage_seconds.clear()
+            self._shard_count.clear()
+            self._shard_seconds.clear()

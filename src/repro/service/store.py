@@ -111,6 +111,20 @@ class RegisteredDataset:
             return [objects[i] for i in indices]
         return points_from_columns(self.xs, self.ys, self.ws, indices)
 
+    def columns(self, indices: Optional[np.ndarray] = None
+                ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The packed ``(xs, ys, ws)`` columns, optionally row-selected.
+
+        With ``indices=None`` the shared full columns are returned (no copy;
+        treat as read-only) -- what index construction consumes.  With a
+        shard's ``point_ids`` it returns that shard's aligned column views,
+        so per-shard work (rebuilds, audits, benchmarks) can address exactly
+        the rows a spatial shard owns without materialising point objects.
+        """
+        if indices is None:
+            return self.xs, self.ys, self.ws
+        return self.xs[indices], self.ys[indices], self.ws[indices]
+
 
 class PointStore:
     """Registry of immutable dataset snapshots, addressed by id.

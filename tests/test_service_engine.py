@@ -387,3 +387,60 @@ def test_region_restoration_against_dense_ties(make_objects):
         reference = solve_in_memory(objects, size, size)
         assert result.region == reference.region
         assert math.isfinite(result.region.y1)
+
+
+class TestEngineLifecycle:
+    """The long-lived thread pool: one pool per engine, shut down by close()."""
+
+    def test_query_batch_reuses_one_pool(self, make_objects):
+        engine = MaxRSEngine()
+        dataset = engine.register_dataset(make_objects(60, seed=30))
+        specs = [QuerySpec.maxrs(4.0 + i, 3.0) for i in range(4)]
+        engine.query_batch(dataset, specs)
+        pool = engine._pool
+        assert pool is not None
+        engine.query_batch(dataset, [QuerySpec.maxrs(2.0 + i, 2.0)
+                                     for i in range(4)])
+        assert engine._pool is pool  # same pool, not a fresh one per call
+        engine.close()
+
+    def test_close_is_idempotent_and_keeps_engine_queryable(self, make_objects):
+        engine = MaxRSEngine()
+        dataset = engine.register_dataset(make_objects(50, seed=31))
+        specs = [QuerySpec.maxrs(3.0, 3.0), QuerySpec.maxrs(5.0, 4.0)]
+        before = engine.query_batch(dataset, specs)
+        engine.close()
+        engine.close()
+        assert engine._pool is None
+        # A closed engine degrades to the calling thread but still answers.
+        after = engine.query_batch(dataset, specs)
+        for lhs, rhs in zip(before, after):
+            assert lhs.total_weight == rhs.total_weight
+            assert lhs.region == rhs.region
+
+    def test_context_manager_closes_the_pool(self, make_objects):
+        with MaxRSEngine() as engine:
+            dataset = engine.register_dataset(make_objects(40, seed=32))
+            engine.query_batch(dataset, [QuerySpec.maxrs(3.0, 3.0),
+                                         QuerySpec.maxrs(6.0, 2.0)])
+            assert engine._pool is not None
+        assert engine._pool is None
+
+    def test_per_call_max_workers_override_still_works(self, make_objects):
+        engine = MaxRSEngine(max_workers=2)
+        dataset = engine.register_dataset(make_objects(40, seed=33))
+        specs = [QuerySpec.maxrs(2.0 + i, 2.0) for i in range(3)]
+        results = engine.query_batch(dataset, specs, max_workers=1)
+        for spec, result in zip(specs, results):
+            reference = engine.query(dataset, spec)
+            assert result.total_weight == reference.total_weight
+        engine.close()
+
+    def test_stats_report_sharding_configuration(self, make_objects):
+        engine = MaxRSEngine(shards=3, shard_executor="serial")
+        engine.register_dataset(make_objects(60, seed=34))
+        sharding = engine.stats()["sharding"]
+        assert sharding["configured_shards"] == 3
+        assert sharding["effective_shards"] == 3
+        assert sharding["resolved_executor"] == "serial"
+        engine.close()

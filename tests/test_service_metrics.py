@@ -1,0 +1,97 @@
+"""Tests for :mod:`repro.service.metrics`.
+
+The engine mutates counters from ``query_batch`` pool threads and -- since
+the sharded grid index -- from every per-shard build/gather task, so the
+accumulators must hold up under genuinely concurrent writers.  These tests
+hammer them from threads and pin the per-shard timing surface.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.service.metrics import EngineMetrics
+
+
+class TestCountersAndStages:
+    def test_increment_and_counter(self):
+        metrics = EngineMetrics()
+        metrics.increment("queries")
+        metrics.increment("queries", 4)
+        assert metrics.counter("queries") == 5
+        assert metrics.counter("never_touched") == 0
+
+    def test_observe_seconds_aggregates(self):
+        metrics = EngineMetrics()
+        metrics.observe_seconds("refine", 0.25)
+        metrics.observe_seconds("refine", 0.75)
+        stage = metrics.snapshot()["stages"]["refine"]
+        assert stage["count"] == 2
+        assert stage["total_seconds"] == 1.0
+        assert stage["mean_seconds"] == 0.5
+
+    def test_time_stage_records_one_observation(self):
+        metrics = EngineMetrics()
+        with metrics.time_stage("register"):
+            pass
+        stage = metrics.snapshot()["stages"]["register"]
+        assert stage["count"] == 1
+        assert stage["total_seconds"] >= 0.0
+
+    def test_reset_clears_everything(self):
+        metrics = EngineMetrics()
+        metrics.increment("queries")
+        metrics.observe_seconds("refine", 0.1)
+        metrics.observe_shard("shard_build", 0, 0.1)
+        metrics.reset()
+        snapshot = metrics.snapshot()
+        assert snapshot == {"counters": {}, "stages": {}, "shards": {}}
+
+
+class TestShardTimings:
+    def test_observe_shard_keys_by_stage_and_shard(self):
+        metrics = EngineMetrics()
+        metrics.observe_shard("shard_build", 0, 0.5)
+        metrics.observe_shard("shard_build", 1, 0.25)
+        metrics.observe_shard("shard_gather", 0, 0.125)
+        metrics.observe_shard("shard_build", 0, 0.5)
+        shards = metrics.snapshot()["shards"]
+        assert shards["shard_build"][0] == {
+            "count": 2, "total_seconds": 1.0, "mean_seconds": 0.5}
+        assert shards["shard_build"][1]["count"] == 1
+        assert shards["shard_gather"][0]["total_seconds"] == 0.125
+
+
+class TestThreadSafety:
+    """Concurrent writers must never lose an update (the engine's
+    ``query_batch`` and shard fan-out both mutate from pool threads)."""
+
+    WRITERS = 8
+    ROUNDS = 500
+
+    def test_concurrent_increments_are_lossless(self):
+        metrics = EngineMetrics()
+
+        def hammer(_):
+            for _ in range(self.ROUNDS):
+                metrics.increment("queries")
+                metrics.increment("batch_queries", 2)
+
+        with ThreadPoolExecutor(max_workers=self.WRITERS) as pool:
+            list(pool.map(hammer, range(self.WRITERS)))
+        assert metrics.counter("queries") == self.WRITERS * self.ROUNDS
+        assert metrics.counter("batch_queries") == 2 * self.WRITERS * self.ROUNDS
+
+    def test_concurrent_observations_are_lossless(self):
+        metrics = EngineMetrics()
+
+        def hammer(worker):
+            for _ in range(self.ROUNDS):
+                metrics.observe_seconds("refine", 0.001)
+                metrics.observe_shard("shard_gather", worker % 4, 0.002)
+
+        with ThreadPoolExecutor(max_workers=self.WRITERS) as pool:
+            list(pool.map(hammer, range(self.WRITERS)))
+        snapshot = metrics.snapshot()
+        assert snapshot["stages"]["refine"]["count"] == self.WRITERS * self.ROUNDS
+        gather = snapshot["shards"]["shard_gather"]
+        assert sum(entry["count"] for entry in gather.values()) == \
+            self.WRITERS * self.ROUNDS
