@@ -6,6 +6,7 @@
 #   make bench-backends - sweep-backend A/B comparison (smoke preset)
 #   make bench-persist  - warm-start vs cold re-ingest comparison (fast preset)
 #   make bench-shards   - sharded vs unsharded grid index (fast preset)
+#   make bench-async    - concurrent async clients vs sequential sync (fast preset)
 #   make examples       - run every example script end-to-end
 #
 # All targets run from the repository checkout without installation: the
@@ -14,7 +15,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench bench-backends bench-persist bench-shards examples
+.PHONY: test bench-smoke bench bench-backends bench-persist bench-shards \
+	bench-async examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -40,6 +42,13 @@ bench-persist:
 # REPRO_BENCH_PRESET=paper make bench-shards.
 bench-shards:
 	$(PYTHON) -m pytest benchmarks/test_service_shards.py -q
+
+# Concurrent clients through the asyncio front-end (request coalescing +
+# bounded admission) vs the same workload as naive sequential sync queries;
+# the >= 2x acceptance bound is asserted at (near-)paper scale on hosts with
+# >= 4 cores, e.g. REPRO_BENCH_PRESET=paper make bench-async.
+bench-async:
+	$(PYTHON) -m pytest benchmarks/test_service_async.py -q
 
 bench:
 	REPRO_BENCH_PRESET=bench $(PYTHON) -m pytest benchmarks -q

@@ -45,6 +45,13 @@ any answer::
     print(engine.stats()["cache"]["hit_rate"])
 
 See ``examples/query_service.py`` for a complete walk-through.
+
+For **concurrent** traffic -- many clients, possibly over the network --
+wrap the engine in the asyncio serving front-end (:mod:`repro.aio`):
+``AsyncMaxRSEngine`` coalesces identical in-flight queries and applies
+bounded admission with backpressure, and ``MaxRSServer`` /
+``AsyncQueryClient`` speak a JSON-lines TCP protocol with bit-identical
+answers; see ``examples/async_service.py``.
 """
 
 from repro.core import ExactMaxRS, MaxCRSResult, MaxRegion, MaxRSResult

@@ -1,0 +1,493 @@
+"""Asyncio-native front-end for the resident MaxRS engine.
+
+:class:`AsyncMaxRSEngine` turns the blocking :class:`~repro.service.engine.
+MaxRSEngine` into a serving tier that can hold heavy concurrent traffic from
+one event loop.  Three mechanisms do the work:
+
+* **Executor offload** -- every blocking engine call (solves, ingestion) runs
+  on the engine's existing long-lived thread pool via
+  ``loop.run_in_executor``, so the event loop never blocks on a sweep;
+* **In-flight request coalescing** -- concurrent identical queries (same
+  dataset fingerprint, same :class:`~repro.service.engine.QuerySpec`) await
+  one shared future instead of recomputing: the async analogue of
+  ``query_batch``'s dedup, but across *independent* callers.  The LRU result
+  cache already makes repeats cheap once the first answer lands; coalescing
+  closes the window while it is still being computed, which is exactly when
+  a hot key stampedes;
+* **Bounded admission with backpressure** -- at most ``max_inflight`` queries
+  execute concurrently; up to ``max_queue`` more wait their turn in FIFO
+  order.  Overflow is shed with a typed
+  :class:`~repro.errors.ServiceOverloadError` (``overflow="reject"``, the
+  default) or queued without bound (``overflow="wait"``), per policy.
+
+Dataset mutation (:meth:`~AsyncMaxRSEngine.register_dataset` /
+:meth:`~AsyncMaxRSEngine.unregister_dataset`) is serialized against queries
+by a writer-preferring read/write gate: a mutation waits for in-flight
+queries to drain, blocks new ones for its duration, and runs in the executor
+-- the loop stays responsive throughout.
+
+Answers are **bit-identical** to the sync engine's: the front-end never
+computes anything itself, it only schedules the same
+:meth:`~repro.service.engine.MaxRSEngine.query` calls.  Everything is
+observable through :meth:`AsyncMaxRSEngine.stats` -- admission and coalescing
+counters plus per-kind latency histograms land in ``stats()["aio"]``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, Hashable, List, Optional, Sequence, \
+    Tuple, Union
+
+from repro.errors import ConfigurationError, ServiceError, ServiceOverloadError
+from repro.geometry import WeightedPoint
+from repro.service.engine import MaxRSEngine, QueryResult, QuerySpec
+from repro.service.store import DatasetHandle
+
+__all__ = ["AsyncMaxRSEngine"]
+
+#: The admission policies :class:`AsyncMaxRSEngine` accepts.
+_OVERFLOW_POLICIES = ("reject", "wait")
+
+
+class _LeaderAbandoned(Exception):
+    """Internal signal: the coalescing leader was cancelled; retry the query."""
+
+
+class _ReadWriteGate:
+    """Writer-preferring async read/write gate (event-loop confined).
+
+    Queries hold the gate in read mode (many at once); dataset mutations hold
+    it in write mode (exclusive).  A waiting writer closes the turnstile so
+    new readers queue behind it -- ingestion cannot be starved by a steady
+    query stream.  All state is touched only from the owning event loop, so
+    no locks are needed; the ``while`` re-checks make the event wakeups safe
+    against competing writers.
+    """
+
+    def __init__(self) -> None:
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+        self._turnstile = asyncio.Event()  # set: readers may enter
+        self._turnstile.set()
+        self._drained = asyncio.Event()    # set: no readers, no writer
+        self._drained.set()
+
+    async def acquire_read(self) -> None:
+        while not self._turnstile.is_set():
+            await self._turnstile.wait()
+        self._readers += 1
+        self._drained.clear()
+
+    def release_read(self) -> None:
+        self._readers -= 1
+        if self._readers == 0 and not self._writer:
+            self._drained.set()
+
+    async def acquire_write(self) -> None:
+        self._writers_waiting += 1
+        self._turnstile.clear()
+        acquired = False
+        try:
+            while self._readers or self._writer:
+                self._drained.clear()
+                await self._drained.wait()
+            self._writer = True
+            self._drained.clear()
+            acquired = True
+        finally:
+            self._writers_waiting -= 1
+            if not acquired and self._writers_waiting == 0 \
+                    and not self._writer:
+                # A cancelled waiter must not leave the turnstile closed.
+                self._turnstile.set()
+                if self._readers == 0:
+                    self._drained.set()
+
+    def release_write(self) -> None:
+        self._writer = False
+        if self._writers_waiting == 0:
+            self._turnstile.set()
+        self._drained.set()
+
+
+class _AdmissionGate:
+    """FIFO slot gate implementing ``max_inflight`` / ``max_queue``.
+
+    ``acquire`` either takes a free slot, joins the FIFO wait queue, or --
+    with the ``reject`` policy and a full queue -- raises
+    :class:`ServiceOverloadError` without consuming anything.  ``release``
+    hands the freed slot directly to the oldest live waiter, so admission
+    order is arrival order.  Event-loop confined, like the gate above.
+    """
+
+    def __init__(self, max_inflight: int, max_queue: int,
+                 overflow: str) -> None:
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.overflow = overflow
+        self._slots = max_inflight
+        self._waiters: Deque[asyncio.Future] = deque()
+        self.queue_high_water = 0
+
+    @property
+    def inflight(self) -> int:
+        """Queries currently holding a slot."""
+        return self.max_inflight - self._slots
+
+    @property
+    def queue_depth(self) -> int:
+        """Queries currently waiting for a slot."""
+        return len(self._waiters)
+
+    async def acquire(self) -> None:
+        if self._slots > 0 and not self._waiters:
+            self._slots -= 1
+            return
+        if self.overflow == "reject" and len(self._waiters) >= self.max_queue:
+            raise ServiceOverloadError(
+                f"engine at max_inflight={self.max_inflight} with "
+                f"max_queue={self.max_queue} requests already waiting; "
+                "back off and retry (or configure overflow='wait')"
+            )
+        loop = asyncio.get_running_loop()
+        waiter = loop.create_future()
+        self._waiters.append(waiter)
+        self.queue_high_water = max(self.queue_high_water, len(self._waiters))
+        try:
+            await waiter
+        except asyncio.CancelledError:
+            if waiter.done() and not waiter.cancelled():
+                self.release()  # the slot arrived as we were cancelled
+            else:
+                try:
+                    self._waiters.remove(waiter)
+                except ValueError:
+                    pass  # already skipped by release()
+            raise
+
+    def release(self) -> None:
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)  # the slot transfers, FIFO
+                return
+        self._slots += 1
+
+
+class AsyncMaxRSEngine:
+    """Asyncio serving front-end over a :class:`MaxRSEngine`.
+
+    Parameters
+    ----------
+    engine:
+        The sync engine to serve.  ``None`` (default) constructs one from
+        ``engine_kwargs`` and owns it: :meth:`close` then closes it too.  A
+        caller-supplied engine is borrowed -- sharing one engine between a
+        sync path and this front-end is supported (all engine state is
+        thread-safe), and :meth:`close` leaves it open.
+    max_inflight:
+        Maximum queries executing concurrently (executor slots the front-end
+        will occupy).  Coalesced duplicates do not consume slots -- only the
+        leader computes.
+    max_queue:
+        Maximum queries waiting for a slot before overflow policy applies.
+    overflow:
+        ``"reject"`` (default) sheds overflow with
+        :class:`~repro.errors.ServiceOverloadError`; ``"wait"`` queues
+        without bound (``max_queue`` still reported in :meth:`stats`).
+    engine_kwargs:
+        Passed through to :class:`MaxRSEngine` when ``engine`` is ``None``
+        (``cache_size=``, ``shards=``, ``persist_dir=``, ...).
+
+    Examples
+    --------
+    >>> async def serve():
+    ...     async with AsyncMaxRSEngine(max_inflight=4) as engine:
+    ...         ds = await engine.register_dataset(points)
+    ...         return await engine.query(ds, QuerySpec.maxrs(10.0, 10.0))
+    """
+
+    def __init__(self, engine: Optional[MaxRSEngine] = None, *,
+                 max_inflight: int = 8, max_queue: int = 64,
+                 overflow: str = "reject", **engine_kwargs) -> None:
+        if max_inflight < 1:
+            raise ConfigurationError(
+                f"max_inflight must be at least 1, got {max_inflight}")
+        if max_queue < 0:
+            raise ConfigurationError(
+                f"max_queue must be >= 0, got {max_queue}")
+        if overflow not in _OVERFLOW_POLICIES:
+            raise ConfigurationError(
+                f"unknown overflow policy {overflow!r}; expected one of "
+                f"{_OVERFLOW_POLICIES}")
+        self._owns_engine = engine is None
+        self._engine = engine if engine is not None \
+            else MaxRSEngine(**engine_kwargs)
+        self._admission = _AdmissionGate(max_inflight, max_queue, overflow)
+        self._gate = _ReadWriteGate()
+        #: In-flight coalescing table: query identity -> the leader's future.
+        self._coalescing: Dict[Tuple[Hashable, ...], asyncio.Future] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def engine(self) -> MaxRSEngine:
+        """The wrapped sync engine (shared state: cache, store, metrics)."""
+        return self._engine
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    async def drain(self) -> None:
+        """Wait until every admitted query and mutation has completed.
+
+        New work submitted while draining still runs (drain is a barrier,
+        not a shutdown); :meth:`close` combines the two.
+        """
+        await self._gate.acquire_write()
+        self._gate.release_write()
+
+    async def close(self) -> None:
+        """Stop admitting, drain gracefully, then close an owned engine.
+
+        Idempotent.  Queries already admitted (or waiting on the admission
+        queue) run to completion -- closing never drops accepted work; only
+        *new* calls fail, with :class:`~repro.errors.ServiceError`.  A
+        borrowed engine is left open for its other users.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        await self.drain()
+        if self._owns_engine:
+            self._engine.close()
+
+    async def __aenter__(self) -> "AsyncMaxRSEngine":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceError("the async engine is closed")
+
+    async def _run(self, fn: Callable):
+        """Run a blocking engine call on the engine's thread pool."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._engine.executor(), fn)
+
+    # ------------------------------------------------------------------ #
+    # Dataset lifecycle (serialized against queries)
+    # ------------------------------------------------------------------ #
+    async def register_dataset(self, objects: Sequence[WeightedPoint], *,
+                               name: Optional[str] = None,
+                               persist: Optional[bool] = None,
+                               replace: bool = False) -> DatasetHandle:
+        """Snapshot, fingerprint and index a dataset without blocking the loop.
+
+        Ingestion is exclusive: it waits for in-flight queries to finish and
+        holds new ones back until the dataset (and its grid index) is fully
+        registered, so no query can observe a half-built index -- then runs
+        on the executor, so the event loop keeps serving other coroutines.
+        Semantics (dedup, ``replace=``, ``persist=``) are exactly
+        :meth:`MaxRSEngine.register_dataset`'s.
+        """
+        self._check_open()
+        objects = list(objects)
+        await self._gate.acquire_write()
+        try:
+            return await self._run(lambda: self._engine.register_dataset(
+                objects, name=name, persist=persist, replace=replace))
+        finally:
+            self._gate.release_write()
+
+    async def unregister_dataset(self, dataset: Union[str, DatasetHandle], *,
+                                 keep_snapshot: bool = False) -> None:
+        """Forget a dataset (exclusive, like :meth:`register_dataset`)."""
+        self._check_open()
+        await self._gate.acquire_write()
+        try:
+            await self._run(lambda: self._engine.unregister_dataset(
+                dataset, keep_snapshot=keep_snapshot))
+        finally:
+            self._gate.release_write()
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def _coalesce_key(self, dataset: Union[str, DatasetHandle],
+                      spec: QuerySpec) -> Tuple[Hashable, ...]:
+        """The in-flight identity of a query: data fingerprint + parameters.
+
+        Exactly the engine's :meth:`MaxRSEngine.cache_key` (keyed by
+        *fingerprint*, not dataset id), so a name rebound to different data
+        mid-flight can never coalesce onto the old data's computation, two
+        names holding byte-identical data share one, and coalescing stays in
+        lockstep with result-cache identity by construction.
+        """
+        dataset_id = dataset.dataset_id \
+            if isinstance(dataset, DatasetHandle) else dataset
+        entry = self._engine.store.get(dataset_id)
+        return MaxRSEngine.cache_key(entry.handle.fingerprint, spec)
+
+    async def query(self, dataset: Union[str, DatasetHandle],
+                    spec: QuerySpec) -> QueryResult:
+        """Answer one query; coalesce onto an identical in-flight one.
+
+        The whole attempt -- key resolution, coalescing, admission,
+        execution -- runs under the read gate, so the fingerprint the key
+        was derived from cannot be rebound by a concurrent ``replace=True``
+        registration mid-flight (writers wait for the attempt to finish).
+        Within the gate the coalescing check-and-claim is synchronous (no
+        ``await`` between looking up the table and publishing the leader's
+        future), so any two overlapping identical queries deterministically
+        share one computation: the follower's wait is counted as a
+        ``coalesce_hit`` and costs no admission slot.  Leaders pass
+        admission control (``max_inflight`` / ``max_queue`` / overflow
+        policy) and run the sync engine's :meth:`~MaxRSEngine.query` --
+        answers are bit-identical to calling it directly.  Errors propagate
+        to every coalesced waiter.
+        """
+        metrics = self._engine.metrics
+        metrics.increment("aio_queries")
+        arrival = time.perf_counter()
+        while True:
+            self._check_open()
+            await self._gate.acquire_read()
+            try:
+                result = await self._attempt(dataset, spec)
+            except _LeaderAbandoned:
+                # The in-flight leader this attempt coalesced onto was
+                # cancelled.  Retry from scratch -- outside the read gate,
+                # or a waiting writer would deadlock against our held read.
+                metrics.increment("aio_coalesce_retries")
+                continue
+            finally:
+                self._gate.release_read()
+            metrics.observe_latency(f"aio_{spec.kind}",
+                                    time.perf_counter() - arrival)
+            return result
+
+    async def _attempt(self, dataset: Union[str, DatasetHandle],
+                       spec: QuerySpec) -> QueryResult:
+        """One coalesce-or-lead attempt, run entirely under the read gate."""
+        metrics = self._engine.metrics
+        key = self._coalesce_key(dataset, spec)
+        shared = self._coalescing.get(key)
+        if shared is not None and shared.cancelled():
+            shared = None  # stale: externally cancelled; lead a fresh solve
+        if shared is not None:
+            metrics.increment("aio_coalesce_hits")
+            try:
+                # Shielded: cancelling THIS follower (e.g. a wait_for
+                # timeout) must cancel only its own wait, never the shared
+                # future the leader will complete and other followers await.
+                return await asyncio.shield(shared)
+            except asyncio.CancelledError:
+                # Distinguish "the leader was cancelled" (its abandonment is
+                # published on the shared future) from "this follower was
+                # cancelled" (the shared future is untouched): an abandoned
+                # leader must not take its innocent followers down -- the
+                # first to wake retries and becomes the new leader, the rest
+                # coalesce onto it.  A genuinely cancelled follower
+                # re-raises.
+                abandoned = shared.cancelled() or (
+                    shared.done()
+                    and isinstance(shared.exception(), asyncio.CancelledError))
+                if not abandoned:
+                    raise
+                raise _LeaderAbandoned() from None
+        future = asyncio.get_running_loop().create_future()
+        self._coalescing[key] = future
+        try:
+            result = await self._execute(dataset, spec)
+        except BaseException as exc:
+            if not future.cancelled():
+                future.set_exception(exc)
+                future.exception()  # mark retrieved: followers may be absent
+            raise
+        else:
+            if not future.cancelled():
+                future.set_result(result)
+            return result
+        finally:
+            del self._coalescing[key]
+
+    async def _execute(self, dataset: Union[str, DatasetHandle],
+                       spec: QuerySpec) -> QueryResult:
+        """Admission-controlled execution of one leader query."""
+        metrics = self._engine.metrics
+        try:
+            await self._admission.acquire()
+        except ServiceOverloadError:
+            metrics.increment("aio_rejected")
+            raise
+        try:
+            metrics.increment("aio_admitted")
+            return await self._run(
+                lambda: self._engine.query(dataset, spec))
+        finally:
+            self._admission.release()
+
+    async def query_batch(self, dataset: Union[str, DatasetHandle],
+                          specs: Sequence[QuerySpec]) -> List[QueryResult]:
+        """Answer many queries concurrently; results align with ``specs``.
+
+        Duplicate specs coalesce (within the batch and with any other
+        in-flight caller); distinct ones fan out, each subject to admission
+        control.  The first failure propagates -- with the ``reject`` policy
+        a batch wider than ``max_inflight + max_queue`` can overload its own
+        admission, so size batches accordingly or use ``overflow="wait"``.
+        """
+        self._check_open()
+        self._engine.metrics.increment("aio_batch_queries", len(specs))
+        return list(await asyncio.gather(
+            *(self.query(dataset, spec) for spec in specs)))
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, object]:
+        """The sync engine's :meth:`~MaxRSEngine.stats` plus an ``"aio"`` view.
+
+        ``stats()["aio"]`` reports the front-end's admission state (current
+        in-flight and queue depth, high-water mark, admitted / rejected /
+        coalesce-hit counts) and per-query-kind end-to-end latency
+        histograms (p50/p95/p99 of admission wait + execution).
+        """
+        stats = self._engine.stats()
+        counters = stats["counters"]
+        prefix = "aio_"
+        latency = {name[len(prefix):]: summary
+                   for name, summary in stats["latency"].items()
+                   if name.startswith(prefix)}
+        stats["aio"] = {
+            "max_inflight": self._admission.max_inflight,
+            "max_queue": self._admission.max_queue,
+            "overflow": self._admission.overflow,
+            "inflight": self._admission.inflight,
+            "queue_depth": self._admission.queue_depth,
+            "queue_high_water": self._admission.queue_high_water,
+            "coalescing_now": len(self._coalescing),
+            "queries": counters.get("aio_queries", 0),
+            "admitted": counters.get("aio_admitted", 0),
+            "rejected": counters.get("aio_rejected", 0),
+            "coalesce_hits": counters.get("aio_coalesce_hits", 0),
+            "coalesce_retries": counters.get("aio_coalesce_retries", 0),
+            "batch_queries": counters.get("aio_batch_queries", 0),
+            "latency": latency,
+            "closed": self._closed,
+        }
+        return stats
+
+    def clear_cache(self) -> None:
+        """Drop every cached result (delegates to the sync engine)."""
+        self._engine.clear_cache()

@@ -1,0 +1,294 @@
+"""JSON-lines wire protocol for the network query service.
+
+One request or response per line (UTF-8 JSON, ``\\n``-terminated) -- trivially
+debuggable with ``netcat``, framable with ``StreamReader.readline``, and
+pipelinable: requests carry a client-chosen ``id`` that the response echoes,
+so responses may return out of order.
+
+Requests are ``{"op": ..., "id": ...}`` plus per-op fields:
+
+========  ==========================================================
+op        fields
+========  ==========================================================
+register  ``points`` ([[x, y, w], ...]), ``name``?, ``replace``?
+unregister``dataset``, ``keep_snapshot``?
+query     ``dataset``, ``spec``
+query_batch ``dataset``, ``specs``
+stats     --
+ping      --
+close     -- (server acknowledges, then closes the connection)
+========  ==========================================================
+
+Responses are ``{"id": ..., "ok": true, ...}`` on success or ``{"id": ...,
+"ok": false, "error": <exception class name>, "message": ...}`` on failure;
+:func:`exception_from_wire` maps the error back onto the :mod:`repro.errors`
+hierarchy so a remote :class:`~repro.errors.ServiceOverloadError` is catchable
+exactly like a local one.
+
+**Bit-identity across the wire**: every float is serialized by Python's
+``json`` (shortest-repr round-trip, infinities allowed), so decoded results
+compare equal, bit for bit, to the engine's in-process answers.  Numpy
+scalars are converted to native floats/ints first (an exact conversion) --
+``json`` would otherwise refuse them.  I/O snapshots are not shipped
+(engine-served results carry ``io=None`` anyway).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Sequence, Tuple, Union
+
+import repro.errors as errors
+from repro.core.result import MaxCRSResult, MaxRegion, MaxRSResult
+from repro.errors import ReproError, SerializationError
+from repro.geometry import Point, WeightedPoint
+from repro.service.engine import QueryResult, QuerySpec
+
+__all__ = [
+    "decode_line",
+    "encode_line",
+    "error_to_wire",
+    "exception_from_wire",
+    "points_from_wire",
+    "points_to_wire",
+    "result_from_wire",
+    "result_to_wire",
+    "spec_from_wire",
+    "spec_to_wire",
+]
+
+#: The operations the server understands (validated at decode time).
+OPS = ("register", "unregister", "query", "query_batch", "stats", "ping",
+       "close")
+
+
+# ---------------------------------------------------------------------- #
+# Framing
+# ---------------------------------------------------------------------- #
+def encode_line(message: Dict[str, Any]) -> bytes:
+    """One protocol message as a ``\\n``-terminated UTF-8 JSON line."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one received line; malformed input raises SerializationError."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"malformed protocol line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise SerializationError(
+            f"protocol messages must be JSON objects, got {type(message).__name__}")
+    return message
+
+
+# ---------------------------------------------------------------------- #
+# Query specs
+# ---------------------------------------------------------------------- #
+def spec_to_wire(spec: QuerySpec) -> Dict[str, Any]:
+    """A :class:`QuerySpec` as a plain JSON object (defaults elided)."""
+    wire: Dict[str, Any] = {"kind": spec.kind}
+    if spec.width is not None:
+        wire["width"] = float(spec.width)
+    if spec.height is not None:
+        wire["height"] = float(spec.height)
+    if spec.k != 1:
+        wire["k"] = int(spec.k)
+    if spec.diameter is not None:
+        wire["diameter"] = float(spec.diameter)
+    if not spec.refine:
+        wire["refine"] = False
+    return wire
+
+
+def spec_from_wire(wire: Dict[str, Any]) -> QuerySpec:
+    """Rebuild a :class:`QuerySpec`; its own validation rejects bad fields."""
+    if not isinstance(wire, dict):
+        raise SerializationError(
+            f"query spec must be a JSON object, got {type(wire).__name__}")
+    unknown = set(wire) - {"kind", "width", "height", "k", "diameter", "refine"}
+    if unknown:
+        raise SerializationError(
+            f"unknown query spec fields {sorted(unknown)}")
+    try:
+        return QuerySpec(
+            kind=wire.get("kind", "maxrs"),
+            width=wire.get("width"),
+            height=wire.get("height"),
+            k=wire.get("k", 1),
+            diameter=wire.get("diameter"),
+            refine=wire.get("refine", True),
+        )
+    except TypeError as exc:
+        # Non-numeric field values; QuerySpec's own validation raises the
+        # (typed) ConfigurationError for semantically invalid ones.
+        raise SerializationError(f"malformed query spec: {exc}") from exc
+
+
+# ---------------------------------------------------------------------- #
+# Points
+# ---------------------------------------------------------------------- #
+def points_to_wire(objects: Sequence[WeightedPoint]) -> list:
+    """Weighted points as ``[[x, y, w], ...]`` (compact, columnar-friendly)."""
+    return [[float(o.x), float(o.y), float(o.weight)] for o in objects]
+
+
+def points_from_wire(wire: Sequence) -> list:
+    """Rebuild the weighted point list a ``register`` request carries."""
+    points = []
+    for row in wire:
+        if not isinstance(row, (list, tuple)) or not 2 <= len(row) <= 3:
+            raise SerializationError(
+                f"points must be [x, y] or [x, y, weight] rows, got {row!r}")
+        try:
+            x, y = float(row[0]), float(row[1])
+            weight = float(row[2]) if len(row) == 3 else 1.0
+        except (TypeError, ValueError) as exc:
+            raise SerializationError(f"malformed point row {row!r}: {exc}") \
+                from exc
+        points.append(WeightedPoint(x, y, weight))
+    return points
+
+
+# ---------------------------------------------------------------------- #
+# Results
+# ---------------------------------------------------------------------- #
+def _point_to_wire(point: Point) -> list:
+    return [float(point.x), float(point.y)]
+
+
+def _maxrs_to_wire(result: MaxRSResult) -> Dict[str, Any]:
+    region = result.region
+    return {
+        "type": "maxrs",
+        "location": _point_to_wire(result.location),
+        "region": [float(region.x1), float(region.y1),
+                   float(region.x2), float(region.y2), float(region.weight)],
+        "total_weight": float(result.total_weight),
+        "recursion_levels": int(result.recursion_levels),
+        "leaf_count": int(result.leaf_count),
+    }
+
+
+def _maxrs_from_wire(wire: Dict[str, Any]) -> MaxRSResult:
+    x1, y1, x2, y2, weight = (float(v) for v in wire["region"])
+    loc_x, loc_y = (float(v) for v in wire["location"])
+    return MaxRSResult(
+        location=Point(loc_x, loc_y),
+        region=MaxRegion(x1=x1, y1=y1, x2=x2, y2=y2, weight=weight),
+        total_weight=float(wire["total_weight"]),
+        io=None,
+        recursion_levels=int(wire["recursion_levels"]),
+        leaf_count=int(wire["leaf_count"]),
+    )
+
+
+def _maxcrs_to_wire(result: MaxCRSResult) -> Dict[str, Any]:
+    wire: Dict[str, Any] = {
+        "type": "maxcrs",
+        "location": _point_to_wire(result.location),
+        "total_weight": float(result.total_weight),
+    }
+    if result.candidates:
+        wire["candidates"] = [_point_to_wire(p) for p in result.candidates]
+        wire["candidate_weights"] = [float(w)
+                                     for w in result.candidate_weights]
+    if result.rectangle_result is not None:
+        wire["rectangle_result"] = _maxrs_to_wire(result.rectangle_result)
+    return wire
+
+
+def _maxcrs_from_wire(wire: Dict[str, Any]) -> MaxCRSResult:
+    rectangle = wire.get("rectangle_result")
+    return MaxCRSResult(
+        location=Point(*(float(v) for v in wire["location"])),
+        total_weight=float(wire["total_weight"]),
+        candidates=tuple(Point(*(float(v) for v in p))
+                         for p in wire.get("candidates", ())),
+        candidate_weights=tuple(float(w)
+                                for w in wire.get("candidate_weights", ())),
+        rectangle_result=None if rectangle is None
+        else _maxrs_from_wire(rectangle),
+        io=None,
+    )
+
+
+def result_to_wire(result: QueryResult) -> Dict[str, Any]:
+    """Any engine answer -- MaxRS, MaxkRS tuple, MaxCRS -- as a JSON object."""
+    if isinstance(result, MaxRSResult):
+        return _maxrs_to_wire(result)
+    if isinstance(result, MaxCRSResult):
+        return _maxcrs_to_wire(result)
+    if isinstance(result, tuple):
+        return {"type": "maxkrs",
+                "results": [_maxrs_to_wire(r) for r in result]}
+    raise SerializationError(
+        f"cannot serialize result of type {type(result).__name__}")
+
+
+def result_from_wire(wire: Dict[str, Any]
+                     ) -> Union[MaxRSResult, Tuple[MaxRSResult, ...],
+                                MaxCRSResult]:
+    """Rebuild an engine answer from its wire form."""
+    if not isinstance(wire, dict):
+        raise SerializationError(
+            f"result must be a JSON object, got {type(wire).__name__}")
+    kind = wire.get("type")
+    try:
+        if kind == "maxrs":
+            return _maxrs_from_wire(wire)
+        if kind == "maxkrs":
+            return tuple(_maxrs_from_wire(r) for r in wire["results"])
+        if kind == "maxcrs":
+            return _maxcrs_from_wire(wire)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed {kind} result: {exc}") from exc
+    raise SerializationError(f"unknown result type {kind!r}")
+
+
+# ---------------------------------------------------------------------- #
+# Errors and JSON sanitation
+# ---------------------------------------------------------------------- #
+def error_to_wire(request_id: Any, exc: BaseException) -> Dict[str, Any]:
+    """An error response naming the exception class and its message."""
+    return {"id": request_id, "ok": False,
+            "error": type(exc).__name__, "message": str(exc)}
+
+
+def exception_from_wire(wire: Dict[str, Any]) -> ReproError:
+    """Map an error response back onto the :mod:`repro.errors` hierarchy.
+
+    Error names that resolve to a :class:`ReproError` subclass are re-raised
+    as that type (so a remote overload is catchable like a local one); any
+    other server-side failure degrades to a plain :class:`ReproError`.
+    """
+    name = wire.get("error", "ReproError")
+    message = wire.get("message", "remote error")
+    exc_type = getattr(errors, str(name), None)
+    if isinstance(exc_type, type) and issubclass(exc_type, ReproError):
+        return exc_type(message)
+    return ReproError(f"{name}: {message}")
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively coerce a stats tree into JSON-representable types.
+
+    Engine statistics mix plain Python numbers with numpy scalars (grid
+    shapes, occupancy counts) and tuple keys; this converts scalars via
+    ``float``/``int`` (exact), stringifies non-string dictionary keys and
+    turns tuples into lists, so ``json.dumps`` accepts the result verbatim.
+    """
+    if isinstance(value, dict):
+        return {key if isinstance(key, str) else str(key): jsonable(item)
+                for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        return value
+    if hasattr(value, "item"):  # numpy scalar: exact native conversion
+        return jsonable(value.item())
+    return str(value)

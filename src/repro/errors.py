@@ -18,6 +18,10 @@ More specific subclasses indicate which subsystem detected the problem:
 * :class:`DatasetError` -- dataset generation or loading failed.
 * :class:`ServiceError` -- the resident query service (:mod:`repro.service`)
   was misused (unknown dataset id, conflicting registrations, ...).
+* :class:`ServiceOverloadError` -- the async serving front-end
+  (:mod:`repro.aio`) refused to admit a request because the engine is at its
+  concurrency limit and the admission queue is full; callers should back off
+  and retry.
 * :class:`PersistError` -- the durable snapshot store (:mod:`repro.persist`)
   found a corrupt, truncated, or incompatible snapshot (bad magic, checksum
   mismatch, fingerprint mismatch, unsupported catalog version, ...).
@@ -35,6 +39,7 @@ __all__ = [
     "DatasetError",
     "PersistError",
     "ServiceError",
+    "ServiceOverloadError",
 ]
 
 
@@ -68,6 +73,17 @@ class DatasetError(ReproError):
 
 class ServiceError(ReproError):
     """Raised when the resident query service (:mod:`repro.service`) is misused."""
+
+
+class ServiceOverloadError(ServiceError):
+    """Raised when the async front-end (:mod:`repro.aio`) sheds a request.
+
+    Admission control is load shedding, not misuse: the engine is healthy but
+    already running ``max_inflight`` queries with ``max_queue`` more waiting.
+    The request was **not** executed; callers should back off and retry (or
+    configure the engine with ``overflow="wait"`` to queue instead).  A
+    subclass of :class:`ServiceError` so existing service guards keep working.
+    """
 
 
 class PersistError(StorageError):

@@ -27,6 +27,10 @@ grid aggregates are written through to a :mod:`repro.persist` snapshot store
 (block-accounted through :mod:`repro.em`), and a restarted engine restores
 the catalog and re-serves without re-ingesting.
 
+For concurrent serving -- many clients, request coalescing, backpressure, a
+network protocol -- see the asyncio front-end in :mod:`repro.aio`; it wraps
+this engine without changing any answer.
+
 Exact answers returned by the engine (``refine=True``, the default) are
 identical to running :func:`repro.core.plane_sweep.solve_in_memory` on the
 full dataset -- the grid only removes points that provably cannot take part

@@ -260,8 +260,25 @@ class MaxRSEngine:
                     thread_name_prefix="repro-engine")
             return self._pool
 
-    def close(self) -> None:
-        """Shut down the shared thread pool (idempotent).
+    def executor(self) -> Optional[ThreadPoolExecutor]:
+        """The engine's long-lived thread pool (``None`` once closed).
+
+        Exposed for front-ends that schedule engine work themselves -- the
+        async serving layer (:mod:`repro.aio`) runs blocking solves on this
+        pool via ``loop.run_in_executor`` so queries, ``query_batch`` fan-out
+        and shard fan-out all share one set of threads.
+        """
+        return self._ensure_pool()
+
+    def close(self, *, wait: bool = True) -> None:
+        """Shut down the shared thread pool (idempotent), draining by default.
+
+        ``wait=True`` (the default) blocks until every task already submitted
+        to the pool -- outstanding ``query_batch`` futures, in-flight shard
+        fan-out, async front-end solves -- has run to completion: closing an
+        engine never drops admitted work.  ``wait=False`` returns immediately;
+        already-running tasks still finish (Python thread pools cannot be
+        pre-empted) but the caller no longer waits for them.
 
         The engine stays queryable afterwards -- batch execution and shard
         fan-out simply degrade to the calling thread, so a drained service
@@ -271,7 +288,7 @@ class MaxRSEngine:
             self._closed = True
             pool, self._pool = self._pool, None
         if pool is not None:
-            pool.shutdown(wait=True)
+            pool.shutdown(wait=wait)
 
     def __enter__(self) -> "MaxRSEngine":
         return self
@@ -600,14 +617,30 @@ class MaxRSEngine:
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def cache_key(fingerprint: str, spec: QuerySpec) -> Tuple[Hashable, ...]:
+        """The identity of one query against one data fingerprint.
+
+        This tuple keys the result cache -- and the async front-end's
+        in-flight coalescing table (:mod:`repro.aio`), which must stay in
+        lockstep with it: two queries may share a computation exactly when
+        they would share a cache entry.
+        """
+        return (fingerprint,) + spec.cache_params()
+
     def query(self, dataset: Union[str, DatasetHandle],
               spec: QuerySpec) -> QueryResult:
         """Answer one query, consulting the result cache first."""
+        arrival = time.perf_counter()
         entry = self.store.get(_dataset_id(dataset))
-        key = (entry.handle.fingerprint,) + spec.cache_params()
+        key = self.cache_key(entry.handle.fingerprint, spec)
         hit, value = self.cache.get(key)
         self.metrics.increment("queries")
         if hit:
+            # Latency is recorded per query kind for hits too: the histogram
+            # reports what callers experienced, not what computation cost.
+            self.metrics.observe_latency(spec.kind,
+                                         time.perf_counter() - arrival)
             return value
         start = time.perf_counter()
         result = self._compute(entry, spec)
@@ -616,6 +649,7 @@ class MaxRSEngine:
         # so eviction sheds cheap approximate answers before expensive
         # refined ones (see LRUCache).
         self.cache.put(key, result, cost=elapsed)
+        self.metrics.observe_latency(spec.kind, time.perf_counter() - arrival)
         return result
 
     def query_batch(self, dataset: Union[str, DatasetHandle],
@@ -737,6 +771,7 @@ class MaxRSEngine:
             "stages": snapshot["stages"],
             "counters": snapshot["counters"],
             "shard_stages": snapshot["shards"],
+            "latency": snapshot["latency"],
             "grids": {
                 handle.dataset_id: (grid.stats() if grid is not None else None)
                 for handle in self.store.handles()

@@ -5,6 +5,14 @@ registration, grid construction, approximate probing, exact refinement -- and
 counts queries per kind.  :class:`EngineMetrics` aggregates both under a lock
 so the numbers stay consistent when ``query_batch`` fans out over threads.
 
+Serving additionally wants **latency distributions**, not just means: a tail
+query stuck behind admission control is invisible in a mean.
+:class:`LatencyHistogram` records observations into fixed log-spaced buckets
+(bounded memory, no per-sample storage) from which p50/p95/p99 are estimated;
+the sync ``query()`` path and the async front-end (:mod:`repro.aio`) both
+record per-query-kind latencies through :meth:`EngineMetrics.observe_latency`,
+under the same lock as every other accumulator.
+
 The implementation deliberately avoids any dependency on a metrics backend:
 :meth:`EngineMetrics.snapshot` returns plain dictionaries that callers can
 print, assert on, or export however they like.
@@ -12,15 +20,96 @@ print, assert on, or export however they like.
 
 from __future__ import annotations
 
+import bisect
 import threading
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator
+from typing import Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["EngineMetrics", "StageTimings"]
+__all__ = ["EngineMetrics", "LatencyHistogram", "StageTimings"]
 
 #: Snapshot of one stage: number of observations, total and mean seconds.
 StageTimings = Dict[str, float]
+
+
+def _default_bucket_bounds() -> Tuple[float, ...]:
+    """Doubling bucket upper bounds from 1 microsecond to ~134 seconds.
+
+    28 buckets cover the full serving range -- cache hits (microseconds) to
+    pathological cold solves (minutes) -- at a constant ~2x relative error,
+    which is plenty for p50/p95/p99 on wall-clock latencies.
+    """
+    return tuple(1e-6 * 2 ** i for i in range(28))
+
+
+class LatencyHistogram:
+    """Fixed log-bucket latency accumulator with percentile estimation.
+
+    Observations land in the first bucket whose upper bound is >= the value
+    (one overflow bucket catches the rest), so memory is bounded by the
+    bucket count regardless of traffic.  Percentiles are estimated as the
+    upper bound of the bucket where the cumulative count crosses the
+    quantile, clamped to the exact observed maximum -- a conservative
+    (never-underestimating) tail estimate.
+
+    Not internally locked: :class:`EngineMetrics` mutates and reads its
+    histograms under the engine-wide metrics lock, like every other
+    accumulator.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Optional[Tuple[float, ...]] = None) -> None:
+        self.bounds: Tuple[float, ...] = bounds or _default_bucket_bounds()
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)  # + overflow
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency observation (negative values clamp to 0)."""
+        seconds = max(0.0, float(seconds))
+        self.counts[bisect.bisect_left(self.bounds, seconds)] += 1
+        self.count += 1
+        self.total += seconds
+        self.min = min(self.min, seconds)
+        self.max = max(self.max, seconds)
+
+    def percentile(self, quantile: float) -> float:
+        """Estimate the ``quantile`` (in [0, 1]) latency; 0.0 when empty."""
+        if self.count == 0:
+            return 0.0
+        rank = quantile * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                if index >= len(self.bounds):  # overflow bucket
+                    return self.max
+                return min(self.bounds[index], self.max)
+        return self.max
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram (with identical bounds) into this one."""
+        for index, bucket_count in enumerate(other.counts):
+            self.counts[index] += bucket_count
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def summary(self) -> Dict[str, float]:
+        """Count, mean and the serving percentiles as a plain dictionary."""
+        return {
+            "count": self.count,
+            "mean_seconds": self.total / self.count if self.count else 0.0,
+            "min_seconds": self.min if self.count else 0.0,
+            "max_seconds": self.max,
+            "p50_seconds": self.percentile(0.50),
+            "p95_seconds": self.percentile(0.95),
+            "p99_seconds": self.percentile(0.99),
+        }
 
 
 class EngineMetrics:
@@ -40,6 +129,9 @@ class EngineMetrics:
         #: Per-shard timing accumulators: ``(stage, shard_id) -> count/total``.
         self._shard_count: Dict[tuple, int] = {}
         self._shard_seconds: Dict[tuple, float] = {}
+        #: Per-name latency histograms, e.g. query kind ("maxrs") on the sync
+        #: path and "aio_<kind>" end-to-end latencies on the async front-end.
+        self._latency: Dict[str, LatencyHistogram] = {}
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -68,6 +160,21 @@ class EngineMetrics:
             self._shard_count[key] = self._shard_count.get(key, 0) + 1
             self._shard_seconds[key] = self._shard_seconds.get(key, 0.0) + seconds
 
+    def observe_latency(self, name: str, seconds: float) -> None:
+        """Record one end-to-end latency observation under ``name``.
+
+        The sync engine records per-query-kind serving latencies (cache hits
+        included -- this is what a caller experienced, not what a stage
+        cost); the async front-end records admission wait + execution under
+        ``aio_<kind>``.  ``snapshot()["latency"]`` reports p50/p95/p99 per
+        name.
+        """
+        with self._lock:
+            histogram = self._latency.get(name)
+            if histogram is None:
+                histogram = self._latency[name] = LatencyHistogram()
+            histogram.observe(seconds)
+
     @contextmanager
     def time_stage(self, stage: str) -> Iterator[None]:
         """Context manager timing a block as one observation of ``stage``."""
@@ -85,11 +192,20 @@ class EngineMetrics:
         with self._lock:
             return self._counters.get(name, 0)
 
+    def latency(self, name: str) -> Dict[str, float]:
+        """One latency histogram's summary (zeros when never observed)."""
+        with self._lock:
+            histogram = self._latency.get(name)
+            return histogram.summary() if histogram is not None \
+                else LatencyHistogram().summary()
+
     def snapshot(self) -> Dict[str, object]:
-        """Return all counters, stage timings and per-shard timings.
+        """Return all counters, stage timings, shard timings and latencies.
 
         ``"shards"`` maps each shard stage to a per-shard-id breakdown, e.g.
-        ``snapshot()["shards"]["shard_build"][0]["total_seconds"]``.
+        ``snapshot()["shards"]["shard_build"][0]["total_seconds"]``;
+        ``"latency"`` maps each observed name to its histogram summary, e.g.
+        ``snapshot()["latency"]["maxrs"]["p95_seconds"]``.
         """
         with self._lock:
             stages: Dict[str, StageTimings] = {}
@@ -108,14 +224,17 @@ class EngineMetrics:
                     "total_seconds": total,
                     "mean_seconds": total / count if count else 0.0,
                 }
+            latency = {name: histogram.summary()
+                       for name, histogram in self._latency.items()}
             return {"counters": dict(self._counters), "stages": stages,
-                    "shards": shards}
+                    "shards": shards, "latency": latency}
 
     def reset(self) -> None:
-        """Clear every counter and timing accumulator."""
+        """Clear every counter, timing accumulator and latency histogram."""
         with self._lock:
             self._counters.clear()
             self._stage_count.clear()
             self._stage_seconds.clear()
             self._shard_count.clear()
             self._shard_seconds.clear()
+            self._latency.clear()

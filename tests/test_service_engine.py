@@ -444,3 +444,86 @@ class TestEngineLifecycle:
         assert sharding["effective_shards"] == 3
         assert sharding["resolved_executor"] == "serial"
         engine.close()
+
+    def test_close_drains_outstanding_batch_work(self, make_objects):
+        """Regression: close() must not drop query_batch work in flight.
+
+        A batch is started on another thread and held at its first query;
+        close() (the default ``wait=True``) may then only return after every
+        batch query has produced its answer -- no future is abandoned.
+        """
+        import threading
+
+        engine = MaxRSEngine(max_workers=2)
+        dataset = engine.register_dataset(make_objects(60, seed=35))
+        specs = [QuerySpec.maxrs(3.0 + i, 3.0) for i in range(6)]
+        reference = [engine.query(dataset, spec) for spec in specs]
+        engine.clear_cache()
+
+        started = threading.Event()
+        hold = threading.Event()
+        original_compute = engine._compute
+
+        def gated_compute(entry, spec):
+            started.set()
+            assert hold.wait(timeout=30.0)
+            return original_compute(entry, spec)
+
+        engine._compute = gated_compute
+        outcome = {}
+
+        def run_batch():
+            outcome["results"] = engine.query_batch(dataset, specs)
+
+        batch_thread = threading.Thread(target=run_batch)
+        batch_thread.start()
+        assert started.wait(timeout=30.0)
+
+        closer = threading.Thread(target=engine.close)
+        closer.start()
+        # close(wait=True) is blocked behind the held batch work...
+        closer.join(timeout=0.1)
+        assert closer.is_alive()
+        hold.set()
+        closer.join(timeout=30.0)
+        batch_thread.join(timeout=30.0)
+        assert not closer.is_alive() and not batch_thread.is_alive()
+        # ...and every answer of the batch survived the shutdown, intact.
+        assert len(outcome["results"]) == len(specs)
+        for got, want in zip(outcome["results"], reference):
+            assert got.total_weight == want.total_weight
+            assert got.region == want.region
+
+    def test_close_without_wait_returns_immediately(self, make_objects):
+        engine = MaxRSEngine()
+        dataset = engine.register_dataset(make_objects(40, seed=36))
+        engine.query_batch(dataset, [QuerySpec.maxrs(3.0, 3.0),
+                                     QuerySpec.maxrs(5.0, 2.0)])
+        engine.close(wait=False)
+        assert engine._pool is None
+        # Still queryable (degrades to the calling thread), like close().
+        assert engine.query(dataset, QuerySpec.maxrs(3.0, 3.0)).total_weight > 0
+
+    def test_executor_accessor_tracks_lifecycle(self, make_objects):
+        engine = MaxRSEngine()
+        pool = engine.executor()
+        assert pool is not None
+        assert engine.executor() is pool  # one long-lived pool
+        engine.close()
+        assert engine.executor() is None
+
+
+class TestLatencyHistograms:
+    def test_sync_query_records_per_kind_latency(self, make_objects):
+        engine = MaxRSEngine()
+        dataset = engine.register_dataset(make_objects(40, seed=37))
+        engine.query(dataset, QuerySpec.maxrs(4.0, 4.0))
+        engine.query(dataset, QuerySpec.maxrs(4.0, 4.0))  # cache hit counts too
+        engine.query(dataset, QuerySpec.maxkrs(4.0, 4.0, 2))
+        engine.query(dataset, QuerySpec.maxcrs(5.0))
+        latency = engine.stats()["latency"]
+        assert latency["maxrs"]["count"] == 2
+        assert latency["maxkrs"]["count"] == 1
+        assert latency["maxcrs"]["count"] == 1
+        assert latency["maxrs"]["p50_seconds"] <= latency["maxrs"]["p99_seconds"]
+        engine.close()

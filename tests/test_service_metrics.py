@@ -8,7 +8,7 @@ hammer them from threads and pin the per-shard timing surface.
 
 from concurrent.futures import ThreadPoolExecutor
 
-from repro.service.metrics import EngineMetrics
+from repro.service.metrics import EngineMetrics, LatencyHistogram
 
 
 class TestCountersAndStages:
@@ -41,9 +41,11 @@ class TestCountersAndStages:
         metrics.increment("queries")
         metrics.observe_seconds("refine", 0.1)
         metrics.observe_shard("shard_build", 0, 0.1)
+        metrics.observe_latency("maxrs", 0.1)
         metrics.reset()
         snapshot = metrics.snapshot()
-        assert snapshot == {"counters": {}, "stages": {}, "shards": {}}
+        assert snapshot == {"counters": {}, "stages": {}, "shards": {},
+                            "latency": {}}
 
 
 class TestShardTimings:
@@ -58,6 +60,82 @@ class TestShardTimings:
             "count": 2, "total_seconds": 1.0, "mean_seconds": 0.5}
         assert shards["shard_build"][1]["count"] == 1
         assert shards["shard_gather"][0]["total_seconds"] == 0.125
+
+
+class TestLatencyHistogram:
+    """The serving-latency histograms behind ``stats()["latency"]``."""
+
+    def test_empty_summary_is_all_zero(self):
+        summary = LatencyHistogram().summary()
+        assert summary == {"count": 0, "mean_seconds": 0.0,
+                           "min_seconds": 0.0, "max_seconds": 0.0,
+                           "p50_seconds": 0.0, "p95_seconds": 0.0,
+                           "p99_seconds": 0.0}
+
+    def test_single_observation_pins_every_field(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.010)
+        summary = histogram.summary()
+        assert summary["count"] == 1
+        assert summary["mean_seconds"] == 0.010
+        assert summary["min_seconds"] == summary["max_seconds"] == 0.010
+        # One sample: every percentile is that sample (clamped to max).
+        assert summary["p50_seconds"] == 0.010
+        assert summary["p99_seconds"] == 0.010
+
+    def test_percentiles_are_ordered_and_bracket_the_data(self):
+        histogram = LatencyHistogram()
+        for index in range(1000):
+            histogram.observe(0.001 * (1 + index % 100))  # 1 ms .. 100 ms
+        summary = histogram.summary()
+        assert summary["count"] == 1000
+        assert 0.001 <= summary["p50_seconds"] <= summary["p95_seconds"] \
+            <= summary["p99_seconds"] <= summary["max_seconds"] == 0.1
+        # Log buckets are ~2x wide: p50 of a uniform 1-100 ms stream must
+        # land within one bucket of the true 50 ms median.
+        assert 0.025 <= summary["p50_seconds"] <= 0.128
+
+    def test_tail_estimates_never_underestimate_within_a_bucket(self):
+        histogram = LatencyHistogram()
+        for _ in range(99):
+            histogram.observe(0.001)
+        histogram.observe(10.0)
+        summary = histogram.summary()
+        assert summary["p99_seconds"] >= 0.001
+        assert summary["max_seconds"] == 10.0
+        assert histogram.percentile(1.0) == 10.0
+
+    def test_overflow_bucket_reports_observed_max(self):
+        histogram = LatencyHistogram(bounds=(0.001, 0.002))
+        histogram.observe(5.0)
+        assert histogram.percentile(0.5) == 5.0
+
+    def test_negative_observations_clamp_to_zero(self):
+        histogram = LatencyHistogram()
+        histogram.observe(-1.0)
+        assert histogram.summary()["max_seconds"] == 0.0
+
+    def test_merge_folds_counts_and_extremes(self):
+        left, right = LatencyHistogram(), LatencyHistogram()
+        left.observe(0.001)
+        right.observe(1.0)
+        left.merge(right)
+        summary = left.summary()
+        assert summary["count"] == 2
+        assert summary["min_seconds"] == 0.001
+        assert summary["max_seconds"] == 1.0
+
+    def test_observe_latency_lands_in_snapshot(self):
+        metrics = EngineMetrics()
+        metrics.observe_latency("maxrs", 0.010)
+        metrics.observe_latency("maxrs", 0.020)
+        metrics.observe_latency("aio_maxrs", 0.005)
+        latency = metrics.snapshot()["latency"]
+        assert latency["maxrs"]["count"] == 2
+        assert latency["maxrs"]["mean_seconds"] == 0.015
+        assert latency["aio_maxrs"]["count"] == 1
+        assert metrics.latency("maxrs")["count"] == 2
+        assert metrics.latency("never_observed")["count"] == 0
 
 
 class TestThreadSafety:
@@ -87,6 +165,7 @@ class TestThreadSafety:
             for _ in range(self.ROUNDS):
                 metrics.observe_seconds("refine", 0.001)
                 metrics.observe_shard("shard_gather", worker % 4, 0.002)
+                metrics.observe_latency("maxrs", 0.001 * (worker + 1))
 
         with ThreadPoolExecutor(max_workers=self.WRITERS) as pool:
             list(pool.map(hammer, range(self.WRITERS)))
@@ -94,4 +173,6 @@ class TestThreadSafety:
         assert snapshot["stages"]["refine"]["count"] == self.WRITERS * self.ROUNDS
         gather = snapshot["shards"]["shard_gather"]
         assert sum(entry["count"] for entry in gather.values()) == \
+            self.WRITERS * self.ROUNDS
+        assert snapshot["latency"]["maxrs"]["count"] == \
             self.WRITERS * self.ROUNDS
