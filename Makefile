@@ -7,6 +7,8 @@
 #   make bench-persist  - warm-start vs cold re-ingest comparison (fast preset)
 #   make bench-shards   - sharded vs unsharded grid index (fast preset)
 #   make bench-async    - concurrent async clients vs sequential sync (fast preset)
+#   make bench-json     - refresh the BENCH_*.json perf-trajectory artefacts
+#   make trace-smoke    - observability suite + the traced-query walkthrough
 #   make examples       - run every example script end-to-end
 #
 # All targets run from the repository checkout without installation: the
@@ -16,7 +18,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench-smoke bench bench-backends bench-persist bench-shards \
-	bench-async examples
+	bench-async bench-json trace-smoke examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -52,6 +54,24 @@ bench-async:
 
 bench:
 	REPRO_BENCH_PRESET=bench $(PYTHON) -m pytest benchmarks -q
+
+# Refresh every machine-readable BENCH_<name>.json perf-trajectory artefact
+# (host fingerprint, config, p50/p95/p99, speedup vs baseline) by running
+# the serving benchmarks that emit them, at the default preset.
+bench-json:
+	$(PYTHON) -m pytest -q \
+		benchmarks/test_service_throughput.py \
+		benchmarks/test_service_coldstart.py \
+		benchmarks/test_service_shards.py \
+		benchmarks/test_service_async.py \
+		benchmarks/test_obs_overhead.py
+
+# The observability smoke: obs unit + propagation tests, the disabled-
+# tracing overhead guard, and the traced-query example's rendered trees.
+trace-smoke:
+	$(PYTHON) -m pytest -q tests/test_obs_span.py \
+		tests/test_obs_propagation.py benchmarks/test_obs_overhead.py
+	$(PYTHON) examples/traced_query.py
 
 examples:
 	@set -e; for script in examples/*.py; do \

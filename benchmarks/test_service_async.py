@@ -31,6 +31,7 @@ import pytest
 
 np = pytest.importorskip("numpy")  # engine grid index and dataset generation
 
+from _bench_utils import write_bench_json
 from repro.aio import AsyncMaxRSEngine
 from repro.geometry import WeightedPoint
 from repro.service import MaxRSEngine, QuerySpec
@@ -170,6 +171,18 @@ def _run_mix(mix_name, clients, objects, report, cardinality):
         f"  answers: bit-identical to the sequential sync engine on all "
         f"{total} queries"
     )
+    write_bench_json(
+        f"async_{mix_name.replace('-', '_')}",
+        workload={"cardinality": cardinality, "clients": len(clients),
+                  "queries": total, "mix": mix_name},
+        config={"max_inflight": max(4, cores), "overflow": "wait",
+                "cores": cores},
+        seconds=async_seconds, baseline_seconds=sync_seconds,
+        speedup=speedup,
+        latency=aio["latency"],
+        extra={"admitted": aio["admitted"],
+               "coalesce_hits": aio["coalesce_hits"],
+               "rejected": aio["rejected"]})
     # Acceptance: >= 2x at (near-)paper scale with real parallelism to
     # exploit.  Single-core hosts (or tiny presets, where fixed event-loop
     # overhead dominates microsecond solves) assert bit-identity above and

@@ -22,6 +22,7 @@ import pytest
 
 np = pytest.importorskip("numpy")  # index construction is numpy-backed
 
+from _bench_utils import write_bench_json
 from repro.geometry import WeightedPoint
 from repro.service import MaxRSEngine, QuerySpec
 from repro.service.grid_index import GridIndex
@@ -118,6 +119,17 @@ def test_sharded_vs_unsharded(scale, report):
         f"({sharded_index.shard_count} shard(s))\n"
         f"  answers bit-identical across shard counts (merge safety holds)"
     )
+    write_bench_json(
+        "shards",
+        workload={"cardinality": cardinality, "queries": len(specs)},
+        config={"shards": SHARDS, "executor": "threaded", "cores": cores},
+        seconds=shard_total, baseline_seconds=mono_total,
+        speedup=speedup,
+        extra={"build_seconds": {"serial": mono_build,
+                                 "sharded": shard_build},
+               "query_seconds": {"serial": mono_query,
+                                 "sharded": shard_query},
+               "shard_balance_points": balance})
     # Acceptance: >= 2x at (near-)paper scale on a host with enough cores to
     # actually run the shard fan-out in parallel.  Single-core hosts (or tiny
     # presets, where fixed fan-out overhead dominates) record the measured

@@ -32,6 +32,7 @@ import pytest
 
 np = pytest.importorskip("numpy")  # engine grid index and dataset generation
 
+from _bench_utils import write_bench_json
 from repro.api import MaxRSSolver
 from repro.core.backends import available_backends
 from repro.em import EMConfig
@@ -145,6 +146,16 @@ def test_repeated_query_speedup(scale, report):
         f"cache hit rate: {stats['cache']['hit_rate']:.0%}\n"
         f"  answers: bit-identical on all {ACCEPTANCE_QUERIES} queries"
     )
+    write_bench_json(
+        "repeated_query",
+        workload={"cardinality": cardinality,
+                  "queries": ACCEPTANCE_QUERIES,
+                  "distinct_sizes": ACCEPTANCE_DISTINCT},
+        config={"engine": "MaxRSEngine", "cache": "default"},
+        seconds=engine_total, baseline_seconds=baseline_total,
+        speedup=speedup,
+        latency=stats["latency"],
+        extra={"cache_hit_rate": stats["cache"]["hit_rate"]})
     # Acceptance: >= 10x at (near-)paper scale; pruning matters less on tiny
     # datasets, so only sanity-check the win there.
     if cardinality >= 20_000:
@@ -197,6 +208,16 @@ def test_backend_refined_cold_query(scale, report):
         lines.append(f"  numpy speedup over pure: {speedup:.1f}x")
     lines.append(f"  answers bit-identical across backends: yes")
     report("\n".join(lines))
+    write_bench_json(
+        "backend_refined_cold",
+        workload={"cardinality": cardinality, "dataset": "uniform",
+                  "width": spec.width, "height": spec.height},
+        config={"backends": list(backends)},
+        seconds=seconds.get("numpy", seconds[backends[0]]),
+        baseline_seconds=seconds["pure"],
+        speedup=(seconds["pure"] / seconds["numpy"]
+                 if "numpy" in seconds else None),
+        extra={"seconds_per_backend": seconds})
 
     # Acceptance: >= 5x at (near-)paper scale.  Tiny presets sweep so few
     # events that fixed vectorisation overhead dominates; there only the

@@ -52,6 +52,12 @@ wrap the engine in the asyncio serving front-end (:mod:`repro.aio`):
 bounded admission with backpressure, and ``MaxRSServer`` /
 ``AsyncQueryClient`` speak a JSON-lines TCP protocol with bit-identical
 answers; see ``examples/async_service.py``.
+
+The whole stack is observable through :mod:`repro.obs`: per-query traces of
+nested spans (admission, cache, shards, plane sweep, blob I/O) that follow a
+query across threads, tasks and the TCP wire, a slow-query log, and
+Prometheus-style metrics exposition; see ``docs/observability.md`` and
+``examples/traced_query.py``.
 """
 
 from repro.core import ExactMaxRS, MaxCRSResult, MaxRegion, MaxRSResult

@@ -23,6 +23,14 @@ resident process hold heavy concurrent traffic**:
   pipelined client that re-raises remote failures as their local
   :mod:`repro.errors` types.
 
+Every layer participates in :mod:`repro.obs` tracing: the client stamps its
+trace id onto each request's ``trace`` field, the server continues it in a
+``server.request`` span, and the async engine's executor hand-off carries
+the span context into the worker threads -- one distributed trace covers
+admission, coalescing, cache, shards, sweep and blob I/O.  The ``trace`` and
+``metrics_text`` protocol ops fetch server-retained traces and a
+Prometheus-style metrics snapshot over the same connection.
+
 Answers served through any of these layers are **bit-identical** to the sync
 engine's: the front-end schedules, coalesces and sheds -- it never computes.
 Serving behaviour is observable via ``AsyncMaxRSEngine.stats()["aio"]``

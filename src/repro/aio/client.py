@@ -16,14 +16,22 @@ Remote failures are re-raised as their local :mod:`repro.errors` types, so::
         await backoff_and_retry()
 
 works identically against a remote engine and an in-process one.
+
+Pass a :class:`~repro.obs.Tracer` (or a recorder spec) to :meth:`connect`
+and every operation opens a ``client.<op>`` span whose trace id rides the
+request's ``trace`` field, so the server's ``server.request`` span -- and
+everything under it, down to the plane sweep and blob I/O -- joins the
+client's trace.  Without a tracer, calls made under an ambient span (e.g.
+inside ``with tracer.trace(...)``) still propagate that span's trace id.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Union
 
+from repro import obs
 from repro.errors import ServiceError
 from repro.geometry import WeightedPoint
 from repro.service.engine import QueryResult, QuerySpec
@@ -44,9 +52,15 @@ class AsyncQueryClient:
     """
 
     def __init__(self, reader: asyncio.StreamReader,
-                 writer: asyncio.StreamWriter) -> None:
+                 writer: asyncio.StreamWriter, *,
+                 tracer: Union[None, str, obs.Tracer,
+                               obs.TraceRecorder] = None) -> None:
         self._reader = reader
         self._writer = writer
+        if tracer is None or isinstance(tracer, obs.Tracer):
+            self.tracer = tracer
+        else:
+            self.tracer = obs.Tracer(obs.resolve_recorder(tracer))
         self._ids = itertools.count(1)
         self._pending: Dict[int, asyncio.Future] = {}
         self._write_lock = asyncio.Lock()
@@ -54,10 +68,18 @@ class AsyncQueryClient:
         self._reader_task = asyncio.ensure_future(self._read_responses())
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "AsyncQueryClient":
-        """Open a connection to a running server."""
+    async def connect(cls, host: str, port: int, *,
+                      tracer: Union[None, str, obs.Tracer,
+                                    obs.TraceRecorder] = None
+                      ) -> "AsyncQueryClient":
+        """Open a connection to a running server.
+
+        ``tracer`` enables client-side tracing: a :class:`~repro.obs.Tracer`,
+        a :class:`~repro.obs.TraceRecorder`, or a recorder spec such as
+        ``"ring"`` (see :func:`repro.obs.resolve_recorder`).
+        """
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+        return cls(reader, writer, tracer=tracer)
 
     # ------------------------------------------------------------------ #
     # Wire plumbing
@@ -99,22 +121,35 @@ class AsyncQueryClient:
             raise ServiceError("the client is closed")
         if self._reader_task.done():
             raise ServiceError("connection to the query server was lost")
-        request_id = next(self._ids)
-        message["id"] = request_id
-        future = asyncio.get_running_loop().create_future()
-        self._pending[request_id] = future
-        try:
-            async with self._write_lock:
-                self._writer.write(protocol.encode_line(message))
-                await self._writer.drain()
-        except (ConnectionError, OSError) as exc:
-            self._pending.pop(request_id, None)
-            raise ServiceError(f"could not reach the query server: {exc}") \
-                from exc
-        try:
-            return await future
-        finally:
-            self._pending.pop(request_id, None)
+        op = str(message.get("op"))
+        # With a tracer: each call is (at least) a root client.<op> span.
+        # Without one: join any ambient trace so a caller's tracer.trace()
+        # block still covers the wire hop.  Both are no-ops when nothing is
+        # being traced, and the trace id rides the request's ``trace`` field.
+        if self.tracer is not None:
+            scope = self.tracer.trace(f"client.{op}")
+        else:
+            scope = obs.span(f"client.{op}")
+        with scope:
+            trace_id = obs.current_trace_id()
+            if trace_id is not None:
+                message["trace"] = trace_id
+            request_id = next(self._ids)
+            message["id"] = request_id
+            future = asyncio.get_running_loop().create_future()
+            self._pending[request_id] = future
+            try:
+                async with self._write_lock:
+                    self._writer.write(protocol.encode_line(message))
+                    await self._writer.drain()
+            except (ConnectionError, OSError) as exc:
+                self._pending.pop(request_id, None)
+                raise ServiceError(
+                    f"could not reach the query server: {exc}") from exc
+            try:
+                return await future
+            finally:
+                self._pending.pop(request_id, None)
 
     # ------------------------------------------------------------------ #
     # Operations
@@ -165,6 +200,22 @@ class AsyncQueryClient:
         """The server engine's ``stats()`` tree (JSON-sanitized)."""
         response = await self._call({"op": "stats"})
         return response["stats"]
+
+    async def trace(self, trace_id: str) -> List[Dict[str, Any]]:
+        """Fetch the server-retained traces with ``trace_id``.
+
+        Returns a list of trace dictionaries (see ``Trace.to_dict``), oldest
+        first -- empty when the server has never seen the id or its tracer
+        does not retain traces (e.g. the default :class:`~repro.obs.
+        NullRecorder`).  Rebuild rich objects with ``Trace.from_dict``.
+        """
+        response = await self._call({"op": "trace", "trace_id": trace_id})
+        return response["traces"]
+
+    async def metrics_text(self) -> str:
+        """The server engine's metrics in Prometheus text exposition form."""
+        response = await self._call({"op": "metrics_text"})
+        return response["text"]
 
     # ------------------------------------------------------------------ #
     # Lifecycle

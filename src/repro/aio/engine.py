@@ -36,11 +36,13 @@ counters plus per-kind latency histograms land in ``stats()["aio"]``.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import time
 from collections import deque
 from typing import Callable, Deque, Dict, Hashable, List, Optional, Sequence, \
     Tuple, Union
 
+from repro import obs
 from repro.errors import ConfigurationError, ServiceError, ServiceOverloadError
 from repro.geometry import WeightedPoint
 from repro.service.engine import MaxRSEngine, QueryResult, QuerySpec
@@ -280,9 +282,17 @@ class AsyncMaxRSEngine:
             raise ServiceError("the async engine is closed")
 
     async def _run(self, fn: Callable):
-        """Run a blocking engine call on the engine's thread pool."""
+        """Run a blocking engine call on the engine's thread pool.
+
+        The call is wrapped in a context snapshot: ``run_in_executor`` is a
+        plain ``executor.submit`` and does *not* carry ``contextvars``
+        across the thread hand-off, which would detach the engine's trace
+        spans (:mod:`repro.obs`) from the request's ambient span.
+        """
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(self._engine.executor(), fn)
+        context = contextvars.copy_context()
+        return await loop.run_in_executor(self._engine.executor(),
+                                          lambda: context.run(fn))
 
     # ------------------------------------------------------------------ #
     # Dataset lifecycle (serialized against queries)
@@ -359,22 +369,24 @@ class AsyncMaxRSEngine:
         metrics = self._engine.metrics
         metrics.increment("aio_queries")
         arrival = time.perf_counter()
-        while True:
-            self._check_open()
-            await self._gate.acquire_read()
-            try:
-                result = await self._attempt(dataset, spec)
-            except _LeaderAbandoned:
-                # The in-flight leader this attempt coalesced onto was
-                # cancelled.  Retry from scratch -- outside the read gate,
-                # or a waiting writer would deadlock against our held read.
-                metrics.increment("aio_coalesce_retries")
-                continue
-            finally:
-                self._gate.release_read()
-            metrics.observe_latency(f"aio_{spec.kind}",
-                                    time.perf_counter() - arrival)
-            return result
+        with self._engine.tracer.trace("aio.query", kind=spec.kind):
+            while True:
+                self._check_open()
+                await self._gate.acquire_read()
+                try:
+                    result = await self._attempt(dataset, spec)
+                except _LeaderAbandoned:
+                    # The in-flight leader this attempt coalesced onto was
+                    # cancelled.  Retry from scratch -- outside the read
+                    # gate, or a waiting writer would deadlock against our
+                    # held read.
+                    metrics.increment("aio_coalesce_retries")
+                    continue
+                finally:
+                    self._gate.release_read()
+                metrics.observe_latency(f"aio_{spec.kind}",
+                                        time.perf_counter() - arrival)
+                return result
 
     async def _attempt(self, dataset: Union[str, DatasetHandle],
                        spec: QuerySpec) -> QueryResult:
@@ -390,7 +402,8 @@ class AsyncMaxRSEngine:
                 # Shielded: cancelling THIS follower (e.g. a wait_for
                 # timeout) must cancel only its own wait, never the shared
                 # future the leader will complete and other followers await.
-                return await asyncio.shield(shared)
+                with obs.span("aio.coalesce"):
+                    return await asyncio.shield(shared)
             except asyncio.CancelledError:
                 # Distinguish "the leader was cancelled" (its abandonment is
                 # published on the shared future) from "this follower was
@@ -426,7 +439,9 @@ class AsyncMaxRSEngine:
         """Admission-controlled execution of one leader query."""
         metrics = self._engine.metrics
         try:
-            await self._admission.acquire()
+            with obs.span("aio.admission",
+                          queue_depth=self._admission.queue_depth):
+                await self._admission.acquire()
         except ServiceOverloadError:
             metrics.increment("aio_rejected")
             raise

@@ -15,9 +15,18 @@ unregister``dataset``, ``keep_snapshot``?
 query     ``dataset``, ``spec``
 query_batch ``dataset``, ``specs``
 stats     --
+trace     ``trace_id`` (returns the server-retained traces with that id)
+metrics_text -- (Prometheus text exposition of the engine metrics)
 ping      --
 close     -- (server acknowledges, then closes the connection)
 ========  ==========================================================
+
+Any request may additionally carry a ``trace`` field: a client-side trace id
+(:mod:`repro.obs`) the server continues in its ``server.request`` span, so
+one distributed trace covers client, server and engine.  Request-level
+fields are never rejected as unknown -- a server predating the field simply
+ignores it, and a client that never sends it loses nothing -- so tracing
+interoperates with older peers by construction.
 
 Responses are ``{"id": ..., "ok": true, ...}`` on success or ``{"id": ...,
 "ok": false, "error": <exception class name>, "message": ...}`` on failure;
@@ -58,8 +67,8 @@ __all__ = [
 ]
 
 #: The operations the server understands (validated at decode time).
-OPS = ("register", "unregister", "query", "query_batch", "stats", "ping",
-       "close")
+OPS = ("register", "unregister", "query", "query_batch", "stats", "trace",
+       "metrics_text", "ping", "close")
 
 
 # ---------------------------------------------------------------------- #

@@ -18,6 +18,7 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Dict, Optional, Set
 
+from repro import obs
 from repro.errors import ReproError, SerializationError
 from repro.aio.engine import AsyncMaxRSEngine
 from repro.aio import protocol
@@ -192,15 +193,30 @@ class MaxRSServer:
     async def _serve_request(self, request: Dict[str, Any],
                              writer: asyncio.StreamWriter,
                              write_lock: asyncio.Lock) -> None:
-        """Dispatch one decoded request and write its response."""
+        """Dispatch one decoded request and write its response.
+
+        Each request runs under a ``server.request`` span of the engine's
+        tracer.  A client-supplied ``trace`` field continues the client's
+        trace (same id server-side, fetchable back via the ``trace`` op)
+        even when the server's own tracing is disabled; with no field and a
+        disabled tracer this is a no-op.
+        """
         request_id = request.get("id")
-        try:
-            response = await self._dispatch(request)
-        except ReproError as exc:
-            response = protocol.error_to_wire(request_id, exc)
-        except Exception as exc:  # pragma: no cover - defensive
-            response = {"id": request_id, "ok": False,
-                        "error": "InternalError", "message": repr(exc)}
+        trace_id = request.get("trace")
+        if not isinstance(trace_id, str) or not trace_id:
+            trace_id = None  # absent or malformed: start fresh (if enabled)
+        tracer = self.engine.engine.tracer
+        with tracer.trace("server.request", trace_id=trace_id,
+                          op=str(request.get("op"))) as span:
+            try:
+                response = await self._dispatch(request)
+            except ReproError as exc:
+                span.set_attribute("error", type(exc).__name__)
+                response = protocol.error_to_wire(request_id, exc)
+            except Exception as exc:  # pragma: no cover - defensive
+                span.set_attribute("error", type(exc).__name__)
+                response = {"id": request_id, "ok": False,
+                            "error": "InternalError", "message": repr(exc)}
         await self._write(writer, write_lock, response)
 
     async def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
@@ -238,6 +254,16 @@ class MaxRSServer:
         if op == "stats":
             return {"id": request_id, "ok": True,
                     "stats": protocol.jsonable(self.engine.stats())}
+        if op == "trace":
+            trace_id = str(_required(request, "trace_id"))
+            recorder = self.engine.engine.tracer.recorder
+            find = getattr(recorder, "find", None)
+            traces = find(trace_id) if find is not None else []
+            return {"id": request_id, "ok": True,
+                    "traces": [trace.to_dict() for trace in traces]}
+        if op == "metrics_text":
+            return {"id": request_id, "ok": True,
+                    "text": obs.metrics_text(self.engine.engine.metrics)}
         raise SerializationError(
             f"unknown op {op!r}; expected one of {protocol.OPS}")
 

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.core.backends import BackendSpec, resolve_backend
 from repro.core.exact_maxrs import (
     ExactMaxRS,
@@ -82,11 +83,15 @@ def solve_point_set(objects: Sequence[WeightedPoint], width: float,
         If the query rectangle is degenerate or both force flags are set.
     """
     config = _check_args(width, height, config, force_external, force_in_memory)
-    if force_in_memory or (not force_external
-                           and fits_in_memory(len(objects), config)):
-        return solve_in_memory(objects, width, height, backend=backend)
-    ctx = EMContext(config)
-    return ExactMaxRS(ctx, width, height, sweep_backend=backend).solve(objects)
+    in_memory = force_in_memory or (not force_external
+                                    and fits_in_memory(len(objects), config))
+    with obs.span("dispatch.solve", kind="maxrs", objects=len(objects),
+                  strategy="in_memory" if in_memory else "external"):
+        if in_memory:
+            return solve_in_memory(objects, width, height, backend=backend)
+        ctx = EMContext(config)
+        return ExactMaxRS(ctx, width, height,
+                          sweep_backend=backend).solve(objects)
 
 
 def solve_point_set_top_k(objects: Sequence[WeightedPoint], width: float,
@@ -111,27 +116,32 @@ def solve_point_set_top_k(objects: Sequence[WeightedPoint], width: float,
     if k < 1:
         raise ConfigurationError(f"k must be at least 1, got {k}")
     config = _check_args(width, height, config, force_external, force_in_memory)
-    if force_in_memory or (not force_external
-                           and fits_in_memory(len(objects), config)):
-        records = objects_to_event_records(objects, width, height)
-        sweep_backend = resolve_backend(backend, len(records))
-        tuples, _ = sweep_backend.sweep(records, Interval.full())
-        chosen = select_disjoint_strips(records_to_strips(tuples), k)
-        results: List[MaxRSResult] = []
-        for strip in chosen:
-            region = strip.to_region()
-            results.append(MaxRSResult(
-                location=region.representative_point(),
-                region=region,
-                total_weight=strip.weight,
-                io=None,
-                recursion_levels=0,
-                leaf_count=1,
-            ))
-        return results
-    ctx = EMContext(config)
-    return ExactMaxRS(ctx, width, height,
-                      sweep_backend=backend).solve_topk(objects, k)
+    in_memory = force_in_memory or (not force_external
+                                    and fits_in_memory(len(objects), config))
+    with obs.span("dispatch.solve", kind="maxkrs", objects=len(objects),
+                  strategy="in_memory" if in_memory else "external"):
+        if in_memory:
+            records = objects_to_event_records(objects, width, height)
+            sweep_backend = resolve_backend(backend, len(records))
+            with obs.span("backend.sweep", backend=sweep_backend.name,
+                          events=len(records)):
+                tuples, _ = sweep_backend.sweep(records, Interval.full())
+            chosen = select_disjoint_strips(records_to_strips(tuples), k)
+            results: List[MaxRSResult] = []
+            for strip in chosen:
+                region = strip.to_region()
+                results.append(MaxRSResult(
+                    location=region.representative_point(),
+                    region=region,
+                    total_weight=strip.weight,
+                    io=None,
+                    recursion_levels=0,
+                    leaf_count=1,
+                ))
+            return results
+        ctx = EMContext(config)
+        return ExactMaxRS(ctx, width, height,
+                          sweep_backend=backend).solve_topk(objects, k)
 
 
 def _check_args(width: float, height: float, config: Optional[EMConfig],

@@ -29,6 +29,7 @@ import math
 from bisect import bisect_left
 from typing import TYPE_CHECKING, List, Sequence, Tuple
 
+from repro import obs
 from repro.core.beststrip import BestStrip, BestStripTracker
 from repro.core.segment_tree import MaxAddSegmentTree
 from repro.core.transform import objects_to_event_records
@@ -159,8 +160,10 @@ def solve_in_memory(objects: Sequence[WeightedPoint], width: float,
 
     records = objects_to_event_records(objects, width, height)
     sweep_backend = resolve_backend(backend, len(records))
-    _, best = sweep_backend.sweep(records, Interval.full(),
-                                  include_records=False)
+    with obs.span("backend.sweep", backend=sweep_backend.name,
+                  events=len(records)):
+        _, best = sweep_backend.sweep(records, Interval.full(),
+                                      include_records=False)
     region = best.to_region()
     return MaxRSResult(
         location=region.representative_point(),

@@ -1,0 +1,48 @@
+"""Dependency-free tracing and telemetry for the MaxRS serving stack.
+
+One query crosses six layers — asyncio admission, coalescing, the result
+cache, dispatch, shard fan-out, the sweep backends, and persist/EM block
+I/O — and :mod:`repro.obs` is the spine that attributes wall-clock time to
+each of them per request.  The pieces:
+
+* :class:`Span` / :class:`Trace` / :class:`Tracer`
+  (:mod:`repro.obs.span`) — nested timed spans carried through threads and
+  asyncio tasks via ``contextvars``; :func:`span` opens a child of the
+  ambient span (a no-op outside a trace).
+* recorders (:mod:`repro.obs.recorder`) — :class:`NullRecorder` (default,
+  disables tracing at near-zero cost), :class:`RingRecorder` (in-memory,
+  feeds ``stats()["traces"]`` and the TCP ``trace`` op),
+  :class:`JsonLinesRecorder` (file export).
+* :func:`metrics_text` (:mod:`repro.obs.export`) — Prometheus-style text
+  exposition of :class:`~repro.service.metrics.EngineMetrics`, including
+  cumulative latency-histogram buckets.
+
+Wire propagation: :class:`~repro.aio.client.AsyncQueryClient` stamps its
+ambient ``trace_id`` into every request; :class:`~repro.aio.server.MaxRSServer`
+continues the trace server-side, and the client can fetch the server's half
+with the ``trace`` op.  See ``docs/observability.md`` for the span taxonomy
+and ``examples/traced_query.py`` for a rendered trace tree.
+"""
+
+from repro.obs.export import metrics_text
+from repro.obs.recorder import (JsonLinesRecorder, NullRecorder, RingRecorder,
+                                TraceRecorder, resolve_recorder)
+from repro.obs.span import (NOOP_SPAN, Span, Trace, Tracer, current_span,
+                            current_trace_id, new_trace_id, span)
+
+__all__ = [
+    "JsonLinesRecorder",
+    "NOOP_SPAN",
+    "NullRecorder",
+    "RingRecorder",
+    "Span",
+    "Trace",
+    "TraceRecorder",
+    "Tracer",
+    "current_span",
+    "current_trace_id",
+    "metrics_text",
+    "new_trace_id",
+    "resolve_recorder",
+    "span",
+]

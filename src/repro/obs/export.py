@@ -1,0 +1,106 @@
+"""Telemetry export: Prometheus-style text exposition of engine metrics.
+
+:func:`metrics_text` turns an :class:`~repro.service.metrics.EngineMetrics`
+into the Prometheus text exposition format (version 0.0.4): counters become
+``<ns>_counter_total{name=...}``, stage and per-shard timings become
+``_seconds_total``/``_count_total`` pairs, and every
+:class:`~repro.service.metrics.LatencyHistogram` becomes a real Prometheus
+histogram — **cumulative** ``_bucket{le=...}`` series ending in ``+Inf``,
+plus ``_sum`` and ``_count``.  The function only duck-types its argument
+(``snapshot()`` + ``histograms()``), keeping :mod:`repro.obs` free of
+runtime imports from the service layer.
+
+The server exposes this as the ``metrics_text`` op so one TCP round-trip
+yields a scrape-ready payload; there is deliberately no HTTP listener here
+(no new dependency, and the serving protocol already has framing).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+if TYPE_CHECKING:  # type hints only; no runtime dependency on the service layer
+    from repro.service.metrics import EngineMetrics
+
+__all__ = ["metrics_text"]
+
+
+def _label(value: object) -> str:
+    """Escape one label value per the exposition format."""
+    text = str(value)
+    text = text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    return f'"{text}"'
+
+
+def _num(value: float) -> str:
+    """Format a sample value; integral floats print without the trailing .0."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def metrics_text(metrics: "EngineMetrics", *, namespace: str = "repro") -> str:
+    """Render ``metrics`` as Prometheus text exposition (one big string).
+
+    ``metrics`` is anything with the :class:`EngineMetrics` read interface:
+    ``snapshot()`` for counters/stages/shards and ``histograms()`` for the
+    raw latency bucket counts (summaries alone cannot rebuild the
+    cumulative ``le`` series).
+    """
+    snapshot = metrics.snapshot()
+    lines: List[str] = []
+
+    counters: Dict[str, int] = snapshot.get("counters", {})
+    lines.append(f"# HELP {namespace}_counter_total Engine event counters.")
+    lines.append(f"# TYPE {namespace}_counter_total counter")
+    for name in sorted(counters):
+        lines.append(f"{namespace}_counter_total{{name={_label(name)}}} "
+                     f"{counters[name]}")
+
+    stages = snapshot.get("stages", {})
+    lines.append(f"# HELP {namespace}_stage_seconds_total Cumulative "
+                 f"wall-clock seconds per pipeline stage.")
+    lines.append(f"# TYPE {namespace}_stage_seconds_total counter")
+    for stage in sorted(stages):
+        lines.append(f"{namespace}_stage_seconds_total{{stage={_label(stage)}}} "
+                     f"{_num(stages[stage]['total_seconds'])}")
+    lines.append(f"# TYPE {namespace}_stage_count_total counter")
+    for stage in sorted(stages):
+        lines.append(f"{namespace}_stage_count_total{{stage={_label(stage)}}} "
+                     f"{stages[stage]['count']}")
+
+    shards = snapshot.get("shards", {})
+    if shards:
+        lines.append(f"# HELP {namespace}_shard_seconds_total Cumulative "
+                     f"wall-clock seconds per shard stage and shard id.")
+        lines.append(f"# TYPE {namespace}_shard_seconds_total counter")
+        for stage in sorted(shards):
+            for shard_id in sorted(shards[stage]):
+                entry = shards[stage][shard_id]
+                lines.append(
+                    f"{namespace}_shard_seconds_total{{stage={_label(stage)},"
+                    f"shard={_label(shard_id)}}} "
+                    f"{_num(entry['total_seconds'])}")
+
+    histograms = metrics.histograms()
+    if histograms:
+        lines.append(f"# HELP {namespace}_latency_seconds End-to-end "
+                     f"serving latency per query kind.")
+        lines.append(f"# TYPE {namespace}_latency_seconds histogram")
+        for name in sorted(histograms):
+            histogram = histograms[name]
+            cumulative = 0
+            for bound, bucket_count in zip(histogram.bounds, histogram.counts):
+                cumulative += bucket_count
+                lines.append(
+                    f"{namespace}_latency_seconds_bucket{{kind={_label(name)},"
+                    f"le={_label(format(bound, '.6g'))}}} {cumulative}")
+            lines.append(
+                f"{namespace}_latency_seconds_bucket{{kind={_label(name)},"
+                f'le="+Inf"}} {histogram.count}')
+            lines.append(f"{namespace}_latency_seconds_sum"
+                         f"{{kind={_label(name)}}} {_num(histogram.total)}")
+            lines.append(f"{namespace}_latency_seconds_count"
+                         f"{{kind={_label(name)}}} {histogram.count}")
+
+    return "\n".join(lines) + "\n"

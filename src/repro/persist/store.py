@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from repro import obs
 from repro.em.codecs import COLUMN_CODEC
 from repro.em.config import EMConfig
 from repro.em.context import EMContext
@@ -374,19 +375,25 @@ class SnapshotStore:
         block images are copied into the host blob, and the simulated blocks
         are then released -- the blob is the durable copy.
         """
-        file = self.context.create_file(codec, name=file_name)
-        try:
-            with file.writer() as writer:
-                writer.extend(records)
-            payloads = [self.context.device.peek(block_id)
-                        for block_id in file.block_ids]
-            write_blob(self.root / file_name,
-                       block_size=self.context.config.block_size,
-                       payloads=payloads, num_records=file.num_records)
-        finally:
-            # Release the simulated blocks even when the host write fails --
-            # the store's EMContext is long-lived and must not leak them.
-            file.delete()
+        with obs.span("persist.blob_io", file=file_name, mode="write") as span:
+            before = self.context.stats.snapshot()
+            file = self.context.create_file(codec, name=file_name)
+            try:
+                with file.writer() as writer:
+                    writer.extend(records)
+                payloads = [self.context.device.peek(block_id)
+                            for block_id in file.block_ids]
+                write_blob(self.root / file_name,
+                           block_size=self.context.config.block_size,
+                           payloads=payloads, num_records=file.num_records)
+            finally:
+                # Release the simulated blocks even when the host write fails
+                # -- the store's EMContext is long-lived and must not leak
+                # them.
+                file.delete()
+            delta = self.context.stats.since(before)
+            span.set_attributes(block_reads=delta.block_reads,
+                                block_writes=delta.block_writes)
 
     def _write_columns(self, file_name: str, columns: List[np.ndarray]) -> None:
         """Write float64 columns, one after another, as a columnar blob.
@@ -397,30 +404,35 @@ class SnapshotStore:
         each, exactly as a :class:`~repro.em.record_file.RecordWriter` would
         be charged), rather than packing 8-byte records one at a time.
         """
-        stream = b"".join(np.ascontiguousarray(column, dtype="<f8").tobytes()
-                          for column in columns)
-        block_size = self.context.config.block_size
-        records_per_block = block_size // COLUMN_CODEC.record_size
-        payload_size = records_per_block * COLUMN_CODEC.record_size
-        device = self.context.device
-        pool = self.context.pool
-        block_ids = []
-        payloads = []
-        try:
-            for offset in range(0, len(stream), payload_size):
-                payload = stream[offset:offset + payload_size]
-                block_id = device.allocate()
-                pool.put(block_id, payload)
-                pool.flush_block(block_id)  # one charged block write
-                pool.invalidate(block_id)
-                block_ids.append(block_id)
-                payloads.append(payload)
-            write_blob(self.root / file_name, block_size=block_size,
-                       payloads=payloads,
-                       num_records=len(stream) // COLUMN_CODEC.record_size)
-        finally:
-            for block_id in block_ids:
-                device.free(block_id)
+        with obs.span("persist.blob_io", file=file_name, mode="write") as span:
+            before = self.context.stats.snapshot()
+            stream = b"".join(np.ascontiguousarray(column, dtype="<f8").tobytes()
+                              for column in columns)
+            block_size = self.context.config.block_size
+            records_per_block = block_size // COLUMN_CODEC.record_size
+            payload_size = records_per_block * COLUMN_CODEC.record_size
+            device = self.context.device
+            pool = self.context.pool
+            block_ids = []
+            payloads = []
+            try:
+                for offset in range(0, len(stream), payload_size):
+                    payload = stream[offset:offset + payload_size]
+                    block_id = device.allocate()
+                    pool.put(block_id, payload)
+                    pool.flush_block(block_id)  # one charged block write
+                    pool.invalidate(block_id)
+                    block_ids.append(block_id)
+                    payloads.append(payload)
+                write_blob(self.root / file_name, block_size=block_size,
+                           payloads=payloads,
+                           num_records=len(stream) // COLUMN_CODEC.record_size)
+            finally:
+                for block_id in block_ids:
+                    device.free(block_id)
+            delta = self.context.stats.since(before)
+            span.set_attributes(block_reads=delta.block_reads,
+                                block_writes=delta.block_writes)
 
     def _read_raw(self, file_name: str, *, expected_block_size: int,
                   record_size: int):
@@ -432,40 +444,46 @@ class SnapshotStore:
         through the buffer pool.  Returns ``(data, num_records)`` with
         ``data`` trimmed to exactly the records' bytes.
         """
-        block_size, num_records, blocks = read_blob(self.root / file_name)
-        if block_size != expected_block_size:
-            raise PersistError(
-                f"snapshot blob {file_name} carries block size {block_size}, "
-                f"its manifest says {expected_block_size}"
-            )
-        if block_size != self.context.config.block_size:
-            raise PersistError(
-                f"snapshot blob {file_name} was written with {block_size} B "
-                f"blocks; this store is configured for "
-                f"{self.context.config.block_size} B blocks -- open it with a "
-                "matching EMConfig"
-            )
-        device = self.context.device
-        pool = self.context.pool
-        block_ids = [device.restore_block(block) for block in blocks]
-        # Each block holds a whole number of records followed by padding;
-        # trim per block before joining or the pad bytes of every full block
-        # would shift into the record stream (records_per_block * record_size
-        # < block_size whenever the record size does not divide the block).
-        usable = (block_size // record_size) * record_size
-        parts = []
-        for block_id in block_ids:
-            parts.append(bytes(pool.get(block_id).data)[:usable])
-        for block_id in block_ids:
-            pool.invalidate(block_id)
-            device.free(block_id)
-        data = b"".join(parts)[:num_records * record_size]
-        if len(data) != num_records * record_size:
-            raise PersistError(
-                f"snapshot blob {file_name} holds fewer bytes than its "
-                f"{num_records} records require"
-            )
-        return data, num_records
+        with obs.span("persist.blob_io", file=file_name, mode="read") as span:
+            before = self.context.stats.snapshot()
+            block_size, num_records, blocks = read_blob(self.root / file_name)
+            if block_size != expected_block_size:
+                raise PersistError(
+                    f"snapshot blob {file_name} carries block size "
+                    f"{block_size}, its manifest says {expected_block_size}"
+                )
+            if block_size != self.context.config.block_size:
+                raise PersistError(
+                    f"snapshot blob {file_name} was written with "
+                    f"{block_size} B blocks; this store is configured for "
+                    f"{self.context.config.block_size} B blocks -- open it "
+                    "with a matching EMConfig"
+                )
+            device = self.context.device
+            pool = self.context.pool
+            block_ids = [device.restore_block(block) for block in blocks]
+            # Each block holds a whole number of records followed by padding;
+            # trim per block before joining or the pad bytes of every full
+            # block would shift into the record stream (records_per_block *
+            # record_size < block_size whenever the record size does not
+            # divide the block).
+            usable = (block_size // record_size) * record_size
+            parts = []
+            for block_id in block_ids:
+                parts.append(bytes(pool.get(block_id).data)[:usable])
+            for block_id in block_ids:
+                pool.invalidate(block_id)
+                device.free(block_id)
+            data = b"".join(parts)[:num_records * record_size]
+            if len(data) != num_records * record_size:
+                raise PersistError(
+                    f"snapshot blob {file_name} holds fewer bytes than its "
+                    f"{num_records} records require"
+                )
+            delta = self.context.stats.since(before)
+            span.set_attributes(block_reads=delta.block_reads,
+                                block_writes=delta.block_writes)
+            return data, num_records
 
     def _read_columns(self, file_name: str, *,
                       expected_block_size: int) -> np.ndarray:

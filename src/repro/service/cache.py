@@ -30,6 +30,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Optional, Tuple
 
+from repro import obs
 from repro.errors import ConfigurationError
 
 __all__ = ["CacheStats", "LRUCache"]
@@ -96,14 +97,18 @@ class LRUCache:
 
     def get(self, key: Hashable) -> Tuple[bool, Optional[Any]]:
         """Look up ``key``; return ``(hit, value)`` and refresh its recency."""
-        with self._lock:
-            entry = self._entries.get(key, _MISSING)
-            if entry is _MISSING:
-                self._misses += 1
-                return False, None
-            self._entries.move_to_end(key)
-            self._hits += 1
-            return True, entry[0]
+        with obs.span("cache.lookup") as span:
+            with self._lock:
+                entry = self._entries.get(key, _MISSING)
+                if entry is _MISSING:
+                    self._misses += 1
+                    hit, value = False, None
+                else:
+                    self._entries.move_to_end(key)
+                    self._hits += 1
+                    hit, value = True, entry[0]
+            span.set_attribute("hit", hit)
+            return hit, value
 
     def put(self, key: Hashable, value: Any, *, cost: float = 1.0) -> None:
         """Insert (or refresh) ``key`` with its recomputation ``cost``.

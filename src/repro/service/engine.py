@@ -57,6 +57,7 @@ from repro.core.dispatch import solve_point_set, solve_point_set_top_k
 from repro.core.plane_sweep import solve_in_memory
 from repro.core.result import MaxCRSResult, MaxRegion, MaxRSResult
 from repro.em.config import EMConfig
+from repro import obs
 from repro.errors import ConfigurationError, PersistError, ServiceError
 from repro.geometry import Point, WeightedPoint
 from repro.persist.format import ShardedGridSnapshot
@@ -196,6 +197,14 @@ class MaxRSEngine:
         (default ``True``; costs roughly as many blocks as the points but
         lets a restart adopt the exact serving resolution instead of
         re-deriving it).
+    tracer:
+        Query tracing (:mod:`repro.obs`): a :class:`~repro.obs.Tracer`, a
+        :class:`~repro.obs.TraceRecorder`, a recorder name (``"ring"`` /
+        ``"null"``), or ``None`` (default) for a disabled tracer whose
+        per-query overhead is one context-variable read.  The engine's
+        tracer is shared by the async front-end and the TCP server, so one
+        trace follows a request across every layer; recorded traces are
+        summarised under ``stats()["traces"]``.
 
     Examples
     --------
@@ -216,7 +225,9 @@ class MaxRSEngine:
                  shard_executor: ExecutorSpec = None,
                  persist_dir: Union[str, os.PathLike, None] = None,
                  persist_config: Optional[EMConfig] = None,
-                 persist_grid: bool = True) -> None:
+                 persist_grid: bool = True,
+                 tracer: Union[None, str, obs.Tracer,
+                               obs.TraceRecorder] = None) -> None:
         if shards is not None and shards < 1:
             raise ConfigurationError(
                 f"shards must be positive (or None for auto), got {shards}")
@@ -226,6 +237,8 @@ class MaxRSEngine:
         self.store = PointStore()
         self.cache = LRUCache(cache_size)
         self.metrics = EngineMetrics()
+        self.tracer = (tracer if isinstance(tracer, obs.Tracer)
+                       else obs.Tracer(obs.resolve_recorder(tracer)))
         self.max_workers = max_workers
         self.maxcrs_exact_limit = maxcrs_exact_limit
         self.sweep_backend = sweep_backend
@@ -386,11 +399,14 @@ class MaxRSEngine:
                 "register_dataset(persist=True) needs an engine constructed "
                 "with persist_dir=..."
             )
-        with self.metrics.time_stage("register"):
+        with self.tracer.trace("engine.register",
+                               points=len(objects)) as span, \
+                self.metrics.time_stage("register"):
             old_fingerprint = None
             if replace and name is not None and name in self.store:
                 old_fingerprint = self.store.get(name).handle.fingerprint
             handle = self.store.register(objects, name=name, replace=replace)
+            span.set_attribute("dataset", handle.dataset_id)
             if old_fingerprint is not None and old_fingerprint != handle.fingerprint:
                 # The name now means different data: drop the stale grid,
                 # evict the old fingerprint's cached results (unless another
@@ -406,7 +422,8 @@ class MaxRSEngine:
                 entry = self.store.get(handle.dataset_id)
                 grid: Optional[AnyGridIndex] = None
                 if entry.count > 0:
-                    with self.metrics.time_stage("grid_build"):
+                    with self.metrics.time_stage("grid_build"), \
+                            obs.span("engine.grid_build"):
                         grid = self._build_index(entry)
                 self._grids[handle.dataset_id] = grid
             if self.persist is not None and persist is not False:
@@ -634,23 +651,28 @@ class MaxRSEngine:
         arrival = time.perf_counter()
         entry = self.store.get(_dataset_id(dataset))
         key = self.cache_key(entry.handle.fingerprint, spec)
-        hit, value = self.cache.get(key)
-        self.metrics.increment("queries")
-        if hit:
-            # Latency is recorded per query kind for hits too: the histogram
-            # reports what callers experienced, not what computation cost.
+        with self.tracer.trace("engine.query", kind=spec.kind,
+                               dataset=entry.handle.dataset_id) as span:
+            hit, value = self.cache.get(key)
+            self.metrics.increment("queries")
+            span.set_attribute("cache_hit", hit)
+            if hit:
+                # Latency is recorded per query kind for hits too: the
+                # histogram reports what callers experienced, not what
+                # computation cost.
+                self.metrics.observe_latency(spec.kind,
+                                             time.perf_counter() - arrival)
+                return value
+            start = time.perf_counter()
+            result = self._compute(entry, spec)
+            elapsed = time.perf_counter() - start
+            # Cost-weighted caching: entries are charged their computation
+            # time, so eviction sheds cheap approximate answers before
+            # expensive refined ones (see LRUCache).
+            self.cache.put(key, result, cost=elapsed)
             self.metrics.observe_latency(spec.kind,
                                          time.perf_counter() - arrival)
-            return value
-        start = time.perf_counter()
-        result = self._compute(entry, spec)
-        elapsed = time.perf_counter() - start
-        # Cost-weighted caching: entries are charged their computation time,
-        # so eviction sheds cheap approximate answers before expensive
-        # refined ones (see LRUCache).
-        self.cache.put(key, result, cost=elapsed)
-        self.metrics.observe_latency(spec.kind, time.perf_counter() - arrival)
-        return result
+            return result
 
     def query_batch(self, dataset: Union[str, DatasetHandle],
                     specs: Sequence[QuerySpec], *,
@@ -772,6 +794,9 @@ class MaxRSEngine:
             "counters": snapshot["counters"],
             "shard_stages": snapshot["shards"],
             "latency": snapshot["latency"],
+            # Summaries of traces retained by the tracer's recorder (empty
+            # for the default NullRecorder); full trees stay on the recorder.
+            "traces": self.tracer.trace_summaries(),
             "grids": {
                 handle.dataset_id: (grid.stats() if grid is not None else None)
                 for handle in self.store.handles()
@@ -809,25 +834,32 @@ class MaxRSEngine:
                                    force_in_memory=True,
                                    backend=self._backend_for(entry.count))
 
-        with self.metrics.time_stage("approximate"):
+        with self.metrics.time_stage("approximate"), \
+                obs.span("engine.approximate") as approx_span:
             bounds = grid.upper_bounds(width, height)
             row, col, _ = grid.best_cell(width, height, bounds)
             probe_indices = grid.points_in_window(row, col, width, height)
+            approx_span.set_attribute("probe_points", int(len(probe_indices)))
             probe = solve_in_memory(
                 entry.subset(probe_indices), width, height,
                 backend=self._backend_for(len(probe_indices)))
         if not spec.refine:
             return probe
 
-        with self.metrics.time_stage("refine"):
+        with self.metrics.time_stage("refine"), \
+                obs.span("engine.refine") as refine_span:
             mask = grid.candidate_mask(width, height, probe.total_weight, bounds)
             subset_indices = grid.points_in_mask(grid.dilate(mask, width, height))
+            refine_span.set_attribute("subset_points",
+                                      int(len(subset_indices)))
             if len(subset_indices) == entry.count:
                 self.metrics.increment("refine_unpruned")
+                refine_span.set_attribute("pruned", False)
                 return solve_point_set(entry.objects, width, height,
                                        force_in_memory=True,
                                        backend=self._backend_for(entry.count))
             self.metrics.increment("refine_pruned")
+            refine_span.set_attribute("pruned", True)
             if np.array_equal(subset_indices, probe_indices):
                 result = probe
             else:
@@ -846,18 +878,23 @@ class MaxRSEngine:
 
         # A circle fits in its bounding square, so the square window bound is
         # a valid upper bound for circle placements too.
-        with self.metrics.time_stage("approximate"):
+        with self.metrics.time_stage("approximate"), \
+                obs.span("engine.approximate") as approx_span:
             bounds = grid.upper_bounds(diameter, diameter)
             row, col, _ = grid.best_cell(diameter, diameter, bounds)
             probe_indices = grid.points_in_window(row, col, diameter, diameter)
+            approx_span.set_attribute("probe_points", int(len(probe_indices)))
             self._check_maxcrs_budget(len(probe_indices))
             centre, weight = exact_maxcrs(entry.subset(probe_indices), diameter)
         if not spec.refine:
             return MaxCRSResult(location=centre, total_weight=weight)
 
-        with self.metrics.time_stage("refine"):
+        with self.metrics.time_stage("refine"), \
+                obs.span("engine.refine") as refine_span:
             mask = grid.candidate_mask(diameter, diameter, weight, bounds)
             subset_indices = grid.points_in_mask(grid.dilate(mask, diameter, diameter))
+            refine_span.set_attribute("subset_points",
+                                      int(len(subset_indices)))
             self._check_maxcrs_budget(len(subset_indices))
             if not np.array_equal(subset_indices, probe_indices):
                 centre, weight = exact_maxcrs(entry.subset(subset_indices), diameter)

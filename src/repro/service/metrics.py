@@ -47,10 +47,13 @@ class LatencyHistogram:
 
     Observations land in the first bucket whose upper bound is >= the value
     (one overflow bucket catches the rest), so memory is bounded by the
-    bucket count regardless of traffic.  Percentiles are estimated as the
-    upper bound of the bucket where the cumulative count crosses the
-    quantile, clamped to the exact observed maximum -- a conservative
-    (never-underestimating) tail estimate.
+    bucket count regardless of traffic.  Percentiles interpolate linearly
+    *within* the bucket where the cumulative count crosses the quantile
+    (assuming observations spread evenly across the bucket), clamped to the
+    exact observed ``[min, max]``; the overflow bucket reports the observed
+    maximum.  With ~2x-wide log buckets the worst-case estimation error is
+    one bucket width, and unlike the upper-bound rule it does not
+    systematically overestimate mid-distribution percentiles.
 
     Not internally locked: :class:`EngineMetrics` mutates and reads its
     histograms under the engine-wide metrics lock, like every other
@@ -83,15 +86,33 @@ class LatencyHistogram:
         rank = quantile * self.count
         cumulative = 0
         for index, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            before = cumulative
             cumulative += bucket_count
-            if cumulative >= rank and bucket_count:
+            if cumulative >= rank:
                 if index >= len(self.bounds):  # overflow bucket
                     return self.max
-                return min(self.bounds[index], self.max)
+                lower = self.bounds[index - 1] if index else 0.0
+                upper = self.bounds[index]
+                fraction = (rank - before) / bucket_count
+                fraction = min(max(fraction, 0.0), 1.0)
+                estimate = lower + fraction * (upper - lower)
+                return min(max(estimate, self.min), self.max)
         return self.max
 
     def merge(self, other: "LatencyHistogram") -> None:
-        """Fold another histogram (with identical bounds) into this one."""
+        """Fold another histogram (with identical bounds) into this one.
+
+        Merging is exact -- bucket counts add, extremes combine -- which is
+        what lets per-shard and per-connection histograms aggregate into a
+        fleet view without re-observing samples.  Mismatched bucket bounds
+        would silently misattribute counts, so they are rejected.
+        """
+        if other.bounds != self.bounds:
+            raise ValueError(
+                "cannot merge histograms with different bucket bounds: "
+                f"{len(self.bounds)} vs {len(other.bounds)} buckets")
         for index, bucket_count in enumerate(other.counts):
             self.counts[index] += bucket_count
         self.count += other.count
@@ -198,6 +219,23 @@ class EngineMetrics:
             histogram = self._latency.get(name)
             return histogram.summary() if histogram is not None \
                 else LatencyHistogram().summary()
+
+    def histograms(self) -> Dict[str, LatencyHistogram]:
+        """Consistent deep copies of the per-name latency histograms.
+
+        Unlike :meth:`snapshot`, this preserves the raw bucket counts that
+        percentile summaries throw away -- the Prometheus exposition in
+        :func:`repro.obs.metrics_text` needs them to emit cumulative
+        ``le`` bucket series, and callers may :meth:`~LatencyHistogram.merge`
+        them across engines.  The copies are private to the caller.
+        """
+        with self._lock:
+            copies: Dict[str, LatencyHistogram] = {}
+            for name, histogram in self._latency.items():
+                clone = LatencyHistogram(histogram.bounds)
+                clone.merge(histogram)
+                copies[name] = clone
+            return copies
 
     def snapshot(self) -> Dict[str, object]:
         """Return all counters, stage timings, shard timings and latencies.

@@ -40,6 +40,7 @@ a sharded index equal the unsharded ones bit for bit.
 
 from __future__ import annotations
 
+import contextvars
 import math
 import os
 import threading
@@ -51,6 +52,7 @@ from typing import Callable, List, Optional, Protocol, Sequence, Tuple, Union, \
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError, PersistError
 from repro.persist.format import (
     GridShardSnapshot,
@@ -161,7 +163,12 @@ class ThreadedExecutor:
         futures = []
         for item in items[1:]:
             try:
-                futures.append(pool.submit(fn, item))
+                # Each submission carries its own context snapshot: pool
+                # threads otherwise start from an empty context, which would
+                # orphan trace spans opened inside shard tasks (one copy per
+                # task -- a single Context cannot be entered concurrently).
+                context = contextvars.copy_context()
+                futures.append(pool.submit(context.run, fn, item))
             except RuntimeError:
                 # The pool was shut down (a closed engine still answering
                 # stragglers): run this and every remaining task inline.
@@ -438,28 +445,31 @@ class ShardedGridIndex(GridQueryOps):
         np.cumsum(counts, out=offsets[1:])
 
         def build_shard(index: int) -> GridShard:
-            start = time.perf_counter()
-            r0, r1, c0, c1 = blocks[index]
-            # Stable argsort keeps each shard's group in dataset order, so
-            # the slice is already ascending -- per-cell accumulation order
-            # (and hence every float sum) matches the unsharded index.
-            ids = order[offsets[index]:offsets[index + 1]]
-            local_cell = ((rows[ids] - r0) * (c1 - c0) + (cols[ids] - c0))
-            local_geometry = GridGeometry(
-                r1 - r0, c1 - c0,
-                self.x0 + c0 * self.cell_w, self.y0 + r0 * self.cell_h,
-                self.cell_w, self.cell_h)
-            part = GridIndex.from_cells(ws[ids], local_cell,
-                                        geometry=local_geometry)
-            if persisted is not None:
-                self._verify_and_adopt(part, persisted[index])
-            shard = GridShard(
-                shard_id=index, row0=r0, row1=r1, col0=c0, col1=c1,
-                point_ids=ids, global_cell=self.point_cell[ids], part=part)
-            if self._hook is not None:
-                stage = "shard_restore" if persisted is not None else "shard_build"
-                self._hook(stage, index, time.perf_counter() - start)
-            return shard
+            stage = "restore" if persisted is not None else "build"
+            with obs.span(f"shard.map[{index}]", stage=stage) as span:
+                start = time.perf_counter()
+                r0, r1, c0, c1 = blocks[index]
+                # Stable argsort keeps each shard's group in dataset order, so
+                # the slice is already ascending -- per-cell accumulation order
+                # (and hence every float sum) matches the unsharded index.
+                ids = order[offsets[index]:offsets[index + 1]]
+                local_cell = ((rows[ids] - r0) * (c1 - c0) + (cols[ids] - c0))
+                local_geometry = GridGeometry(
+                    r1 - r0, c1 - c0,
+                    self.x0 + c0 * self.cell_w, self.y0 + r0 * self.cell_h,
+                    self.cell_w, self.cell_h)
+                part = GridIndex.from_cells(ws[ids], local_cell,
+                                            geometry=local_geometry)
+                if persisted is not None:
+                    self._verify_and_adopt(part, persisted[index])
+                shard = GridShard(
+                    shard_id=index, row0=r0, row1=r1, col0=c0, col1=c1,
+                    point_ids=ids, global_cell=self.point_cell[ids], part=part)
+                span.set_attribute("points", int(len(ids)))
+                if self._hook is not None:
+                    self._hook(f"shard_{stage}", index,
+                               time.perf_counter() - start)
+                return shard
 
         self._shards: List[GridShard] = self._executor.map(
             build_shard, range(len(blocks)))
@@ -545,12 +555,15 @@ class ShardedGridIndex(GridQueryOps):
         flat = np.ascontiguousarray(mask).ravel()
 
         def gather(shard: GridShard) -> np.ndarray:
-            start = time.perf_counter()
-            found = shard.point_ids[flat[shard.global_cell]]
-            if self._hook is not None:
-                self._hook("shard_gather", shard.shard_id,
-                           time.perf_counter() - start)
-            return found
+            with obs.span(f"shard.map[{shard.shard_id}]",
+                          stage="gather") as span:
+                start = time.perf_counter()
+                found = shard.point_ids[flat[shard.global_cell]]
+                span.set_attribute("points", int(len(found)))
+                if self._hook is not None:
+                    self._hook("shard_gather", shard.shard_id,
+                               time.perf_counter() - start)
+                return found
 
         parts = self._executor.map(gather, self._shards)
         return np.sort(np.concatenate(parts)) if parts else np.empty(
@@ -617,14 +630,16 @@ class ShardedGridIndex(GridQueryOps):
             np.cumsum(np.cumsum(values, axis=0), axis=1, out=prefix[1:, 1:])
 
         def block(shard: GridShard) -> np.ndarray:
-            rows = np.arange(shard.row0, shard.row1)
-            cols = np.arange(shard.col0, shard.col1)
-            lo_r = np.maximum(rows - halo_rows, 0)
-            hi_r = np.minimum(rows + halo_rows, self.n_rows - 1) + 1
-            lo_c = np.maximum(cols - halo_cols, 0)
-            hi_c = np.minimum(cols + halo_cols, self.n_cols - 1) + 1
-            return (prefix[np.ix_(hi_r, hi_c)] - prefix[np.ix_(lo_r, hi_c)]
-                    - prefix[np.ix_(hi_r, lo_c)] + prefix[np.ix_(lo_r, lo_c)])
+            with obs.span(f"shard.map[{shard.shard_id}]", stage="block"):
+                rows = np.arange(shard.row0, shard.row1)
+                cols = np.arange(shard.col0, shard.col1)
+                lo_r = np.maximum(rows - halo_rows, 0)
+                hi_r = np.minimum(rows + halo_rows, self.n_rows - 1) + 1
+                lo_c = np.maximum(cols - halo_cols, 0)
+                hi_c = np.minimum(cols + halo_cols, self.n_cols - 1) + 1
+                return (prefix[np.ix_(hi_r, hi_c)] - prefix[np.ix_(lo_r, hi_c)]
+                        - prefix[np.ix_(hi_r, lo_c)]
+                        + prefix[np.ix_(lo_r, lo_c)])
 
         out = np.empty((self.n_rows, self.n_cols), dtype=np.float64)
         for shard, result in zip(self._shards,

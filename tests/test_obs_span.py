@@ -1,0 +1,290 @@
+"""Unit tests for :mod:`repro.obs`: spans, recorders, exporters.
+
+Propagation across threads, tasks and the TCP wire is covered separately in
+``test_obs_propagation.py``; this module pins down the local semantics --
+no-op behaviour when disabled, tree construction, serialisation round-trips,
+the slow-query log, and the Prometheus text exposition format.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.recorder import JsonLinesRecorder, NullRecorder, RingRecorder
+from repro.service.metrics import EngineMetrics
+
+
+# ---------------------------------------------------------------------- #
+# span() / Tracer basics
+# ---------------------------------------------------------------------- #
+def test_span_outside_trace_is_shared_noop():
+    first = obs.span("cache.lookup")
+    second = obs.span("backend.sweep", events=12)
+    assert first is obs.NOOP_SPAN
+    assert second is obs.NOOP_SPAN
+    # The noop absorbs the whole span API without erroring.
+    with first as sp:
+        sp.set_attribute("hit", True)
+        sp.set_attributes(a=1, b=2)
+    assert obs.current_span() is None
+    assert obs.current_trace_id() is None
+
+
+def test_disabled_tracer_without_trace_id_is_noop():
+    tracer = obs.Tracer()  # NullRecorder, no slow-query threshold
+    assert not tracer.enabled
+    assert tracer.trace("engine.query") is obs.NOOP_SPAN
+
+
+def test_disabled_tracer_honours_remote_trace_id():
+    # The wire-propagation path: a server whose tracing is off still builds
+    # the span tree when the client supplied a trace id.
+    tracer = obs.Tracer()
+    with tracer.trace("server.request", trace_id="cafe0123cafe0123") as root:
+        assert root.trace_id == "cafe0123cafe0123"
+        with obs.span("engine.query") as child:
+            assert child.trace_id == "cafe0123cafe0123"
+            assert child.parent_id == root.span_id
+
+
+def test_trace_builds_tree_and_records():
+    recorder = RingRecorder()
+    tracer = obs.Tracer(recorder)
+    assert tracer.enabled
+    with tracer.trace("engine.query", kind="maxrs") as root:
+        with obs.span("cache.lookup") as lookup:
+            lookup.set_attribute("hit", False)
+        with obs.span("engine.refine"):
+            with obs.span("backend.sweep", backend="pure", events=10):
+                pass
+        assert obs.current_span() is root
+    assert obs.current_span() is None
+
+    assert len(recorder) == 1
+    trace = recorder.last()
+    assert trace.name == "engine.query"
+    assert trace.duration_s > 0.0
+    names = [sp.name for sp in trace.spans()]
+    assert names == ["engine.query", "cache.lookup", "engine.refine",
+                     "backend.sweep"]
+    assert {sp.trace_id for sp in trace.spans()} == {trace.trace_id}
+    assert trace.find("cache.lookup").attributes == {"hit": False}
+    assert trace.find("backend.sweep").parent_id == \
+        trace.find("engine.refine").span_id
+    assert [sp.name for sp in trace.find_all("engine.")] == ["engine.query",
+                                                             "engine.refine"]
+    summary = trace.summary()
+    assert summary["spans"] == 4
+    assert summary["status"] == "ok"
+
+
+def test_nested_tracer_trace_joins_ambient_trace():
+    # Tracer.trace inside an active trace is a child span, not a new trace:
+    # the async engine's aio.query joins the server's server.request this way.
+    recorder = RingRecorder()
+    tracer = obs.Tracer(recorder)
+    with tracer.trace("server.request") as root:
+        with tracer.trace("aio.query") as inner:
+            assert inner.trace_id == root.trace_id
+            assert inner.parent_id == root.span_id
+    assert len(recorder) == 1  # one trace, not two
+
+
+def test_span_error_status_and_render_flag():
+    recorder = RingRecorder()
+    tracer = obs.Tracer(recorder)
+    with pytest.raises(ValueError):
+        with tracer.trace("engine.query"):
+            with obs.span("dispatch.solve"):
+                raise ValueError("boom")
+    trace = recorder.last()
+    assert trace.find("dispatch.solve").status == "error"
+    assert "ValueError: boom" in trace.find("dispatch.solve").error
+    assert trace.root.status == "error"
+    assert "!ValueError: boom" in trace.render()
+
+
+def test_trace_dict_round_trip():
+    recorder = RingRecorder()
+    tracer = obs.Tracer(recorder)
+    with tracer.trace("engine.query", kind="maxrs"):
+        with obs.span("backend.sweep", events=5):
+            pass
+    original = recorder.last()
+    payload = json.loads(json.dumps(original.to_dict()))  # wire fidelity
+    rebuilt = obs.Trace.from_dict(payload)
+    assert rebuilt.trace_id == original.trace_id
+    assert [sp.name for sp in rebuilt.spans()] == \
+        [sp.name for sp in original.spans()]
+    assert rebuilt.find("backend.sweep").attributes == {"events": 5}
+    assert rebuilt.find("backend.sweep").span_id == \
+        original.find("backend.sweep").span_id
+    assert rebuilt.duration_s == original.duration_s
+
+
+def test_render_shows_durations_and_attributes():
+    recorder = RingRecorder()
+    tracer = obs.Tracer(recorder)
+    with tracer.trace("engine.query"):
+        with obs.span("cache.lookup", hit=True):
+            pass
+        with obs.span("engine.refine"):
+            pass
+    text = recorder.last().render()
+    lines = text.splitlines()
+    assert lines[0].startswith("engine.query")
+    assert any("|- cache.lookup" in line and "hit=True" in line
+               for line in lines)
+    assert any("`- engine.refine" in line for line in lines)
+    assert all(" ms" in line for line in lines)
+
+
+# ---------------------------------------------------------------------- #
+# Slow-query log
+# ---------------------------------------------------------------------- #
+def test_slow_query_log_fires_above_threshold():
+    captured = []
+    tracer = obs.Tracer()  # null recorder: the log alone enables tracing
+    tracer.slow_query_log(0.0, sink=captured.append)
+    assert tracer.enabled
+    with tracer.trace("engine.query"):
+        with obs.span("backend.sweep"):
+            pass
+    assert tracer.slow_queries == 1
+    assert len(captured) == 1
+    assert captured[0].startswith("SLOW QUERY trace=")
+    assert "backend.sweep" in captured[0]
+
+
+def test_slow_query_log_quiet_below_threshold_and_disables():
+    captured = []
+    tracer = obs.Tracer(RingRecorder())
+    tracer.slow_query_log(60.0, sink=captured.append)
+    with tracer.trace("engine.query"):
+        pass
+    assert captured == []
+    assert tracer.slow_queries == 0
+    tracer.slow_query_log(None)
+    assert tracer.slow_query_threshold_s is None
+    with pytest.raises(ValueError):
+        tracer.slow_query_log(-1.0)
+
+
+# ---------------------------------------------------------------------- #
+# Recorders
+# ---------------------------------------------------------------------- #
+def test_ring_recorder_capacity_find_and_clear():
+    recorder = RingRecorder(capacity=3)
+    tracer = obs.Tracer(recorder)
+    ids = []
+    for _ in range(5):
+        with tracer.trace("engine.query") as root:
+            ids.append(root.trace_id)
+    assert len(recorder) == 3  # oldest two evicted
+    assert [t.trace_id for t in recorder.traces()] == ids[2:]
+    assert recorder.find(ids[0]) == []
+    assert [t.trace_id for t in recorder.find(ids[3])] == [ids[3]]
+    assert recorder.last().trace_id == ids[4]
+    recorder.clear()
+    assert len(recorder) == 0
+    assert recorder.last() is None
+
+
+def test_json_lines_recorder_writes_one_line_per_trace():
+    sink = io.StringIO()
+    tracer = obs.Tracer(JsonLinesRecorder(sink))
+    for _ in range(2):
+        with tracer.trace("engine.query", kind="maxrs"):
+            with obs.span("cache.lookup"):
+                pass
+    lines = sink.getvalue().strip().splitlines()
+    assert len(lines) == 2
+    for line in lines:
+        trace = obs.Trace.from_dict(json.loads(line))
+        assert trace.name == "engine.query"
+        assert trace.find("cache.lookup") is not None
+
+
+def test_json_lines_recorder_opens_path_lazily(tmp_path):
+    target = tmp_path / "traces" / "out.jsonl"
+    recorder = JsonLinesRecorder(str(target))
+    assert not target.exists()  # nothing opened until the first trace
+    tracer = obs.Tracer(recorder)
+    with tracer.trace("engine.query"):
+        pass
+    recorder.close()
+    payload = json.loads(target.read_text().strip())
+    assert payload["name"] == "engine.query"
+
+
+def test_resolve_recorder_specs():
+    assert isinstance(obs.resolve_recorder(None), NullRecorder)
+    assert isinstance(obs.resolve_recorder("null"), NullRecorder)
+    assert isinstance(obs.resolve_recorder("ring"), RingRecorder)
+    ring = RingRecorder()
+    assert obs.resolve_recorder(ring) is ring
+    with pytest.raises(ValueError):
+        obs.resolve_recorder("kafka")
+    with pytest.raises(TypeError):
+        obs.resolve_recorder(42)
+
+
+def test_null_recorder_retains_nothing():
+    tracer = obs.Tracer(NullRecorder(), slow_query_threshold_s=60.0)
+    with tracer.trace("engine.query"):
+        pass
+    assert tracer.trace_summaries() == []
+
+
+# ---------------------------------------------------------------------- #
+# Prometheus text exposition
+# ---------------------------------------------------------------------- #
+def test_metrics_text_exposition_format():
+    metrics = EngineMetrics()
+    metrics.increment("queries", 3)
+    metrics.increment("cache_hits", 1)
+    with metrics.time_stage("refine"):
+        pass
+    metrics.observe_latency("maxrs", 0.25)
+    metrics.observe_latency("maxrs", 0.75)
+
+    text = obs.metrics_text(metrics)
+    lines = text.splitlines()
+
+    assert 'repro_counter_total{name="queries"} 3' in lines
+    assert 'repro_counter_total{name="cache_hits"} 1' in lines
+    assert "# TYPE repro_counter_total counter" in lines
+    assert any(line.startswith('repro_stage_seconds_total{stage="refine"}')
+               for line in lines)
+    assert 'repro_stage_count_total{stage="refine"} 1' in lines
+
+    # Histogram: cumulative buckets ending at +Inf, plus _sum and _count.
+    buckets = [line for line in lines
+               if line.startswith('repro_latency_seconds_bucket{kind="maxrs"')]
+    assert buckets[-1].endswith(" 2")
+    assert 'le="+Inf"' in buckets[-1]
+    counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+    assert counts == sorted(counts)  # cumulative => monotone
+    assert 'repro_latency_seconds_count{kind="maxrs"} 2' in lines
+    sum_line = next(line for line in lines if line.startswith(
+        'repro_latency_seconds_sum{kind="maxrs"}'))
+    assert float(sum_line.rsplit(" ", 1)[1]) == pytest.approx(1.0)
+
+
+def test_metrics_text_escapes_label_values():
+    metrics = EngineMetrics()
+    metrics.increment('odd"name\\with\nstuff', 1)
+    text = obs.metrics_text(metrics)
+    assert 'name="odd\\"name\\\\with\\nstuff"' in text
+
+
+def test_metrics_text_custom_namespace():
+    metrics = EngineMetrics()
+    metrics.increment("queries", 1)
+    text = obs.metrics_text(metrics, namespace="maxrs")
+    assert 'maxrs_counter_total{name="queries"} 1' in text
+    assert "repro_" not in text
