@@ -8,6 +8,7 @@
 #   make bench-shards   - sharded vs unsharded grid index (fast preset)
 #   make bench-async    - concurrent async clients vs sequential sync (fast preset)
 #   make bench-json     - refresh the BENCH_*.json perf-trajectory artefacts
+#   make bench-gate     - fail if fresh bench numbers regress vs checked-in
 #   make trace-smoke    - observability suite + the traced-query walkthrough
 #   make examples       - run every example script end-to-end
 #
@@ -18,7 +19,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench-smoke bench bench-backends bench-persist bench-shards \
-	bench-async bench-json trace-smoke examples
+	bench-async bench-json bench-gate trace-smoke examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -38,7 +39,8 @@ bench-backends:
 bench-persist:
 	$(PYTHON) -m pytest benchmarks/test_service_coldstart.py -q
 
-# Sharded (4 threaded shards) vs unsharded grid index on registration and
+# Sharded (4 shards on the best available executor, the multiprocess data
+# plane where shared memory works) vs unsharded grid index on registration and
 # refined cold queries; the >= 2x acceptance bound is asserted at
 # (near-)paper scale on hosts with >= 4 cores, e.g.
 # REPRO_BENCH_PRESET=paper make bench-shards.
@@ -65,6 +67,15 @@ bench-json:
 		benchmarks/test_service_shards.py \
 		benchmarks/test_service_async.py \
 		benchmarks/test_obs_overhead.py
+
+# Perf regression gate: re-run the BENCH-emitting benchmarks, compare the
+# fresh p50 latency / speedup numbers against the checked-in BENCH_*.json
+# trajectory, and fail when a tracked metric slips beyond tolerance
+# (REPRO_BENCH_TOLERANCE, default 0.30).  Entries recorded on a different
+# host fingerprint are skipped with a warning; the checked-in files are
+# restored afterwards so the gate never dirties the working tree.
+bench-gate:
+	$(PYTHON) scripts/check_bench_regression.py
 
 # The observability smoke: obs unit + propagation tests, the disabled-
 # tracing overhead guard, and the traced-query example's rendered trees.

@@ -25,6 +25,10 @@ More specific subclasses indicate which subsystem detected the problem:
 * :class:`PersistError` -- the durable snapshot store (:mod:`repro.persist`)
   found a corrupt, truncated, or incompatible snapshot (bad magic, checksum
   mismatch, fingerprint mismatch, unsupported catalog version, ...).
+* :class:`ExecutorError` -- the multiprocess data plane
+  (:mod:`repro.service.procpool` / :mod:`repro.service.shm`) lost a worker
+  process or cannot use shared memory; the sharded index catches it to
+  degrade to the threaded tier.
 """
 
 from __future__ import annotations
@@ -37,6 +41,7 @@ __all__ = [
     "GeometryError",
     "AlgorithmError",
     "DatasetError",
+    "ExecutorError",
     "PersistError",
     "ServiceError",
     "ServiceOverloadError",
@@ -83,6 +88,17 @@ class ServiceOverloadError(ServiceError):
     The request was **not** executed; callers should back off and retry (or
     configure the engine with ``overflow="wait"`` to queue instead).  A
     subclass of :class:`ServiceError` so existing service guards keep working.
+    """
+
+
+class ExecutorError(ServiceError):
+    """Raised when a shard-executor backend fails as infrastructure.
+
+    Distinct from a *task* exception (which propagates unchanged under the
+    first-failure contract): this signals the executor itself is unusable --
+    a worker process died mid-map, the platform lacks POSIX shared memory,
+    or the pool was closed.  :class:`~repro.service.sharding.ShardedGridIndex`
+    treats it as the cue to degrade to the threaded tier and keep serving.
     """
 
 

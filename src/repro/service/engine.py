@@ -39,6 +39,7 @@ import math
 import os
 import threading
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
@@ -58,7 +59,12 @@ from repro.core.plane_sweep import solve_in_memory
 from repro.core.result import MaxCRSResult, MaxRegion, MaxRSResult
 from repro.em.config import EMConfig
 from repro import obs
-from repro.errors import ConfigurationError, PersistError, ServiceError
+from repro.errors import (
+    ConfigurationError,
+    ExecutorError,
+    PersistError,
+    ServiceError,
+)
 from repro.geometry import Point, WeightedPoint
 from repro.persist.format import ShardedGridSnapshot
 from repro.persist.store import SnapshotStore
@@ -253,6 +259,10 @@ class MaxRSEngine:
         # threaded shard executors; created lazily, shut down by close().
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
+        # One long-lived process pool serves every process-tier shard
+        # fan-out of this engine (workers warm up on the first register and
+        # stay resident); created on first resolution, shut down by close().
+        self._proc_executor = None
         self._closed = False
         self.persist: Optional[SnapshotStore] = None
         if persist_dir is not None:
@@ -296,10 +306,26 @@ class MaxRSEngine:
         The engine stays queryable afterwards -- batch execution and shard
         fan-out simply degrade to the calling thread, so a drained service
         can still answer stragglers during shutdown.
+
+        Multiprocess serving state is fully reclaimed: sharded indexes copy
+        their shared-memory views back to the heap and release their arenas,
+        the worker processes are stopped, and the store's shared column
+        segments are unlinked -- ``close()`` leaks no shared-memory segment,
+        whatever tier the engine was serving on.
         """
         with self._pool_lock:
             self._closed = True
             pool, self._pool = self._pool, None
+            proc, self._proc_executor = self._proc_executor, None
+        # Grids first: a plane index's release handshake needs live workers
+        # and valid column views, so it must run before the process pool and
+        # the store arenas go away.
+        for grid in self._grids.values():
+            if isinstance(grid, ShardedGridIndex):
+                grid.close()
+        if proc is not None:
+            proc.close()
+        self.store.unshare_all()
         if pool is not None:
             pool.shutdown(wait=wait)
 
@@ -314,23 +340,51 @@ class MaxRSEngine:
         return self.shards if self.shards is not None else default_shard_count()
 
     def _resolve_shard_executor(self, shard_count: int):
-        """Resolve the executor for a shard fan-out, wiring in the shared pool.
+        """Resolve the executor for a shard fan-out, wiring in shared pools.
 
-        Named/auto threaded executors run on the engine's long-lived pool
-        (the same one ``query_batch`` uses -- the executor's
-        cancel-or-inline ``map`` keeps nested fan-out deadlock-free); a
+        Named/auto threaded executors run on the engine's long-lived thread
+        pool (the same one ``query_batch`` uses -- the executor's
+        cancel-or-inline ``map`` keeps nested fan-out deadlock-free);
+        process-tier resolutions share the engine's long-lived
+        :class:`~repro.service.procpool.ProcessShardExecutor` (one worker
+        pool per engine, warmed up on the first registration).  Once that
+        pool *breaks* (a worker died) the engine stays on the threaded tier
+        -- respawning after a crash would hide a recurring failure.  A
         closed engine always fans out serially.
         """
         spec = self.shard_executor
         if spec is not None and not isinstance(spec, str):
             return resolve_executor(spec, shard_count)
         resolved = resolve_executor(spec, shard_count)
+        if getattr(resolved, "owns_shards", False):
+            owned = self._own_process_executor(resolved)
+            if owned is not None:
+                return owned
+            resolved = ThreadedExecutor()
         if isinstance(resolved, ThreadedExecutor):
             pool = self._ensure_pool()
             if pool is None:
                 return SerialExecutor()
             return ThreadedExecutor(pool=pool)
         return resolved
+
+    def _own_process_executor(self, candidate):
+        """Adopt/reuse the engine's process pool; ``None`` once broken/closed.
+
+        ``candidate`` is a freshly resolved (never started -- construction
+        spawns nothing) process executor; the first resolution adopts it as
+        the engine's, later ones discard theirs and reuse the adopted one.
+        """
+        with self._pool_lock:
+            if self._closed:
+                return None
+            proc = self._proc_executor
+            if proc is None:
+                self._proc_executor = candidate
+                return candidate
+            if proc.broken:
+                return None
+            return proc
 
     def _build_index(self, entry: RegisteredDataset) -> AnyGridIndex:
         """Build the grid index for one non-empty dataset.
@@ -345,21 +399,44 @@ class MaxRSEngine:
         """
         shard_count = self._effective_shards()
         if shard_count > 1:
+            executor = self._resolve_shard_executor(shard_count)
             index = ShardedGridIndex(
                 *entry.columns(),
                 shards=shard_count,
-                executor=self._resolve_shard_executor(shard_count),
+                executor=executor,
+                arena=self._shared_arena_for(entry, executor),
                 target_points_per_cell=self._target_points_per_cell,
                 max_cells_per_side=self._max_cells_per_side,
                 timing_hook=self.metrics.observe_shard,
             )
             if index.shard_count > 1:
                 return index
+            # The tiling collapsed to one region: drop any plane state the
+            # sharded build adopted before falling back to the plain index.
+            index.close()
         return GridIndex(
             *entry.columns(),
             target_points_per_cell=self._target_points_per_cell,
             max_cells_per_side=self._max_cells_per_side,
         )
+
+    def _shared_arena_for(self, entry: RegisteredDataset, executor):
+        """The store's shared column arena when ``executor`` is a plane tier.
+
+        ``None`` otherwise -- and, with a warning, when the store cannot
+        share (shared memory exhausted at runtime); the sharded index then
+        falls back to a private arena or degrades on its own.
+        """
+        if not getattr(executor, "owns_shards", False):
+            return None
+        try:
+            return self.store.share_columns(entry.handle.dataset_id)
+        except ExecutorError as exc:
+            warnings.warn(
+                f"cannot back dataset {entry.handle.dataset_id!r} with "
+                f"shared-memory columns ({exc})",
+                RuntimeWarning, stacklevel=3)
+            return None
 
     def _backend_for(self, num_objects: int) -> SweepBackend:
         """Resolve the sweep backend for a solve over ``num_objects`` points.
@@ -412,7 +489,7 @@ class MaxRSEngine:
                 # evict the old fingerprint's cached results (unless another
                 # dataset still holds byte-identical data), and never let an
                 # opted-out snapshot resurrect the old binding on restart.
-                self._grids.pop(handle.dataset_id, None)
+                self._drop_grid(handle.dataset_id)
                 if not any(h.fingerprint == old_fingerprint
                            for h in self.store.handles()):
                     self._evict_fingerprint(old_fingerprint)
@@ -461,12 +538,20 @@ class MaxRSEngine:
         """
         dataset_id = _dataset_id(dataset)
         fingerprint = self.store.get(dataset_id).handle.fingerprint
+        # Grid before store: a plane index's release handshake needs the
+        # column views the store's arena still backs.
+        self._drop_grid(dataset_id)
         self.store.unregister(dataset_id)
-        self._grids.pop(dataset_id, None)
         if not any(h.fingerprint == fingerprint for h in self.store.handles()):
             self._evict_fingerprint(fingerprint)
         if self.persist is not None and not keep_snapshot:
             self.persist.delete_dataset(dataset_id)
+
+    def _drop_grid(self, dataset_id: str) -> None:
+        """Forget a dataset's index, releasing any shared-memory state."""
+        grid = self._grids.pop(dataset_id, None)
+        if isinstance(grid, ShardedGridIndex):
+            grid.close()
 
     def checkpoint(self) -> None:
         """Flush warm serving state: persist every dataset's hot results.
@@ -618,9 +703,15 @@ class MaxRSEngine:
         1-shard layout), whatever this engine's ``shards=`` configuration.
         """
         if isinstance(snap, ShardedGridSnapshot):
+            executor = self._resolve_shard_executor(len(snap.shards))
+            # The arena is created *before* from_snapshot reads the columns,
+            # so under a plane executor the warm start maps the blob columns
+            # straight into shared memory: workers verify the persisted
+            # aggregates without the parent ever re-aggregating.
             return ShardedGridIndex.from_snapshot(
                 entry.xs, entry.ys, entry.ws, snap,
-                executor=self._resolve_shard_executor(len(snap.shards)),
+                executor=executor,
+                arena=self._shared_arena_for(entry, executor),
                 timing_hook=self.metrics.observe_shard,
             )
         return GridIndex.from_snapshot(entry.xs, entry.ys, entry.ws, snap)
@@ -775,10 +866,10 @@ class MaxRSEngine:
                 "configured_executor": (configured_executor
                                         if configured_executor is not None
                                         else "auto"),
-                # Resolved without touching the shared pool: naming the
-                # executor must not spawn threads as a side effect.
-                "resolved_executor": resolve_executor(
-                    self.shard_executor, self._effective_shards()).name,
+                # Resolved without touching the shared pools: naming the
+                # executor must not spawn threads or processes as a side
+                # effect (process executors spawn lazily, on first use).
+                "resolved_executor": self._resolved_executor_name(),
             },
             "datasets": len(self.store),
             "queries": snapshot["counters"].get("queries", 0),
@@ -803,6 +894,20 @@ class MaxRSEngine:
                 for grid in (self._grids.get(handle.dataset_id),)
             },
         }
+
+    def _resolved_executor_name(self) -> str:
+        """What a shard fan-out would run on *right now* (stats reporting).
+
+        Config-level resolution, adjusted for runtime state: a broken
+        process pool (or a closed engine) means new fan-outs run threaded.
+        """
+        resolved = resolve_executor(self.shard_executor,
+                                    self._effective_shards())
+        if getattr(resolved, "owns_shards", False):
+            proc = self._proc_executor
+            if self._closed or (proc is not None and proc.broken):
+                return "threaded"
+        return resolved.name
 
     def clear_cache(self) -> None:
         """Drop every cached result (datasets and indexes stay resident)."""

@@ -257,6 +257,31 @@ class GridIndex(GridQueryOps):
         self._build_derived()
         return self
 
+    @classmethod
+    def from_aggregates(cls, cell_weights: np.ndarray, cell_counts: np.ndarray,
+                        point_cell: np.ndarray, *,
+                        geometry: GridGeometry) -> "GridIndex":
+        """Adopt already-computed per-cell aggregates over binned points.
+
+        The multiprocess data plane's shard constructor: worker processes
+        compute a shard's aggregates from shared-memory columns, and the
+        parent materialises the local :class:`GridIndex` lazily without
+        re-aggregating.  ``cell_weights`` / ``cell_counts`` must be the
+        ``(n_rows, n_cols)`` aggregates of ``point_cell`` (the caller
+        guarantees consistency; no cross-check here -- the restore path
+        verifies against persisted aggregates before adopting).
+        """
+        self = cls.__new__(cls)
+        self.count = len(point_cell)
+        self._adopt_geometry(geometry)
+        self.point_cell = np.asarray(point_cell, dtype=np.int64)
+        self.cell_weights = np.asarray(cell_weights, dtype=np.float64).reshape(
+            self.n_rows, self.n_cols)
+        self.cell_counts = np.asarray(cell_counts, dtype=np.int64).reshape(
+            self.n_rows, self.n_cols)
+        self._build_derived()
+        return self
+
     def _adopt_geometry(self, geometry: GridGeometry) -> None:
         (self.n_rows, self.n_cols, self.x0, self.y0,
          self.cell_w, self.cell_h) = geometry

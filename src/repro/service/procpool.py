@@ -1,0 +1,704 @@
+"""Process-pool shard executor: the multiprocess data plane.
+
+The PR 4 sharding layer split the grid into spatial tiles behind a
+``ShardExecutor``, but its ``threaded`` tier is GIL-bound: every recorded
+"parallel" number was ~1x parity.  :class:`ProcessShardExecutor` moves the
+shard fan-out onto real cores with **per-process shard ownership**:
+
+* worker processes are forked/spawned once per executor (lazily, on first
+  use -- constructing the executor is free, so ``resolve_executor`` can
+  instantiate it from ``stats()`` without side effects);
+* on ``adopt_dataset`` each worker attaches the dataset's ``(xs, ys, ws)``
+  column arena and the index arena (point/cell binning, stable sort order,
+  the global prefix table) as zero-copy numpy views over
+  ``multiprocessing.shared_memory`` -- see :mod:`repro.service.shm` -- and
+  aggregates its owned shards locally (shard ``i`` is owned by worker
+  ``i % workers``);
+* subsequent ``window_blocks`` / ``gather_points`` ops ship only the tiny
+  task envelope (halo sizes, a candidate mask) and the per-shard results,
+  never the columns.
+
+Failure containment: task-level exceptions are pickled back and re-raised
+in the parent preserving the first-failure contract; a *dead* worker
+(killed, OOM, segfault) marks the whole executor broken with
+:class:`~repro.errors.ExecutorError`, which the sharded index catches to
+degrade to the threaded tier (parent-side state is always sufficient to
+keep serving).
+
+Observability: the task envelope carries ``(trace_id, parent_span_id)``
+from the ambient span; the worker opens a real trace with that id (the
+same "continue a caller-supplied trace" contract the PR 6 wire protocol
+uses), captures its span tree, ships it back ``Span.to_dict()``-encoded,
+and the parent re-parents it under the calling span -- so a single query
+trace shows worker-side ``shard.map[i]`` spans with worker pids attached.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import multiprocessing
+import os
+import pickle
+import queue
+import threading
+import time
+import warnings
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.errors import ExecutorError
+from repro.service.shm import ColumnArena, shm_available
+
+__all__ = ["ProcessShardExecutor", "process_available"]
+
+#: Never spawn more shard workers than this by default.
+DEFAULT_MAX_WORKERS = 8
+
+
+def process_available() -> bool:
+    """Whether the multiprocess data plane can run on this platform."""
+    if os.environ.get("REPRO_NO_PROCPOOL"):
+        return False
+    return shm_available()
+
+
+def _default_start_method() -> str:
+    """``fork`` where supported (cheap, inherits ``sys.path``), else spawn."""
+    override = os.environ.get("REPRO_PROCPOOL_START")
+    if override:
+        return override
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+# --------------------------------------------------------------------------- #
+# Worker side
+# --------------------------------------------------------------------------- #
+
+class _WorkerShard:
+    """A worker's cached state for one owned shard."""
+
+    __slots__ = ("shard_id", "block", "point_ids", "global_cell")
+
+    def __init__(self, shard_id: int, block: Tuple[int, int, int, int],
+                 point_ids: np.ndarray, global_cell: np.ndarray) -> None:
+        self.shard_id = shard_id
+        self.block = block
+        self.point_ids = point_ids
+        self.global_cell = global_cell
+
+
+class _WorkerDataset:
+    """A worker's view of one adopted dataset/index pair."""
+
+    __slots__ = ("columns", "index", "ws", "point_cell", "order", "prefix",
+                 "n_rows", "n_cols", "shards")
+
+    def __init__(self, columns: ColumnArena, index: ColumnArena,
+                 n_rows: int, n_cols: int) -> None:
+        self.columns = columns
+        self.index = index
+        self.ws = columns.view("ws")
+        self.point_cell = index.view("point_cell")
+        self.order = index.view("order")
+        self.prefix = index.view("prefix")
+        self.n_rows = n_rows
+        self.n_cols = n_cols
+        self.shards: Dict[int, _WorkerShard] = {}
+
+
+def _op_adopt(state: Dict[str, _WorkerDataset],
+              payload: Dict[str, Any]) -> Dict[int, Dict[str, Any]]:
+    """Attach the arenas and aggregate this worker's owned shards.
+
+    The arithmetic mirrors the serial build exactly: ``point_cell`` encodes
+    ``row * n_cols + col`` so ``// n_cols`` / ``% n_cols`` recover the global
+    bins bit-for-bit, and the per-shard ``bincount`` consumes the points in
+    the same stable sort order the parent computed -- identical float
+    summation order, hence bit-identical aggregates.
+    """
+    key = payload["key"]
+    columns = ColumnArena.attach(payload["columns"])
+    try:
+        index = ColumnArena.attach(payload["index"])
+    except BaseException:
+        columns.release()
+        raise
+    n_rows, n_cols = payload["grid_shape"]
+    dataset = _WorkerDataset(columns, index, n_rows, n_cols)
+    results: Dict[int, Dict[str, Any]] = {}
+    for shard_id in payload["owned"]:
+        row0, row1, col0, col1 = payload["blocks"][shard_id]
+        start, end = payload["spans"][shard_id]
+        begin = time.perf_counter()
+        with obs.span(f"shard.map[{shard_id}]", stage=payload["stage"],
+                      pid=os.getpid()) as sp:
+            point_ids = dataset.order[start:end]
+            global_cell = dataset.point_cell[point_ids]
+            local_cell = ((global_cell // n_cols - row0) * (col1 - col0)
+                          + (global_cell % n_cols - col0))
+            n_cells = (row1 - row0) * (col1 - col0)
+            weights = dataset.ws[point_ids]
+            cell_weights = np.bincount(
+                local_cell, weights=weights,
+                minlength=n_cells).reshape(row1 - row0, col1 - col0)
+            cell_counts = np.bincount(
+                local_cell,
+                minlength=n_cells).astype(np.int64).reshape(row1 - row0,
+                                                            col1 - col0)
+            dataset.shards[shard_id] = _WorkerShard(
+                shard_id, (row0, row1, col0, col1), point_ids, global_cell)
+            sp.set_attribute("points", int(point_ids.size))
+        results[shard_id] = {
+            "cell_weights": cell_weights,
+            "cell_counts": cell_counts,
+            "points": int(point_ids.size),
+            "seconds": time.perf_counter() - begin,
+        }
+    state[key] = dataset
+    return results
+
+
+def _op_window(state: Dict[str, _WorkerDataset],
+               payload: Dict[str, Any]) -> Dict[int, Dict[str, Any]]:
+    """Halo window sums for this worker's owned shard blocks."""
+    dataset = state[payload["key"]]
+    halo_rows, halo_cols = payload["halo"]
+    values = payload.get("values")
+    if values is None:
+        prefix = dataset.prefix
+    else:
+        # Ad-hoc values (e.g. the dilation mask): rebuild the 2-D prefix
+        # table locally -- same double cumsum as the parent, bit-identical.
+        prefix = np.zeros((dataset.n_rows + 1, dataset.n_cols + 1),
+                          dtype=np.float64)
+        np.cumsum(np.cumsum(values, axis=0), axis=1, out=prefix[1:, 1:])
+    results: Dict[int, Dict[str, Any]] = {}
+    for shard_id in payload["owned"]:
+        shard = dataset.shards[shard_id]
+        row0, row1, col0, col1 = shard.block
+        begin = time.perf_counter()
+        with obs.span(f"shard.map[{shard_id}]", stage="block",
+                      pid=os.getpid()):
+            rows = np.arange(row0, row1)
+            cols = np.arange(col0, col1)
+            lo_r = np.maximum(rows - halo_rows, 0)
+            hi_r = np.minimum(rows + halo_rows, dataset.n_rows - 1) + 1
+            lo_c = np.maximum(cols - halo_cols, 0)
+            hi_c = np.minimum(cols + halo_cols, dataset.n_cols - 1) + 1
+            block = (prefix[np.ix_(hi_r, hi_c)]
+                     - prefix[np.ix_(lo_r, hi_c)]
+                     - prefix[np.ix_(hi_r, lo_c)]
+                     + prefix[np.ix_(lo_r, lo_c)])
+        results[shard_id] = {"block": block,
+                             "seconds": time.perf_counter() - begin}
+    return results
+
+
+def _op_gather(state: Dict[str, _WorkerDataset],
+               payload: Dict[str, Any]) -> Dict[int, Dict[str, Any]]:
+    """Pruned-point gathers: ids of owned points in surviving cells."""
+    dataset = state[payload["key"]]
+    flat = payload["mask"]
+    results: Dict[int, Dict[str, Any]] = {}
+    for shard_id in payload["owned"]:
+        shard = dataset.shards[shard_id]
+        begin = time.perf_counter()
+        with obs.span(f"shard.map[{shard_id}]", stage="gather",
+                      pid=os.getpid()) as sp:
+            found = shard.point_ids[flat[shard.global_cell]]
+            sp.set_attribute("points", int(found.size))
+        results[shard_id] = {"indices": found,
+                             "seconds": time.perf_counter() - begin}
+    return results
+
+
+def _op_release(state: Dict[str, _WorkerDataset],
+                payload: Dict[str, Any]) -> bool:
+    """Drop one adopted dataset and close its arena attachments."""
+    dataset = state.pop(payload["key"], None)
+    if dataset is not None:
+        dataset.shards.clear()
+        dataset.columns.release()
+        dataset.index.release()
+    return dataset is not None
+
+
+def _op_call(state: Dict[str, _WorkerDataset], payload: bytes) -> Any:
+    """Generic ``map`` task: ``(fn, item)`` pre-pickled by the parent."""
+    fn, item = pickle.loads(payload)
+    return fn(item)
+
+
+_OPS: Dict[str, Callable[..., Any]] = {
+    "adopt": _op_adopt,
+    "window": _op_window,
+    "gather": _op_gather,
+    "release": _op_release,
+    "call": _op_call,
+}
+
+
+class _CaptureRecorder:
+    """Holds the single trace a worker task produces, for shipping back."""
+
+    __slots__ = ("trace",)
+
+    def __init__(self) -> None:
+        self.trace = None
+
+    def record(self, trace) -> None:
+        self.trace = trace
+
+
+def _picklable_error(exc: BaseException) -> BaseException:
+    """The exception itself if it survives pickling, else a summary.
+
+    ``multiprocessing.Queue`` pickles in a background feeder thread whose
+    failures are silently swallowed (the parent would deadlock waiting for a
+    result that never arrives) -- so verify up front.
+    """
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return ExecutorError(
+            f"worker task failed with unpicklable "
+            f"{type(exc).__name__}: {exc}")
+
+
+def _worker_loop(worker_id: int, task_queue, result_queue) -> None:
+    state: Dict[str, _WorkerDataset] = {}
+    while True:
+        task = task_queue.get()
+        if task is None:
+            break
+        task_id, op, payload, trace_ctx = task
+        span_payload = None
+        try:
+            if trace_ctx is not None:
+                trace_id, parent_span_id = trace_ctx
+                recorder = _CaptureRecorder()
+                tracer = obs.Tracer(recorder)
+                with tracer.trace(f"procpool.worker[{worker_id}]",
+                                  trace_id=trace_id, op=op,
+                                  pid=os.getpid()):
+                    value = _OPS[op](state, payload)
+                if recorder.trace is not None:
+                    root = recorder.trace.root
+                    root.parent_id = parent_span_id
+                    span_payload = root.to_dict()
+            else:
+                value = _OPS[op](state, payload)
+        except BaseException as exc:
+            result_queue.put((task_id, False, _picklable_error(exc),
+                              span_payload))
+        else:
+            result_queue.put((task_id, True, value, span_payload))
+    for key in list(state):
+        _op_release(state, {"key": key})
+
+
+def _worker_main(worker_id: int, task_queue, result_queue) -> None:
+    # A fresh (empty) contextvars.Context: under fork the child would
+    # otherwise inherit the parent's ambient span mid-trace and attach
+    # orphan children to a dead copy of that tree.
+    context = contextvars.Context()
+    context.run(_worker_loop, worker_id, task_queue, result_queue)
+
+
+# --------------------------------------------------------------------------- #
+# Parent side
+# --------------------------------------------------------------------------- #
+
+class _Worker:
+    __slots__ = ("index", "process", "queue")
+
+    def __init__(self, index: int, process, task_queue) -> None:
+        self.index = index
+        self.process = process
+        self.queue = task_queue
+
+
+class _Pending:
+    """One in-flight task: fulfilled by the collector thread."""
+
+    __slots__ = ("event", "value", "error", "span_payload", "worker", "parent")
+
+    def __init__(self, worker: _Worker, parent) -> None:
+        self.event = threading.Event()
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+        self.span_payload: Optional[Dict[str, Any]] = None
+        self.worker = worker
+        self.parent = parent
+
+
+class ProcessShardExecutor:
+    """Shard fan-out over a pool of long-lived worker processes.
+
+    Conforms to the :class:`~repro.service.sharding.ShardExecutor` protocol
+    (``name`` + ordered, first-failure ``map``) and additionally advertises
+    ``owns_shards = True``: the sharded index detects that marker and routes
+    builds/window-sums/gathers through the data-plane ops instead of pickling
+    closures.  Workers spawn lazily on first use; ``close()`` (idempotent)
+    tears the pool down.  After a worker death the executor is *broken*:
+    every pending and future call raises :class:`ExecutorError` and callers
+    degrade to the threaded tier.
+    """
+
+    name = "process"
+    #: Marker: this executor adopts shard data into worker processes.
+    owns_shards = True
+
+    def __init__(self, max_workers: Optional[int] = None, *,
+                 start_method: Optional[str] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(
+                f"process executor needs >= 1 worker, got {max_workers}")
+        self._max_workers = max_workers
+        self._start_method = start_method or _default_start_method()
+        self._lock = threading.Lock()
+        self._workers: List[_Worker] = []
+        self._result_queue = None
+        self._collector: Optional[threading.Thread] = None
+        self._pending: Dict[int, _Pending] = {}
+        self._task_counter = 0
+        self._started = False
+        self._closed = False
+        self._broken: Optional[str] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def broken(self) -> bool:
+        """Whether a worker died and the pool was torn down."""
+        return self._broken is not None
+
+    @property
+    def worker_count(self) -> int:
+        """Live worker processes (0 before first use / after close)."""
+        return len(self._workers)
+
+    def _ensure_started(self) -> None:
+        with self._lock:
+            if self._broken is not None:
+                raise ExecutorError(self._broken)
+            if self._closed:
+                raise ExecutorError("process shard executor is closed")
+            if self._started:
+                return
+            if not process_available():
+                raise ExecutorError(
+                    "shared memory is unavailable on this platform; "
+                    "the process shard executor cannot start")
+            from repro.service.sharding import effective_cpu_count
+
+            count = self._max_workers
+            if count is None:
+                count = max(1, min(DEFAULT_MAX_WORKERS,
+                                   effective_cpu_count()))
+            context = multiprocessing.get_context(self._start_method)
+            self._result_queue = context.Queue()
+            for index in range(count):
+                task_queue = context.Queue()
+                process = context.Process(
+                    target=_worker_main,
+                    args=(index, task_queue, self._result_queue),
+                    daemon=True, name=f"repro-shard-worker-{index}")
+                process.start()
+                self._workers.append(_Worker(index, process, task_queue))
+            self._collector = threading.Thread(
+                target=self._collect, daemon=True,
+                name="repro-procpool-collector")
+            self._collector.start()
+            self._started = True
+
+    def _collect(self) -> None:
+        while True:
+            try:
+                item = self._result_queue.get(timeout=0.5)
+            except queue.Empty:
+                if self._closed or self._broken is not None:
+                    return
+                continue
+            except (EOFError, OSError):  # pragma: no cover - queue torn down
+                return
+            task_id, ok, value, span_payload = item
+            with self._lock:
+                pending = self._pending.pop(task_id, None)
+            if pending is None:
+                continue
+            if ok:
+                pending.value = value
+            else:
+                pending.error = value
+            pending.span_payload = span_payload
+            pending.event.set()
+
+    def close(self, *, timeout: float = 5.0) -> None:
+        """Stop the workers and the collector (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers, self._workers = self._workers, []
+            started = self._started
+            self._started = False
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for entry in pending:
+            if not entry.event.is_set():
+                entry.error = ExecutorError(
+                    "process shard executor closed while tasks were "
+                    "in flight")
+                entry.event.set()
+        for worker in workers:
+            try:
+                worker.queue.put(None)
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+        deadline = time.monotonic() + timeout
+        for worker in workers:
+            worker.process.join(max(0.0, deadline - time.monotonic()))
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(1.0)
+            worker.queue.close()
+        if started and self._result_queue is not None:
+            # Wake-by-timeout, never put(): a worker SIGKILLed between
+            # sending a result and releasing the queue's write lock leaves
+            # that lock held forever, and a parent-side put() would wedge
+            # the parent's feeder thread on it -- turning interpreter exit
+            # into a deadlock (queue finalizers join feeder threads).  The
+            # collector polls with a short timeout and exits on `_closed`.
+            if self._collector is not None:
+                self._collector.join(timeout)
+            self._result_queue.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-timing dependent
+        try:
+            if not self._closed and self._started:
+                for worker in self._workers:
+                    worker.process.terminate()
+        except Exception:
+            pass
+
+    def _mark_broken(self, reason: str) -> None:
+        with self._lock:
+            already = self._broken is not None
+            if not already:
+                self._broken = reason
+            pending = list(self._pending.values())
+            self._pending.clear()
+            workers = list(self._workers)
+        for entry in pending:
+            if not entry.event.is_set():
+                entry.error = ExecutorError(reason)
+                entry.event.set()
+        if not already:
+            for worker in workers:
+                if worker.process.is_alive():
+                    worker.process.terminate()
+
+    # -- task plumbing -----------------------------------------------------
+
+    def _submit(self, worker: _Worker, op: str, payload: Any) -> _Pending:
+        parent_span = obs.current_span()
+        trace_ctx = None
+        if parent_span is not None:
+            trace_ctx = (parent_span.trace_id, parent_span.span_id)
+        with self._lock:
+            if self._broken is not None:
+                raise ExecutorError(self._broken)
+            if self._closed:
+                raise ExecutorError("process shard executor is closed")
+            self._task_counter += 1
+            task_id = self._task_counter
+            pending = _Pending(worker, parent_span)
+            self._pending[task_id] = pending
+        worker.queue.put((task_id, op, payload, trace_ctx))
+        return pending
+
+    def _wait(self, pending: _Pending) -> Any:
+        while not pending.event.wait(0.05):
+            if not pending.worker.process.is_alive():
+                # Give the collector one last beat: the worker may have
+                # pushed its result just before exiting.
+                if pending.event.wait(1.0):
+                    break
+                process = pending.worker.process
+                self._mark_broken(
+                    f"shard worker {pending.worker.index} "
+                    f"(pid {process.pid}) died with exit code "
+                    f"{process.exitcode}; process executor disabled")
+        if pending.error is not None:
+            raise pending.error
+        if pending.span_payload is not None and pending.parent is not None:
+            # Re-parent the worker-side span tree under the calling span --
+            # the same continuation contract as the TCP wire protocol.
+            child = obs.Span.from_dict(pending.span_payload)
+            child.parent_id = pending.parent.span_id
+            pending.parent.children.append(child)
+        return pending.value
+
+    def _owner(self, shard_id: int) -> _Worker:
+        return self._workers[shard_id % len(self._workers)]
+
+    def _grouped(self, shard_ids: Iterable[int]) -> Dict[int, List[int]]:
+        groups: Dict[int, List[int]] = {}
+        for shard_id in shard_ids:
+            groups.setdefault(shard_id % len(self._workers),
+                              []).append(shard_id)
+        return groups
+
+    def _fan_out(self, op: str, shard_ids: Sequence[int],
+                 payload: Dict[str, Any]) -> Dict[int, Dict[str, Any]]:
+        pending: List[_Pending] = []
+        for worker_index, owned in self._grouped(shard_ids).items():
+            task = dict(payload)
+            task["owned"] = owned
+            pending.append(self._submit(self._workers[worker_index], op,
+                                        task))
+        merged: Dict[int, Dict[str, Any]] = {}
+        first_error: Optional[BaseException] = None
+        for entry in pending:
+            try:
+                merged.update(self._wait(entry))
+            except BaseException as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return merged
+
+    # -- data-plane operations --------------------------------------------
+
+    def adopt_dataset(self, key: str, *, column_spec: Dict[str, Any],
+                      index_spec: Dict[str, Any],
+                      grid_shape: Tuple[int, int],
+                      blocks: Sequence[Tuple[int, int, int, int]],
+                      spans: Sequence[Tuple[int, int]],
+                      stage: str = "build") -> Dict[int, Dict[str, Any]]:
+        """Workers attach the arenas and aggregate their owned shards.
+
+        Returns ``{shard_id: {cell_weights, cell_counts, points, seconds}}``
+        for every shard.
+        """
+        self._ensure_started()
+        payload = {
+            "key": key,
+            "columns": column_spec,
+            "index": index_spec,
+            "grid_shape": (int(grid_shape[0]), int(grid_shape[1])),
+            "blocks": [tuple(int(v) for v in block) for block in blocks],
+            "spans": [tuple(int(v) for v in span) for span in spans],
+            "stage": stage,
+        }
+        built = self._fan_out("adopt", range(len(blocks)), payload)
+        if len(built) != len(blocks):  # pragma: no cover - defensive
+            raise ExecutorError(
+                f"process adopt returned {len(built)} of "
+                f"{len(blocks)} shards")
+        return built
+
+    def window_blocks(self, key: str, shard_count: int,
+                      halo: Tuple[int, int],
+                      values: Optional[np.ndarray] = None,
+                      ) -> Dict[int, Dict[str, Any]]:
+        """Per-shard halo window sums: ``{shard_id: {block, seconds}}``."""
+        self._ensure_started()
+        payload: Dict[str, Any] = {
+            "key": key,
+            "halo": (int(halo[0]), int(halo[1])),
+        }
+        if values is not None:
+            payload["values"] = np.ascontiguousarray(values, dtype=np.float64)
+        return self._fan_out("window", range(shard_count), payload)
+
+    def gather_points(self, key: str, shard_count: int,
+                      mask: np.ndarray) -> Dict[int, Dict[str, Any]]:
+        """Per-shard pruned gathers: ``{shard_id: {indices, seconds}}``."""
+        self._ensure_started()
+        payload = {"key": key, "mask": np.ascontiguousarray(mask)}
+        return self._fan_out("gather", range(shard_count), payload)
+
+    def release_dataset(self, key: str) -> None:
+        """Best-effort: drop worker-side state for one adopted dataset."""
+        with self._lock:
+            if (not self._started or self._closed
+                    or self._broken is not None):
+                return
+            workers = list(self._workers)
+        pending = []
+        for worker in workers:
+            try:
+                pending.append(self._submit(worker, "release", {"key": key}))
+            except ExecutorError:
+                return
+        for entry in pending:
+            try:
+                self._wait(entry)
+            except ExecutorError:
+                return
+
+    # -- ShardExecutor protocol -------------------------------------------
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        """Apply ``fn`` to every item on the workers, preserving order.
+
+        Tasks are round-robined across workers; the first failure in *item
+        order* propagates (matching the serial/threaded contract).  ``fn``
+        and the items must be picklable -- the sharded index never routes
+        its closure-based fallback path here.
+        """
+        items = list(items)
+        if not items:
+            return []
+        self._ensure_started()
+        pending: List[_Pending] = []
+        for index, item in enumerate(items):
+            try:
+                payload = pickle.dumps((fn, item))
+            except Exception as exc:
+                raise ExecutorError(
+                    f"process executor task is not picklable: {exc}"
+                ) from exc
+            pending.append(self._submit(self._owner(index), "call", payload))
+        results: List[Any] = []
+        first_error: Optional[BaseException] = None
+        for entry in pending:
+            try:
+                results.append(self._wait(entry))
+            except BaseException as exc:
+                first_error = exc
+                break
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ProcessShardExecutor(workers={len(self._workers)}, "
+                f"start={self._start_method!r}, broken={self.broken})")
+
+
+# Register with the executor registry on import; sharding's resolve path
+# imports this module lazily, so plain `resolve_executor("process")` works
+# without anyone importing repro.service.procpool explicitly.
+def _register() -> None:
+    from repro.service import sharding
+
+    sharding.register_executor(
+        "process",
+        lambda pool=None: ProcessShardExecutor(),
+        available=process_available,
+        auto_eligible=lambda shard_count, cores: (
+            shard_count > 1 and cores > 1 and process_available()),
+        auto_priority=20,
+        fallback="threaded",
+    )
+
+
+_register()

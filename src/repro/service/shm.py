@@ -1,0 +1,252 @@
+"""Shared-memory column arenas for the multiprocess data plane.
+
+The process-pool shard executor (:mod:`repro.service.procpool`) must hand
+worker processes the dataset's ``(xs, ys, ws)`` columns -- and the index's
+derived arrays (point/cell binning, sort order, the global prefix table) --
+without pickling megabytes per task.  A :class:`ColumnArena` owns one
+:class:`multiprocessing.shared_memory.SharedMemory` segment per named array
+and exposes each as a **zero-copy numpy view**: the parent writes the arrays
+once, workers attach by name and read the same physical pages.
+
+Lifecycle is explicit, and leak-proofing is the design centre:
+
+* **create / allocate** -- the parent copies columns in (or maps fresh
+  zero-filled segments to fill later) and becomes the *owner*;
+* **attach** -- a worker maps the named segments read-write but *never*
+  becomes an owner; attached handles are unregistered from the worker's
+  ``resource_tracker`` so a worker exiting (or crashing) can neither unlink
+  a segment the parent still serves from nor spew tracker warnings;
+* **release** -- closes the local mappings and, for the owner, unlinks the
+  names.  The owner keeps its segments registered with its own
+  ``resource_tracker``, so even a parent killed before ``release()`` leaks
+  nothing past process exit.
+
+On Linux the segments live in ``/dev/shm``; unlinking while workers still
+hold attachments is safe (the pages persist until the last mapping closes,
+only the name disappears) -- exactly the POSIX file semantics the engine's
+``close()`` relies on.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ExecutorError
+
+__all__ = ["ColumnArena", "shm_available"]
+
+try:  # pragma: no cover - import guard exercised via shm_available()
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - ancient/stripped platforms
+    _shared_memory = None
+
+#: Cached result of the one-shot availability probe (None = not probed yet).
+_PROBE: Optional[bool] = None
+
+
+def shm_available() -> bool:
+    """Whether this platform can create POSIX shared-memory segments.
+
+    Probed once by actually creating (and immediately unlinking) a tiny
+    segment: importability alone does not guarantee a usable ``/dev/shm``
+    (locked-down containers mount none).  ``REPRO_NO_SHM=1`` forces the
+    answer to ``False`` -- the test hook for the degrade paths.
+    """
+    global _PROBE
+    if os.environ.get("REPRO_NO_SHM"):
+        return False
+    if _PROBE is None:
+        if _shared_memory is None:
+            _PROBE = False
+        else:
+            try:
+                probe = _shared_memory.SharedMemory(create=True, size=16)
+                probe.close()
+                probe.unlink()
+                _PROBE = True
+            except Exception:
+                _PROBE = False
+    return _PROBE
+
+
+def _attach_segment(name: str):
+    """Attach an existing segment without adopting cleanup responsibility.
+
+    Python <= 3.12 registers *every* ``SharedMemory`` handle with the
+    ``resource_tracker`` -- including plain attachments.  Our workers are
+    children of the owner, so they *share* the owner's tracker process (the
+    tracker fd is inherited under both fork and spawn) and the re-register
+    is a harmless set no-op that the owner's ``unlink()`` clears.  Do NOT
+    ``resource_tracker.unregister`` here: with a shared tracker that would
+    cancel the owner's registration and both lose the crash safety net and
+    make the owner's eventual unlink log spurious tracker errors.
+    """
+    return _shared_memory.SharedMemory(name=name)
+
+
+class ColumnArena:
+    """Named numpy arrays backed by shared-memory segments.
+
+    One arena groups the segments of one logical unit (a dataset's columns,
+    an index's derived arrays) under a random ``key`` that also identifies
+    the unit in worker-side state.  Views are materialised once and shared;
+    treat them as read-only after the producing side has filled them.
+    """
+
+    __slots__ = ("key", "_segments", "_views", "_layout", "_owner", "_closed")
+
+    def __init__(self, key: str, segments: Dict[str, object],
+                 layout: Dict[str, Tuple[Tuple[int, ...], str]],
+                 *, owner: bool) -> None:
+        self.key = key
+        self._segments = segments
+        self._layout = layout
+        self._owner = owner
+        self._closed = False
+        self._views: Dict[str, np.ndarray] = {}
+        for name, (shape, dtype) in layout.items():
+            view = np.ndarray(shape, dtype=np.dtype(dtype),
+                              buffer=segments[name].buf)
+            self._views[name] = view
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(cls, columns: Mapping[str, np.ndarray],
+               key: Optional[str] = None) -> "ColumnArena":
+        """Copy named arrays into fresh shared segments (caller owns them)."""
+        layouts = {name: (np.asarray(array).shape,
+                          np.asarray(array).dtype.str)
+                   for name, array in columns.items()}
+        arena = cls.allocate(layouts, key=key)
+        for name, array in columns.items():
+            np.copyto(arena.view(name), np.asarray(array), casting="no")
+        return arena
+
+    @classmethod
+    def allocate(cls, layouts: Mapping[str, Tuple[Tuple[int, ...], object]],
+                 key: Optional[str] = None) -> "ColumnArena":
+        """Map fresh zero-filled segments for the given shapes/dtypes."""
+        if _shared_memory is None or not shm_available():
+            raise ExecutorError(
+                "shared memory is unavailable on this platform; the "
+                "multiprocess data plane cannot allocate column arenas"
+            )
+        segments: Dict[str, object] = {}
+        layout: Dict[str, Tuple[Tuple[int, ...], str]] = {}
+        try:
+            for name, (shape, dtype) in layouts.items():
+                dtype = np.dtype(dtype)
+                nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+                # A zero-length column still needs a valid (1-byte) segment.
+                segments[name] = _shared_memory.SharedMemory(
+                    create=True, size=max(1, nbytes))
+                layout[name] = (tuple(int(s) for s in shape), dtype.str)
+        except Exception as exc:
+            for segment in segments.values():
+                try:
+                    segment.close()
+                    segment.unlink()
+                except Exception:
+                    pass
+            raise ExecutorError(
+                f"failed to allocate shared-memory column arena: {exc}"
+            ) from exc
+        return cls(key if key else f"arena-{os.urandom(6).hex()}",
+                   segments, layout, owner=True)
+
+    @classmethod
+    def attach(cls, spec: Dict[str, object]) -> "ColumnArena":
+        """Map the segments another process created (worker side, non-owner)."""
+        segments: Dict[str, object] = {}
+        layout: Dict[str, Tuple[Tuple[int, ...], str]] = {}
+        try:
+            for name, entry in spec["segments"].items():
+                segments[name] = _attach_segment(entry["shm"])
+                layout[name] = (tuple(entry["shape"]), entry["dtype"])
+        except Exception as exc:
+            for segment in segments.values():
+                try:
+                    segment.close()
+                except Exception:
+                    pass
+            raise ExecutorError(
+                f"failed to attach shared-memory column arena "
+                f"{spec.get('key')!r}: {exc}"
+            ) from exc
+        return cls(str(spec["key"]), segments, layout, owner=False)
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def view(self, name: str) -> np.ndarray:
+        """The zero-copy numpy view of one named array."""
+        return self._views[name]
+
+    def names(self) -> List[str]:
+        return list(self._views)
+
+    def segment_names(self) -> List[str]:
+        """The OS-level segment names (for leak assertions in tests)."""
+        return [segment.name for segment in self._segments.values()]
+
+    def spec(self) -> Dict[str, object]:
+        """The JSON-ish payload a worker needs to :meth:`attach`."""
+        return {
+            "key": self.key,
+            "segments": {
+                name: {
+                    "shm": self._segments[name].name,
+                    "shape": list(shape),
+                    "dtype": dtype,
+                }
+                for name, (shape, dtype) in self._layout.items()
+            },
+        }
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def release(self) -> None:
+        """Close the local mappings; the owner also unlinks the names.
+
+        Idempotent.  Every numpy view handed out becomes invalid -- callers
+        that must stay readable afterwards copy to heap first (see
+        ``RegisteredDataset.release_shared`` and
+        ``ShardedGridIndex.close``).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._views.clear()
+        for segment in self._segments.values():
+            try:
+                segment.close()
+            except Exception:  # pragma: no cover - platform teardown quirks
+                pass
+            if self._owner:
+                try:
+                    segment.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+                except Exception:  # pragma: no cover - teardown quirks
+                    pass
+        self._segments = {}
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __del__(self) -> None:  # pragma: no cover - GC-timing dependent
+        try:
+            self.release()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ColumnArena({self.key!r}, arrays={sorted(self._views)}, "
+                f"owner={self._owner}, closed={self._closed})")

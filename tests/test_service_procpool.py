@@ -1,0 +1,379 @@
+"""Tests for the multiprocess data plane (:mod:`repro.service.procpool`).
+
+Three load-bearing properties:
+
+* **bit-identity** -- a plane-built sharded index (any shard count) serves
+  exactly the arrays and answers the monolithic index does;
+* **leak-proof lifecycle** -- every shared-memory segment the engine creates
+  is unlinked by ``close()`` / ``unregister_dataset``, and the engine keeps
+  answering afterwards;
+* **graceful degrade** -- a killed worker, an unavailable platform, or a
+  closed pool turns into a :class:`RuntimeWarning` plus a threaded fan-out,
+  never a wrong answer.
+"""
+
+import os
+import pickle
+import warnings
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.errors import ConfigurationError, ExecutorError
+from repro.geometry import WeightedPoint
+from repro.service import MaxRSEngine, QuerySpec
+from repro.service.grid_index import GridIndex
+from repro.service.procpool import ProcessShardExecutor, process_available
+from repro.service.sharding import (
+    SerialExecutor,
+    ShardedGridIndex,
+    ThreadedExecutor,
+    resolve_executor,
+)
+from repro.service.shm import ColumnArena, shm_available
+
+pytestmark = pytest.mark.skipif(
+    not process_available(),
+    reason="multiprocess data plane unavailable on this platform")
+
+SHARD_COUNTS = (1, 2, 4, 7)
+
+
+def _attach_should_fail(name):
+    from multiprocessing import shared_memory
+
+    with pytest.raises(FileNotFoundError):
+        segment = shared_memory.SharedMemory(name=name)
+        segment.close()
+
+
+@pytest.fixture(scope="module")
+def columns():
+    rng = np.random.default_rng(17)
+    n = 4_000
+    return (rng.uniform(0.0, 100.0, n), rng.uniform(0.0, 60.0, n),
+            rng.uniform(0.1, 4.0, n))
+
+
+@pytest.fixture(scope="module")
+def objects(columns):
+    xs, ys, ws = columns
+    return [WeightedPoint(float(x), float(y), float(w))
+            for x, y, w in zip(xs, ys, ws)]
+
+
+# Module-level so process-executor map() tasks can pickle them.
+def _square(v):
+    return v * v
+
+
+def _fail_on_three(v):
+    if v == 3:
+        raise ValueError(f"task {v} failed")
+    return v
+
+
+# ---------------------------------------------------------------------- #
+# ColumnArena
+# ---------------------------------------------------------------------- #
+class TestColumnArena:
+    def test_roundtrip_and_release(self):
+        xs = np.arange(10, dtype=np.float64)
+        arena = ColumnArena.create({"xs": xs, "flags": xs.astype(np.int64)})
+        try:
+            assert np.array_equal(arena.view("xs"), xs)
+            attached = ColumnArena.attach(arena.spec())
+            assert attached.key == arena.key
+            assert np.array_equal(attached.view("xs"), xs)
+            # Same physical pages, not a copy.
+            arena.view("xs")[0] = 99.0
+            assert attached.view("xs")[0] == 99.0
+            attached.release()
+        finally:
+            names = arena.segment_names()
+            arena.release()
+        for name in names:
+            _attach_should_fail(name)
+
+    def test_release_is_idempotent_and_nonowner_keeps_segments(self):
+        arena = ColumnArena.create({"xs": np.ones(4)})
+        attached = ColumnArena.attach(arena.spec())
+        attached.release()
+        attached.release()
+        # Non-owner release must not unlink the owner's segments.
+        again = ColumnArena.attach(arena.spec())
+        assert np.array_equal(again.view("xs"), np.ones(4))
+        again.release()
+        arena.release()
+        arena.release()
+
+    def test_empty_column_is_representable(self):
+        arena = ColumnArena.create({"xs": np.empty(0, dtype=np.float64)})
+        try:
+            assert arena.view("xs").shape == (0,)
+            attached = ColumnArena.attach(arena.spec())
+            assert attached.view("xs").shape == (0,)
+            attached.release()
+        finally:
+            arena.release()
+
+
+# ---------------------------------------------------------------------- #
+# ProcessShardExecutor protocol surface
+# ---------------------------------------------------------------------- #
+class TestProcessExecutorMap:
+    @pytest.fixture(scope="class")
+    def executor(self):
+        executor = ProcessShardExecutor(max_workers=2)
+        yield executor
+        executor.close()
+
+    def test_construction_spawns_nothing(self):
+        executor = ProcessShardExecutor()
+        assert executor.worker_count == 0
+        executor.close()
+
+    def test_map_preserves_order(self, executor):
+        assert executor.map(_square, range(9)) == [v * v for v in range(9)]
+        assert executor.worker_count == 2
+
+    def test_map_propagates_first_failure(self, executor):
+        with pytest.raises(ValueError, match="task 3"):
+            executor.map(_fail_on_three, range(6))
+
+    def test_unpicklable_task_raises_executor_error(self, executor):
+        with pytest.raises(ExecutorError, match="not picklable"):
+            executor.map(lambda v: v, range(3))
+
+    def test_map_after_close_raises(self):
+        executor = ProcessShardExecutor(max_workers=1)
+        assert executor.map(_square, [3]) == [9]
+        executor.close()
+        executor.close()  # idempotent
+        with pytest.raises(ExecutorError, match="closed"):
+            executor.map(_square, [3])
+
+    def test_dead_worker_marks_executor_broken(self):
+        executor = ProcessShardExecutor(max_workers=1)
+        try:
+            assert executor.map(_square, [2]) == [4]
+            for worker in executor._workers:
+                worker.process.kill()
+            with pytest.raises(ExecutorError, match="died"):
+                executor.map(_square, range(4))
+            assert executor.broken
+            with pytest.raises(ExecutorError):
+                executor.map(_square, [1])
+        finally:
+            executor.close()
+
+
+@pytest.mark.parametrize("make_executor", [
+    SerialExecutor,
+    lambda: ThreadedExecutor(max_workers=2),
+    lambda: ProcessShardExecutor(max_workers=2),
+], ids=["serial", "threaded", "process"])
+def test_first_failure_contract_across_all_tiers(make_executor):
+    executor = make_executor()
+    try:
+        with pytest.raises(ValueError, match="task 3"):
+            executor.map(_fail_on_three, range(6))
+        assert executor.map(_square, range(5)) == [v * v for v in range(5)]
+    finally:
+        if hasattr(executor, "close"):
+            executor.close()
+
+
+# ---------------------------------------------------------------------- #
+# Plane bit-identity
+# ---------------------------------------------------------------------- #
+class TestPlaneBitIdentity:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_index_arrays_match_monolithic(self, columns, shards):
+        xs, ys, ws = columns
+        reference = GridIndex(xs, ys, ws)
+        index = ShardedGridIndex(xs, ys, ws, shards=shards,
+                                 executor="process")
+        try:
+            assert index.executor_name == "process"
+            assert np.array_equal(index.cell_weights, reference.cell_weights)
+            assert np.array_equal(index.cell_counts, reference.cell_counts)
+            assert np.array_equal(np.asarray(index.point_cell),
+                                  reference.point_cell)
+            assert np.array_equal(index._window_sums(3, 2),
+                                  reference._window_sums(3, 2))
+            values = (reference.cell_counts > 0).astype(np.float64)
+            assert np.array_equal(index._window_sums(2, 4, values=values),
+                                  reference._window_sums(2, 4, values=values))
+            mask = reference.cell_weights > np.median(reference.cell_weights)
+            expected = np.flatnonzero(mask.ravel()[reference.point_cell])
+            assert np.array_equal(index.points_in_mask(mask), expected)
+        finally:
+            index.close()
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_warm_restore_through_the_plane(self, columns, shards):
+        xs, ys, ws = columns
+        built = ShardedGridIndex(xs, ys, ws, shards=shards,
+                                 executor="process")
+        snap = built.snapshot()
+        reference_windows = built._window_sums(3, 3)
+        built.close()
+        restored = ShardedGridIndex.from_snapshot(xs, ys, ws, snap,
+                                                  executor="process")
+        try:
+            assert restored.executor_name == "process"
+            assert np.array_equal(restored._window_sums(3, 3),
+                                  reference_windows)
+        finally:
+            restored.close()
+
+    def test_index_stays_queryable_after_close(self, columns):
+        xs, ys, ws = columns
+        reference = GridIndex(xs, ys, ws)
+        index = ShardedGridIndex(xs, ys, ws, shards=4, executor="process")
+        windows = index._window_sums(2, 2)
+        index.close()
+        index.close()  # idempotent
+        assert np.array_equal(index._window_sums(2, 2), windows)
+        mask = reference.cell_weights > np.median(reference.cell_weights)
+        expected = np.flatnonzero(mask.ravel()[reference.point_cell])
+        assert np.array_equal(index.points_in_mask(mask), expected)
+
+
+# ---------------------------------------------------------------------- #
+# Engine-level answers
+# ---------------------------------------------------------------------- #
+SPECS = (QuerySpec.maxrs(8.0, 5.0), QuerySpec.maxkrs(8.0, 5.0, k=3),
+         QuerySpec.maxcrs(6.0))
+
+
+class TestEngineAnswers:
+    @pytest.fixture(scope="class")
+    def reference_answers(self, objects):
+        with MaxRSEngine(shards=1) as engine:
+            engine.register_dataset(objects, name="d")
+            return [engine.query("d", spec) for spec in SPECS]
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS[1:])
+    def test_refined_answers_bit_identical(self, objects, reference_answers,
+                                           shards):
+        engine = MaxRSEngine(shards=shards, shard_executor="process")
+        try:
+            engine.register_dataset(objects, name="d")
+            grid = engine.grid_index("d")
+            assert grid.executor_name == "process"
+            assert engine.stats()["sharding"]["resolved_executor"] == "process"
+            for spec, expected in zip(SPECS, reference_answers):
+                assert engine.query("d", spec) == expected
+        finally:
+            engine.close()
+
+    def test_engine_shares_one_process_pool(self, objects):
+        engine = MaxRSEngine(shards=2, shard_executor="process")
+        try:
+            engine.register_dataset(objects, name="a")
+            engine.register_dataset(objects[:500], name="b")
+            grids = [engine.grid_index(n) for n in ("a", "b")]
+            assert all(g.executor_name == "process" for g in grids)
+            assert grids[0]._plane is grids[1]._plane
+            assert engine._proc_executor is grids[0]._plane
+        finally:
+            engine.close()
+
+
+# ---------------------------------------------------------------------- #
+# Lifecycle: no segment leaks
+# ---------------------------------------------------------------------- #
+class TestSegmentLifecycle:
+    def _segments_of(self, engine, dataset_id):
+        names = []
+        entry = engine.store.get(dataset_id)
+        if entry.arena is not None:
+            names += entry.arena.segment_names()
+        grid = engine.grid_index(dataset_id)
+        if getattr(grid, "_index_arena", None) is not None:
+            names += grid._index_arena.segment_names()
+        return names
+
+    def test_close_unlinks_every_segment_and_keeps_serving(self, objects):
+        engine = MaxRSEngine(shards=4, shard_executor="process")
+        engine.register_dataset(objects, name="d")
+        engine.query("d", SPECS[0])
+        names = self._segments_of(engine, "d")
+        assert names, "plane serving should hold shared segments"
+        engine.close()
+        for name in names:
+            _attach_should_fail(name)
+        # The closed-engine contract: a query never seen before close (so
+        # not cached) is still answered, now on local state.
+        probe = QuerySpec.maxrs(9.5, 3.5)
+        with MaxRSEngine(shards=1) as reference:
+            reference.register_dataset(objects, name="d")
+            assert engine.query("d", probe) == reference.query("d", probe)
+
+    def test_unregister_releases_segments(self, objects):
+        engine = MaxRSEngine(shards=4, shard_executor="process")
+        try:
+            engine.register_dataset(objects, name="d")
+            names = self._segments_of(engine, "d")
+            assert names
+            engine.unregister_dataset("d")
+            for name in names:
+                _attach_should_fail(name)
+        finally:
+            engine.close()
+
+
+# ---------------------------------------------------------------------- #
+# Degrade paths
+# ---------------------------------------------------------------------- #
+class TestDegrade:
+    def test_shm_unavailable_resolves_named_process_to_threaded(
+            self, monkeypatch):
+        import repro.service.procpool as procpool
+        import repro.service.shm as shm
+
+        monkeypatch.setenv("REPRO_NO_SHM", "1")
+        assert not shm.shm_available()
+        assert not procpool.process_available()
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            executor = resolve_executor("process", 4)
+        assert executor.name == "threaded"
+        # Auto selection silently skips the unavailable tier.
+        auto = resolve_executor(None, 4)
+        assert auto.name in ("serial", "threaded")
+
+    def test_killed_workers_degrade_serving_with_warning(self, objects):
+        engine = MaxRSEngine(shards=4, shard_executor="process")
+        try:
+            engine.register_dataset(objects, name="d")
+            reference = MaxRSEngine(shards=1)
+            reference.register_dataset(objects, name="d")
+            pool = engine._proc_executor
+            assert pool is not None and pool.worker_count > 0
+            for worker in pool._workers:
+                worker.process.kill()
+            probe = QuerySpec.maxrs(7.0, 4.5)
+            with pytest.warns(RuntimeWarning, match="degrading"):
+                answer = engine.query("d", probe)
+            assert answer == reference.query("d", probe)
+            assert engine.grid_index("d").executor_name == "threaded"
+            # The engine stays off the process tier after the crash.
+            engine.register_dataset(objects[:800], name="e")
+            assert engine.grid_index("e").executor_name != "process"
+            reference.close()
+        finally:
+            engine.close()
+
+    def test_spawn_start_method_smoke(self):
+        import multiprocessing
+
+        if "spawn" not in multiprocessing.get_all_start_methods():
+            pytest.skip("spawn start method unavailable")
+        executor = ProcessShardExecutor(max_workers=1, start_method="spawn")
+        try:
+            assert executor.map(_square, range(4)) == [0, 1, 4, 9]
+        finally:
+            executor.close()

@@ -8,6 +8,8 @@ never depend on the partitioning.  The halo invariant at shard boundaries is
 exercised by hot spots placed deliberately across tile edges.
 """
 
+import os
+
 import pytest
 
 np = pytest.importorskip("numpy")
@@ -65,9 +67,19 @@ def boundary_hotspots(make_objects):
 # ---------------------------------------------------------------------- #
 class TestExecutors:
     def test_registry_names(self):
-        assert available_executors() == ("serial", "threaded")
+        names = available_executors()
+        assert names[:2] == ("serial", "threaded")
+        assert set(names) <= {"serial", "threaded", "process"}
         assert get_executor("serial").name == "serial"
         assert get_executor("threaded").name == "threaded"
+
+    def test_process_tier_is_registered(self):
+        from repro.service.procpool import process_available
+
+        if process_available():
+            assert "process" in available_executors()
+        else:
+            assert "process" not in available_executors()
 
     def test_unknown_executor_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -96,6 +108,47 @@ class TestExecutors:
 
         with pytest.raises(ValueError, match="shard 3"):
             ThreadedExecutor(max_workers=2).map(boom, range(6))
+
+    def test_threaded_map_failure_leaves_no_orphan_tasks(self):
+        """A failed map cancels/awaits the rest: nothing keeps running on
+        the pool after the exception propagates."""
+        import threading
+        import time as _time
+
+        started, finished = set(), set()
+        gate = threading.Event()
+
+        def task(v):
+            if v == 0:
+                # Let some siblings get picked up before the failure lands.
+                gate.wait(2.0)
+                raise ValueError("first shard failed")
+            started.add(v)
+            if v == 1:
+                gate.set()
+            _time.sleep(0.05)
+            finished.add(v)
+            return v
+
+        executor = ThreadedExecutor(max_workers=2)
+        try:
+            with pytest.raises(ValueError, match="first shard"):
+                executor.map(task, range(12))
+            # Every task that began had been awaited before map() raised.
+            assert started == finished
+            snapshot = set(started)
+            _time.sleep(0.2)
+            assert started == snapshot, "tasks kept starting after failure"
+        finally:
+            executor.close()
+
+    def test_effective_cpu_count_is_affinity_aware(self):
+        from repro.service.sharding import effective_cpu_count
+
+        count = effective_cpu_count()
+        assert count >= 1
+        if hasattr(os, "sched_getaffinity"):
+            assert count == len(os.sched_getaffinity(0))
 
     def test_threaded_map_is_deadlock_free_when_nested(self):
         """Nested fan-out on one saturated worker must still finish."""
