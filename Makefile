@@ -7,6 +7,7 @@
 #   make bench-persist  - warm-start vs cold re-ingest comparison (fast preset)
 #   make bench-shards   - sharded vs unsharded grid index (fast preset)
 #   make bench-async    - concurrent async clients vs sequential sync (fast preset)
+#   make bench-obs      - fleet-telemetry overhead guard (fast preset)
 #   make bench-json     - refresh the BENCH_*.json perf-trajectory artefacts
 #   make bench-gate     - fail if fresh bench numbers regress vs checked-in
 #   make trace-smoke    - observability suite + the traced-query walkthrough
@@ -19,7 +20,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench-smoke bench bench-backends bench-persist bench-shards \
-	bench-async bench-json bench-gate trace-smoke examples
+	bench-async bench-obs bench-json bench-gate trace-smoke examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -54,6 +55,13 @@ bench-shards:
 bench-async:
 	$(PYTHON) -m pytest benchmarks/test_service_async.py -q
 
+# Fleet-telemetry overhead guard: the engine with the background resource
+# sampler + SLO tracking enabled vs the default (sampler idle) engine on the
+# refined cold query; the <= 3% acceptance bound is asserted at (near-)paper
+# scale, e.g. REPRO_BENCH_PRESET=paper make bench-obs.
+bench-obs:
+	$(PYTHON) -m pytest benchmarks/test_obs_agg_overhead.py -q
+
 bench:
 	REPRO_BENCH_PRESET=bench $(PYTHON) -m pytest benchmarks -q
 
@@ -66,7 +74,8 @@ bench-json:
 		benchmarks/test_service_coldstart.py \
 		benchmarks/test_service_shards.py \
 		benchmarks/test_service_async.py \
-		benchmarks/test_obs_overhead.py
+		benchmarks/test_obs_overhead.py \
+		benchmarks/test_obs_agg_overhead.py
 
 # Perf regression gate: re-run the BENCH-emitting benchmarks, compare the
 # fresh p50 latency / speedup numbers against the checked-in BENCH_*.json

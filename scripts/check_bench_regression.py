@@ -20,7 +20,10 @@ Tracked metrics (compared only when present in the checked-in entry):
     floor is a real regression and still fails.
 ``latency.<kind>.p50_seconds``
     Lower is better, one metric per query kind recorded in the entry's
-    latency block.  Fails when ``fresh > baseline * (1 + tolerance)``.
+    latency block.  Fails when ``fresh > baseline * (1 + tolerance)`` *and*
+    the fresh value exceeds ``LATENCY_FLOOR_SECONDS``: below the floor the
+    log-bucketed histograms quantise microsecond cache hits into adjacent
+    buckets, so the ratio is noise by construction.
 
 Entries whose host fingerprint (machine / schedulable cores) or preset does
 not match the current run are *skipped with a warning* rather than failed:
@@ -70,6 +73,14 @@ LOWER = "lower"
 #: Speedups at or above this are "order-of-magnitude" wins whose exact
 #: ratio is noise-dominated; two saturated numbers compare as equal.
 SPEEDUP_SATURATION = 10.0
+
+#: Latencies below this are timer/bucket quantisation, not signal: the
+#: engine's log-bucketed histograms quantise a ~5 us cache hit into one of
+#: two adjacent buckets (3.5 us vs 7 us -- a 2x "regression" from noise
+#: alone), so a p50 comparison only fails once the fresh value also exceeds
+#: this absolute floor.  A real hot-path regression (a cache hit turning
+#: into a solve) clears it by orders of magnitude.
+LATENCY_FLOOR_SECONDS = 100e-6
 
 #: Host-fingerprint keys that must match for cross-run numbers to be
 #: comparable at all.  Kernel build and python patch level are deliberately
@@ -195,7 +206,8 @@ def compare_entries(
                         and fresh_value >= SPEEDUP_SATURATION):
                     ok = True
             else:
-                ok = fresh_value <= base_value * (1.0 + tolerance)
+                ok = fresh_value <= max(base_value * (1.0 + tolerance),
+                                        LATENCY_FLOOR_SECONDS)
             delta = (fresh_value - base_value) / base_value if base_value else 0.0
             rows.append({
                 "name": name, "metric": metric,

@@ -217,6 +217,22 @@ class AsyncQueryClient:
         response = await self._call({"op": "metrics_text"})
         return response["text"]
 
+    async def healthz(self) -> Dict[str, Any]:
+        """The server's liveness verdict: ``{"ok", "status", "checks"}``.
+
+        Unlike :meth:`ping` (which only proves the socket and event loop),
+        this reports what the engine knows about itself -- a degraded
+        executor, dead shard workers, firing SLO alerts.
+        """
+        response = await self._call({"op": "healthz"})
+        return response["health"]
+
+    async def readyz(self) -> Dict[str, Any]:
+        """The server's readiness verdict: ``{"ready", "status", "checks"}``
+        -- the signal a load balancer should route on."""
+        response = await self._call({"op": "readyz"})
+        return response["health"]
+
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #

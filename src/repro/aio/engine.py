@@ -230,6 +230,9 @@ class AsyncMaxRSEngine:
         self._engine = engine if engine is not None \
             else MaxRSEngine(**engine_kwargs)
         self._admission = _AdmissionGate(max_inflight, max_queue, overflow)
+        # The front-end's admission state rides the engine's resource
+        # sampler, so scrapes see queue pressure next to the fleet gauges.
+        self._engine.sampler.add_source(self._admission_gauge_source)
         self._gate = _ReadWriteGate()
         #: In-flight coalescing table: query identity -> the leader's future.
         self._coalescing: Dict[Tuple[Hashable, ...], asyncio.Future] = {}
@@ -502,6 +505,32 @@ class AsyncMaxRSEngine:
             "closed": self._closed,
         }
         return stats
+
+    def _admission_gauge_source(self, metrics) -> None:
+        """Gauge source: live admission-gate pressure."""
+        metrics.set_gauge("admission_inflight", self._admission.inflight)
+        metrics.set_gauge("admission_queue_depth", self._admission.queue_depth)
+
+    def healthz(self) -> Dict[str, object]:
+        """The sync engine's liveness verdict (the wrapper adds nothing: a
+        closed front-end is a *readiness* condition, not a liveness one)."""
+        return self._engine.healthz()
+
+    def readyz(self) -> Dict[str, object]:
+        """The sync engine's readiness verdict plus the front-end's own
+        ``aio`` check: a closed async engine is not ready even when it
+        borrowed a still-open sync engine."""
+        verdict = self._engine.readyz()
+        checks = dict(verdict["checks"])
+        if self._closed:
+            checks["aio"] = {"status": "failing",
+                             "detail": "async engine closed"}
+            verdict["status"] = "failing"
+            verdict["ready"] = False
+        else:
+            checks["aio"] = {"status": "ok", "detail": "admitting queries"}
+        verdict["checks"] = checks
+        return verdict
 
     def clear_cache(self) -> None:
         """Drop every cached result (delegates to the sync engine)."""

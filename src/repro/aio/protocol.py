@@ -17,6 +17,8 @@ query_batch ``dataset``, ``specs``
 stats     --
 trace     ``trace_id`` (returns the server-retained traces with that id)
 metrics_text -- (Prometheus text exposition of the engine metrics)
+healthz   -- (liveness verdict: ``ok``, ``status``, per-check detail)
+readyz    -- (readiness verdict: ``ready``, ``status``, per-check detail)
 ping      --
 close     -- (server acknowledges, then closes the connection)
 ========  ==========================================================
@@ -68,7 +70,7 @@ __all__ = [
 
 #: The operations the server understands (validated at decode time).
 OPS = ("register", "unregister", "query", "query_batch", "stats", "trace",
-       "metrics_text", "ping", "close")
+       "metrics_text", "healthz", "readyz", "ping", "close")
 
 
 # ---------------------------------------------------------------------- #

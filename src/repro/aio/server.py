@@ -18,7 +18,6 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Dict, Optional, Set
 
-from repro import obs
 from repro.errors import ReproError, SerializationError
 from repro.aio.engine import AsyncMaxRSEngine
 from repro.aio import protocol
@@ -262,8 +261,17 @@ class MaxRSServer:
             return {"id": request_id, "ok": True,
                     "traces": [trace.to_dict() for trace in traces]}
         if op == "metrics_text":
+            # The engine render (not the bare exporter): it samples the
+            # resource gauges first, so every scrape carries current
+            # RSS/CPU/queue-depth values for the whole fleet.
             return {"id": request_id, "ok": True,
-                    "text": obs.metrics_text(self.engine.engine.metrics)}
+                    "text": self.engine.engine.metrics_text()}
+        if op == "healthz":
+            return {"id": request_id, "ok": True,
+                    "health": self.engine.healthz()}
+        if op == "readyz":
+            return {"id": request_id, "ok": True,
+                    "health": self.engine.readyz()}
         raise SerializationError(
             f"unknown op {op!r}; expected one of {protocol.OPS}")
 

@@ -15,7 +15,14 @@ each of them per request.  The pieces:
   :class:`JsonLinesRecorder` (file export).
 * :func:`metrics_text` (:mod:`repro.obs.export`) — Prometheus-style text
   exposition of :class:`~repro.service.metrics.EngineMetrics`, including
-  cumulative latency-histogram buckets.
+  cumulative latency-histogram buckets, per-process worker series and
+  sampled resource gauges.
+* fleet health (:mod:`repro.obs.health`) — :class:`ResourceSampler` polls
+  per-process CPU/RSS, shared-memory arena bytes, queue depths and cache
+  occupancy into gauges; :class:`HealthMonitor` aggregates named checks
+  into ``healthz``/``readyz`` verdicts; :class:`SLOTracker` watches
+  rolling-window latency/error objectives and fires burn-rate alerts into
+  pluggable sinks (:func:`log_alert_sink`, :func:`json_lines_alert_sink`).
 
 Wire propagation: :class:`~repro.aio.client.AsyncQueryClient` stamps its
 ambient ``trace_id`` into every request; :class:`~repro.aio.server.MaxRSServer`
@@ -25,24 +32,36 @@ and ``examples/traced_query.py`` for a rendered trace tree.
 """
 
 from repro.obs.export import metrics_text
+from repro.obs.health import (HealthMonitor, ResourceSampler, SLObjective,
+                              SLOTracker, arena_gauge_source,
+                              json_lines_alert_sink, log_alert_sink,
+                              process_gauge_source, read_proc_stats)
 from repro.obs.recorder import (JsonLinesRecorder, NullRecorder, RingRecorder,
                                 TraceRecorder, resolve_recorder)
 from repro.obs.span import (NOOP_SPAN, Span, Trace, Tracer, current_span,
                             current_trace_id, new_trace_id, span)
 
 __all__ = [
+    "HealthMonitor",
     "JsonLinesRecorder",
     "NOOP_SPAN",
     "NullRecorder",
+    "ResourceSampler",
     "RingRecorder",
+    "SLOTracker",
+    "SLObjective",
     "Span",
     "Trace",
     "TraceRecorder",
     "Tracer",
+    "arena_gauge_source",
     "current_span",
     "current_trace_id",
+    "json_lines_alert_sink",
+    "log_alert_sink",
     "metrics_text",
     "new_trace_id",
-    "resolve_recorder",
+    "process_gauge_source",
+    "read_proc_stats",
     "span",
 ]

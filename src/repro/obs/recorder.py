@@ -94,26 +94,73 @@ class JsonLinesRecorder(TraceRecorder):
     stream.  Each line is the trace's :meth:`~repro.obs.span.Span.to_dict`
     tree, so ``json.loads`` on one line rebuilds one trace via
     ``Trace.from_dict``.
+
+    Long-running slow-query/trace logs must not fill the disk: pass
+    ``max_bytes`` to cap the file size.  When appending a line would push
+    the file past the cap, the file rotates -- ``log`` becomes ``log.1``,
+    ``log.1`` becomes ``log.2``, ... keeping at most ``backups`` rotated
+    files (the oldest is dropped) -- and the line lands in a fresh file.
+    One line always fits: a single trace larger than ``max_bytes`` still
+    gets written (to an otherwise-empty file) rather than being lost.
+    Rotation applies to path targets only; caller-owned streams are the
+    caller's to manage.
     """
 
-    def __init__(self, target: Union[str, TextIO]) -> None:
+    def __init__(self, target: Union[str, TextIO], *,
+                 max_bytes: Optional[int] = None, backups: int = 3) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        if backups < 0:
+            raise ValueError(f"backups must be >= 0, got {backups}")
         self._lock = threading.Lock()
+        self._max_bytes = max_bytes
+        self._backups = backups
         if isinstance(target, str):
             self._path: Optional[str] = target
             self._stream: Optional[TextIO] = None
         else:
+            if max_bytes is not None:
+                raise ValueError(
+                    "max_bytes rotation requires a path target, not a stream")
             self._path = None
             self._stream = target
 
+    def _rotate(self) -> None:
+        """Shift ``path -> path.1 -> ... -> path.N`` (holding the lock)."""
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+        oldest = f"{self._path}.{self._backups}"
+        if os.path.exists(oldest):
+            os.remove(oldest)
+        for index in range(self._backups - 1, 0, -1):
+            source = f"{self._path}.{index}"
+            if os.path.exists(source):
+                os.replace(source, f"{self._path}.{index + 1}")
+        if self._backups > 0 and os.path.exists(self._path):
+            os.replace(self._path, f"{self._path}.1")
+        elif os.path.exists(self._path):
+            os.remove(self._path)
+
     def record(self, trace: "Trace") -> None:
-        line = json.dumps(trace.to_dict(), separators=(",", ":"))
+        line = json.dumps(trace.to_dict(), separators=(",", ":")) + "\n"
         with self._lock:
+            if self._path is not None and self._max_bytes is not None:
+                if self._stream is not None:
+                    size = self._stream.tell()
+                else:
+                    try:
+                        size = os.path.getsize(self._path)
+                    except OSError:
+                        size = 0
+                if size and size + len(line) > self._max_bytes:
+                    self._rotate()
             if self._stream is None:
                 parent = os.path.dirname(self._path)
                 if parent:
                     os.makedirs(parent, exist_ok=True)
                 self._stream = open(self._path, "a", encoding="utf-8")
-            self._stream.write(line + "\n")
+            self._stream.write(line)
             self._stream.flush()
 
     def close(self) -> None:

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import math
 import os
+import sys
 import threading
 import time
 import warnings
@@ -211,6 +212,20 @@ class MaxRSEngine:
         tracer is shared by the async front-end and the TCP server, so one
         trace follows a request across every layer; recorded traces are
         summarised under ``stats()["traces"]``.
+    slo:
+        Service-level objectives: a sequence of
+        :class:`~repro.obs.SLObjective` (or a pre-built
+        :class:`~repro.obs.SLOTracker` carrying its own sinks), or ``None``
+        (default) for no SLO tracking.  Every query -- hits, misses and
+        failures alike -- is recorded against the tracker, burn-rate alert
+        state feeds the ``slo`` health check, and per-objective burn rates
+        appear under ``stats()["health"]["slo"]``.
+    sample_interval_s:
+        When set, the engine's :class:`~repro.obs.ResourceSampler` also
+        polls on a background thread every this many seconds.  By default
+        sampling is pull-only: ``stats()``, :meth:`metrics_text`,
+        :meth:`healthz` and :meth:`readyz` each take a fresh sample, which
+        keeps the idle engine completely quiet.
 
     Examples
     --------
@@ -233,7 +248,10 @@ class MaxRSEngine:
                  persist_config: Optional[EMConfig] = None,
                  persist_grid: bool = True,
                  tracer: Union[None, str, obs.Tracer,
-                               obs.TraceRecorder] = None) -> None:
+                               obs.TraceRecorder] = None,
+                 slo: Union[None, obs.SLOTracker,
+                            Sequence[obs.SLObjective]] = None,
+                 sample_interval_s: Optional[float] = None) -> None:
         if shards is not None and shards < 1:
             raise ConfigurationError(
                 f"shards must be positive (or None for auto), got {shards}")
@@ -264,6 +282,18 @@ class MaxRSEngine:
         # stay resident); created on first resolution, shut down by close().
         self._proc_executor = None
         self._closed = False
+        # Fleet telemetry: health checks, SLO burn tracking and the gauge
+        # sampler all live per-engine, reading engine state via closures
+        # registered by _register_telemetry().
+        self.health = obs.HealthMonitor()
+        if slo is None or isinstance(slo, obs.SLOTracker):
+            self.slo: Optional[obs.SLOTracker] = slo
+        else:
+            self.slo = obs.SLOTracker(list(slo), sinks=[obs.log_alert_sink()])
+        self.sampler = obs.ResourceSampler(self.metrics,
+                                           interval_s=sample_interval_s)
+        self._register_telemetry()
+        self.sampler.start()
         self.persist: Optional[SnapshotStore] = None
         if persist_dir is not None:
             self.persist = SnapshotStore(persist_dir, config=persist_config)
@@ -313,6 +343,7 @@ class MaxRSEngine:
         segments are unlinked -- ``close()`` leaks no shared-memory segment,
         whatever tier the engine was serving on.
         """
+        self.sampler.stop()
         with self._pool_lock:
             self._closed = True
             pool, self._pool = self._pool, None
@@ -334,6 +365,161 @@ class MaxRSEngine:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
+
+    # ------------------------------------------------------------------ #
+    # Fleet telemetry: gauges, health checks, SLOs
+    # ------------------------------------------------------------------ #
+    def _register_telemetry(self) -> None:
+        """Wire the engine's gauge sources and health checks (once, at
+        construction).  Everything registered here reads live engine state
+        at sample/check time; nothing is evaluated eagerly."""
+        self.sampler.add_source(obs.process_gauge_source(self._process_pids))
+        self.sampler.add_source(obs.arena_gauge_source())
+        self.sampler.add_source(self._pool_gauge_source)
+        self.sampler.add_source(self._cache_gauge_source)
+        self.health.add_check("executor", self._check_executor)
+        self.health.add_check("workers", self._check_workers)
+        self.health.add_check("arenas", self._check_arenas)
+        self.health.add_check("persist", self._check_persist, liveness=False)
+        self.health.add_check("closed", self._check_closed, liveness=False)
+        self.health.add_check("slo", self._check_slo, readiness=False)
+
+    def _process_pids(self) -> Dict[str, Optional[int]]:
+        """``{tag: pid}`` for the fleet, matching the metric process tags."""
+        pids: Dict[str, Optional[int]] = {"parent": os.getpid()}
+        proc = self._proc_executor
+        if proc is not None:
+            for worker in proc.worker_info():
+                pids[f"worker-{worker['index']}"] = worker["pid"]
+        return pids
+
+    def _pool_gauge_source(self, metrics: EngineMetrics) -> None:
+        """Gauge source: shard-worker liveness and per-worker queue depth."""
+        proc = self._proc_executor
+        if proc is None:
+            metrics.set_gauge("pool_workers_alive", 0)
+            metrics.replace_gauge("pool_queue_depth", [])
+            return
+        info = proc.worker_info()
+        metrics.set_gauge("pool_workers_alive",
+                          sum(1 for worker in info if worker["alive"]))
+        metrics.replace_gauge("pool_queue_depth", [
+            ({"process": f"worker-{index}"}, depth)
+            for index, depth in sorted(proc.queue_depths().items())])
+
+    def _cache_gauge_source(self, metrics: EngineMetrics) -> None:
+        """Gauge source: result-cache occupancy (entry count and shallow
+        byte estimate -- result objects are flat dataclasses, so
+        ``sys.getsizeof`` per value is a fair order-of-magnitude)."""
+        stats = self.cache.stats
+        metrics.set_gauge("cache_entries", stats.size)
+        metrics.set_gauge("cache_capacity", stats.capacity)
+        metrics.set_gauge("cache_bytes", float(sum(
+            sys.getsizeof(value) for _, value, _ in self.cache.entries())))
+
+    def _check_executor(self):
+        """Health: is the shard fan-out still on its configured tier?"""
+        proc = self._proc_executor
+        if proc is not None and proc.broken:
+            return ("degraded",
+                    "process pool broken; shard fan-out degraded to threads")
+        return ("ok", f"shard fan-out on {self._resolved_executor_name()!r}")
+
+    def _check_workers(self):
+        """Health: every spawned shard worker process is still alive."""
+        proc = self._proc_executor
+        if proc is None:
+            return ("ok", "no process pool in use")
+        info = proc.worker_info()
+        dead = [worker["index"] for worker in info if not worker["alive"]]
+        if dead:
+            return ("degraded", f"dead shard workers: {dead}")
+        return ("ok", f"{len(info)} shard workers live")
+
+    def _expected_arena_keys(self) -> set:
+        """Keys of every shared-memory arena this engine accounts for."""
+        keys = set()
+        for handle in self.store.handles():
+            arena = getattr(self.store.get(handle.dataset_id), "arena", None)
+            if arena is not None and not arena.closed:
+                keys.add(arena.key)
+        for grid in list(self._grids.values()):
+            for attr in ("_column_arena", "_index_arena"):
+                arena = getattr(grid, attr, None)
+                if arena is not None and not getattr(arena, "closed", True):
+                    keys.add(arena.key)
+        return keys
+
+    def _check_arenas(self):
+        """Health: shared-memory accounting is consistent.
+
+        Failing when an arena a live dataset depends on has vanished from
+        the owner registry (serving would crash on the next plane fan-out),
+        or when arenas survive ``close()`` (a leak: the segments would
+        outlive the engine until process exit).
+        """
+        from repro.service.shm import arena_registry
+
+        expected = self._expected_arena_keys()
+        if self._closed and expected:
+            return ("failing",
+                    f"arenas leaked past close(): {sorted(expected)}")
+        live = {entry["key"] for entry in arena_registry()}
+        missing = sorted(expected - live)
+        if missing:
+            return ("failing",
+                    f"arenas vanished under live datasets: {missing}")
+        return ("ok", f"{len(expected)} arenas accounted for")
+
+    def _check_persist(self):
+        """Readiness: the snapshot directory accepts writes."""
+        if self.persist is None:
+            return ("ok", "memory-only engine")
+        root = str(self.persist.root)
+        if os.path.isdir(root) and os.access(root, os.W_OK | os.X_OK):
+            return ("ok", f"snapshot dir writable: {root}")
+        return ("failing", f"snapshot dir not writable: {root}")
+
+    def _check_closed(self):
+        """Readiness: a closed engine must be pulled from rotation."""
+        if self._closed:
+            return ("failing", "engine closed")
+        return ("ok", "accepting work")
+
+    def _check_slo(self):
+        """Health: no SLO error budget is currently burning too fast."""
+        if self.slo is None:
+            return ("ok", "no SLOs configured")
+        firing = sorted(name for name, alerting in self.slo.alerting().items()
+                        if alerting)
+        if firing:
+            return ("degraded", f"SLO burn-rate alerts firing: {firing}")
+        return ("ok", "error budgets healthy")
+
+    def healthz(self) -> Dict[str, object]:
+        """Liveness verdict (fresh gauges included as a side effect):
+        ``{"ok", "status", "checks"}`` -- ``status`` is ``"degraded"``
+        while e.g. the process pool is broken, ``ok`` stays True as long
+        as correct answers are still being served."""
+        self.sampler.sample()
+        return self.health.healthz()
+
+    def readyz(self) -> Dict[str, object]:
+        """Readiness verdict: ``{"ready", "status", "checks"}`` -- False
+        once the engine is closed or its snapshot dir stops accepting
+        writes."""
+        self.sampler.sample()
+        return self.health.readyz()
+
+    def metrics_text(self, *, namespace: str = "repro") -> str:
+        """Prometheus exposition of the fleet's metrics, gauges included.
+
+        Takes a fresh resource sample first, so a scrape always sees
+        current RSS/CPU/queue-depth/arena gauges next to the cumulative
+        counters (which the worker delta merge keeps fleet-wide).
+        """
+        self.sampler.sample()
+        return obs.metrics_text(self.metrics, namespace=namespace)
 
     def _effective_shards(self) -> int:
         """The shard count new indexes are built with."""
@@ -380,6 +566,9 @@ class MaxRSEngine:
                 return None
             proc = self._proc_executor
             if proc is None:
+                # Adopt: worker metric deltas flow into the engine's
+                # accumulator as per-process children from the first spawn.
+                candidate.bind_metrics(self.metrics)
                 self._proc_executor = candidate
                 return candidate
             if proc.broken:
@@ -408,6 +597,7 @@ class MaxRSEngine:
                 target_points_per_cell=self._target_points_per_cell,
                 max_cells_per_side=self._max_cells_per_side,
                 timing_hook=self.metrics.observe_shard,
+                counter_hook=self.metrics.increment,
             )
             if index.shard_count > 1:
                 return index
@@ -713,6 +903,7 @@ class MaxRSEngine:
                 executor=executor,
                 arena=self._shared_arena_for(entry, executor),
                 timing_hook=self.metrics.observe_shard,
+                counter_hook=self.metrics.increment,
             )
         return GridIndex.from_snapshot(entry.xs, entry.ys, entry.ws, snap)
 
@@ -751,18 +942,31 @@ class MaxRSEngine:
                 # Latency is recorded per query kind for hits too: the
                 # histogram reports what callers experienced, not what
                 # computation cost.
-                self.metrics.observe_latency(spec.kind,
-                                             time.perf_counter() - arrival)
+                served = time.perf_counter() - arrival
+                self.metrics.observe_latency(spec.kind, served)
+                if self.slo is not None:
+                    self.slo.record(spec.kind, served)
                 return value
             start = time.perf_counter()
-            result = self._compute(entry, spec)
+            try:
+                result = self._compute(entry, spec)
+            except Exception:
+                # Failures count against the error budget at the latency
+                # the caller actually waited (then propagate unchanged).
+                self.metrics.increment("query_errors")
+                if self.slo is not None:
+                    self.slo.record(spec.kind, time.perf_counter() - arrival,
+                                    error=True)
+                raise
             elapsed = time.perf_counter() - start
             # Cost-weighted caching: entries are charged their computation
             # time, so eviction sheds cheap approximate answers before
             # expensive refined ones (see LRUCache).
             self.cache.put(key, result, cost=elapsed)
-            self.metrics.observe_latency(spec.kind,
-                                         time.perf_counter() - arrival)
+            served = time.perf_counter() - arrival
+            self.metrics.observe_latency(spec.kind, served)
+            if self.slo is not None:
+                self.slo.record(spec.kind, served)
             return result
 
     def query_batch(self, dataset: Union[str, DatasetHandle],
@@ -822,6 +1026,7 @@ class MaxRSEngine:
         writes every save and load cost, in the paper's transfer units.
         """
         cache = self.cache.stats
+        self.sampler.sample()  # stats() always reports fresh gauges
         snapshot = self.metrics.snapshot()
         configured = self.sweep_backend
         if configured is not None and not isinstance(configured, str):
@@ -885,6 +1090,15 @@ class MaxRSEngine:
             "counters": snapshot["counters"],
             "shard_stages": snapshot["shards"],
             "latency": snapshot["latency"],
+            "gauges": snapshot["gauges"],
+            # Per-process breakdown: populated once the multiprocess plane
+            # has shipped worker deltas; {} on serial/threaded tiers.
+            "processes": snapshot.get("processes", {}),
+            "health": {
+                "healthz": self.health.healthz(),
+                "readyz": self.health.readyz(),
+                "slo": self.slo.snapshot() if self.slo is not None else {},
+            },
             # Summaries of traces retained by the tracer's recorder (empty
             # for the default NullRecorder); full trees stay on the recorder.
             "traces": self.tracer.trace_summaries(),

@@ -13,6 +13,21 @@ the sync ``query()`` path and the async front-end (:mod:`repro.aio`) both
 record per-query-kind latencies through :meth:`EngineMetrics.observe_latency`,
 under the same lock as every other accumulator.
 
+Since the data plane spans processes, metrics do too.  Worker processes keep
+their own :class:`EngineMetrics` and periodically :meth:`~EngineMetrics.
+drain_state` it -- an atomic export-and-clear that yields the *delta* since
+the previous drain, cheap enough to piggyback on existing result envelopes.
+The parent folds each delta into a per-process **child** accumulator
+(:meth:`EngineMetrics.child` / :meth:`EngineMetrics.merge_state`), and
+:meth:`EngineMetrics.snapshot` then reports whole-fleet totals plus a
+``"processes"`` breakdown tagged ``parent`` / ``worker-<i>``.  Because a
+drained state is shipped at most once, merging is idempotent by construction:
+a final shutdown flush can never double-count what already rode along on task
+results.  :class:`EngineMetrics` also carries last-write-wins **gauges**
+(sampled resource readings such as per-process RSS or arena bytes) that the
+Prometheus exposition in :func:`repro.obs.metrics_text` emits alongside the
+cumulative series.
+
 The implementation deliberately avoids any dependency on a metrics backend:
 :meth:`EngineMetrics.snapshot` returns plain dictionaries that callers can
 print, assert on, or export however they like.
@@ -24,7 +39,7 @@ import bisect
 import threading
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 __all__ = ["EngineMetrics", "LatencyHistogram", "StageTimings"]
 
@@ -133,6 +148,37 @@ class LatencyHistogram:
         }
 
 
+def _clone_histogram(histogram: LatencyHistogram) -> LatencyHistogram:
+    """A private deep copy of one histogram (via the exact merge)."""
+    clone = LatencyHistogram(histogram.bounds)
+    clone.merge(histogram)
+    return clone
+
+
+def _render_state(raw: Mapping[str, object]) -> Dict[str, object]:
+    """Render one raw accumulator state into the public snapshot shape."""
+    stages: Dict[str, StageTimings] = {}
+    for stage, count in raw["stage_count"].items():
+        total = raw["stage_seconds"][stage]
+        stages[stage] = {
+            "count": count,
+            "total_seconds": total,
+            "mean_seconds": total / count if count else 0.0,
+        }
+    shards: Dict[str, Dict[int, StageTimings]] = {}
+    for (stage, shard_id), count in raw["shard_count"].items():
+        total = raw["shard_seconds"][(stage, shard_id)]
+        shards.setdefault(stage, {})[shard_id] = {
+            "count": count,
+            "total_seconds": total,
+            "mean_seconds": total / count if count else 0.0,
+        }
+    latency = {name: histogram.summary()
+               for name, histogram in raw["latency"].items()}
+    return {"counters": dict(raw["counters"]), "stages": stages,
+            "shards": shards, "latency": latency}
+
+
 class EngineMetrics:
     """Thread-safe counters and per-stage wall-clock timing accumulators.
 
@@ -140,6 +186,12 @@ class EngineMetrics:
     :meth:`observe_shard`) takes the instance lock: ``query_batch`` already
     mutates counters from pool threads, and shard fan-out widens the set of
     concurrent writers to every per-shard build/gather task.
+
+    An instance can additionally act as the **fleet root**: per-process
+    child accumulators created via :meth:`child` (fed from worker
+    :meth:`drain_state` deltas) are folded into :meth:`snapshot`,
+    :meth:`counter` and :meth:`histograms`, with a per-process breakdown
+    under ``snapshot()["processes"]``.
     """
 
     def __init__(self) -> None:
@@ -153,6 +205,10 @@ class EngineMetrics:
         #: Per-name latency histograms, e.g. query kind ("maxrs") on the sync
         #: path and "aio_<kind>" end-to-end latencies on the async front-end.
         self._latency: Dict[str, LatencyHistogram] = {}
+        #: Last-write-wins sampled gauges: ``name -> {label items -> value}``.
+        self._gauges: Dict[str, Dict[Tuple[Tuple[str, str], ...], float]] = {}
+        #: Per-process child accumulators, keyed by tag ("worker-0", ...).
+        self._children: Dict[str, "EngineMetrics"] = {}
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -196,6 +252,44 @@ class EngineMetrics:
                 histogram = self._latency[name] = LatencyHistogram()
             histogram.observe(seconds)
 
+    def set_gauge(self, name: str, value: float, **labels: str) -> None:
+        """Set a sampled gauge series (last write wins).
+
+        Unlike the cumulative accumulators, gauges are point-in-time
+        readings -- the :class:`repro.obs.health.ResourceSampler` overwrites
+        them on every poll.  ``labels`` distinguish series of the same name,
+        e.g. ``set_gauge("process_rss_bytes", rss, process="worker-0")``.
+        """
+        key = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+        with self._lock:
+            self._gauges.setdefault(name, {})[key] = float(value)
+
+    def clear_gauge(self, name: str) -> None:
+        """Drop every series of one gauge (e.g. before re-sampling a fleet
+        whose member set may have shrunk)."""
+        with self._lock:
+            self._gauges.pop(name, None)
+
+    def replace_gauge(self, name: str,
+                      series: Iterable[Tuple[Mapping[str, str], float]]
+                      ) -> None:
+        """Atomically swap every series of one gauge.
+
+        ``series`` is ``[(labels, value), ...]``.  Unlike clear-then-set,
+        a concurrent :meth:`snapshot` (e.g. a scrape racing the background
+        :class:`~repro.obs.health.ResourceSampler`) can never observe the
+        gauge half-populated or empty mid-resample.
+        """
+        fresh = {
+            tuple(sorted((str(k), str(v)) for k, v in labels.items())):
+                float(value)
+            for labels, value in series}
+        with self._lock:
+            if fresh:
+                self._gauges[name] = fresh
+            else:
+                self._gauges.pop(name, None)
+
     @contextmanager
     def time_stage(self, stage: str) -> Iterator[None]:
         """Context manager timing a block as one observation of ``stage``."""
@@ -206,12 +300,134 @@ class EngineMetrics:
             self.observe_seconds(stage, time.perf_counter() - start)
 
     # ------------------------------------------------------------------ #
+    # Cross-process aggregation
+    # ------------------------------------------------------------------ #
+    def child(self, tag: str) -> "EngineMetrics":
+        """Get or create the per-process child accumulator for ``tag``.
+
+        The parent merges each worker's :meth:`drain_state` deltas into
+        ``child(f"worker-{i}")``; fleet reads (:meth:`snapshot`,
+        :meth:`counter`, :meth:`histograms`) then include it automatically.
+        """
+        with self._lock:
+            child = self._children.get(tag)
+            if child is None:
+                child = self._children[tag] = EngineMetrics()
+            return child
+
+    def children(self) -> Dict[str, "EngineMetrics"]:
+        """The live per-process child accumulators (shared, not copies)."""
+        with self._lock:
+            return dict(self._children)
+
+    def drain_state(self) -> Optional[Dict[str, object]]:
+        """Atomically export and clear the cumulative accumulators.
+
+        Returns the raw counters/stage/shard/latency state recorded since
+        the previous drain, or ``None`` when nothing was recorded -- so a
+        caller piggybacking deltas on existing message envelopes can skip
+        empty payloads.  Because each observation is exported exactly once,
+        downstream merging is idempotent by construction: a final shutdown
+        flush cannot double-count what already shipped with task results.
+        Gauges and children are left untouched (gauges are point-in-time,
+        not cumulative).
+        """
+        with self._lock:
+            if not (self._counters or self._stage_count
+                    or self._shard_count or self._latency):
+                return None
+            state = {
+                "counters": self._counters,
+                "stage_count": self._stage_count,
+                "stage_seconds": self._stage_seconds,
+                "shard_count": self._shard_count,
+                "shard_seconds": self._shard_seconds,
+                "latency": self._latency,
+            }
+            self._counters = {}
+            self._stage_count = {}
+            self._stage_seconds = {}
+            self._shard_count = {}
+            self._shard_seconds = {}
+            self._latency = {}
+            return state
+
+    def merge_state(self, state: Mapping[str, object]) -> None:
+        """Fold a :meth:`drain_state` payload into this accumulator.
+
+        Histograms merge exactly through :meth:`LatencyHistogram.merge`;
+        everything else is a sum.  Safe against concurrent local mutators.
+        """
+        with self._lock:
+            for name, amount in state.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + amount
+            for stage, count in state.get("stage_count", {}).items():
+                self._stage_count[stage] = \
+                    self._stage_count.get(stage, 0) + count
+            for stage, seconds in state.get("stage_seconds", {}).items():
+                self._stage_seconds[stage] = \
+                    self._stage_seconds.get(stage, 0.0) + seconds
+            for key, count in state.get("shard_count", {}).items():
+                key = (key[0], int(key[1]))
+                self._shard_count[key] = self._shard_count.get(key, 0) + count
+            for key, seconds in state.get("shard_seconds", {}).items():
+                key = (key[0], int(key[1]))
+                self._shard_seconds[key] = \
+                    self._shard_seconds.get(key, 0.0) + seconds
+            for name, histogram in state.get("latency", {}).items():
+                mine = self._latency.get(name)
+                if mine is None:
+                    mine = self._latency[name] = \
+                        LatencyHistogram(histogram.bounds)
+                mine.merge(histogram)
+
+    def _raw_copy(self) -> Dict[str, object]:
+        """A consistent private copy of the cumulative accumulators."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "stage_count": dict(self._stage_count),
+                "stage_seconds": dict(self._stage_seconds),
+                "shard_count": dict(self._shard_count),
+                "shard_seconds": dict(self._shard_seconds),
+                "latency": {name: _clone_histogram(histogram)
+                            for name, histogram in self._latency.items()},
+            }
+
+    # ------------------------------------------------------------------ #
     # Reading
     # ------------------------------------------------------------------ #
     def counter(self, name: str) -> int:
-        """Return the value of a counter (0 when never incremented)."""
+        """Fleet-wide value of a counter (0 when never incremented).
+
+        Includes every per-process child, so after worker deltas merge the
+        parent reads one whole-fleet total.
+        """
+        children = self.children()
         with self._lock:
-            return self._counters.get(name, 0)
+            value = self._counters.get(name, 0)
+        return value + sum(child.counter(name) for child in children.values())
+
+    def gauge(self, name: str, **labels: str) -> Optional[float]:
+        """One gauge series' last sampled value (None when never set)."""
+        key = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+        with self._lock:
+            return self._gauges.get(name, {}).get(key)
+
+    def gauges(self) -> Dict[str, List[Dict[str, object]]]:
+        """Every gauge series: ``name -> [{"labels": {...}, "value": v}]``.
+
+        Series are sorted by label items so snapshots and the Prometheus
+        exposition are deterministic.
+        """
+        with self._lock:
+            out: Dict[str, List[Dict[str, object]]] = {}
+            for name, series in self._gauges.items():
+                out[name] = [
+                    {"labels": dict(key), "value": value}
+                    for key, value in sorted(series.items())
+                ]
+            return out
 
     def latency(self, name: str) -> Dict[str, float]:
         """One latency histogram's summary (zeros when never observed)."""
@@ -221,54 +437,61 @@ class EngineMetrics:
                 else LatencyHistogram().summary()
 
     def histograms(self) -> Dict[str, LatencyHistogram]:
-        """Consistent deep copies of the per-name latency histograms.
+        """Fleet-merged deep copies of the per-name latency histograms.
 
         Unlike :meth:`snapshot`, this preserves the raw bucket counts that
         percentile summaries throw away -- the Prometheus exposition in
         :func:`repro.obs.metrics_text` needs them to emit cumulative
         ``le`` bucket series, and callers may :meth:`~LatencyHistogram.merge`
-        them across engines.  The copies are private to the caller.
+        them across engines.  Per-process children are folded in, so the
+        bucket series are whole-fleet truth.  The copies are private to the
+        caller.
         """
+        children = self.children()
         with self._lock:
-            copies: Dict[str, LatencyHistogram] = {}
-            for name, histogram in self._latency.items():
-                clone = LatencyHistogram(histogram.bounds)
-                clone.merge(histogram)
-                copies[name] = clone
-            return copies
+            copies = {name: _clone_histogram(histogram)
+                      for name, histogram in self._latency.items()}
+        for child in children.values():
+            for name, histogram in child.histograms().items():
+                mine = copies.get(name)
+                if mine is None:
+                    copies[name] = histogram  # already a private copy
+                else:
+                    mine.merge(histogram)
+        return copies
 
     def snapshot(self) -> Dict[str, object]:
-        """Return all counters, stage timings, shard timings and latencies.
+        """Return all counters, stage/shard timings, latencies and gauges.
 
         ``"shards"`` maps each shard stage to a per-shard-id breakdown, e.g.
         ``snapshot()["shards"]["shard_build"][0]["total_seconds"]``;
         ``"latency"`` maps each observed name to its histogram summary, e.g.
         ``snapshot()["latency"]["maxrs"]["p95_seconds"]``.
+
+        When per-process children exist, the top-level series are the
+        whole-fleet merge and a ``"processes"`` key breaks the same data
+        down per process (``"parent"`` plus each child tag).
         """
-        with self._lock:
-            stages: Dict[str, StageTimings] = {}
-            for stage, count in self._stage_count.items():
-                total = self._stage_seconds[stage]
-                stages[stage] = {
-                    "count": count,
-                    "total_seconds": total,
-                    "mean_seconds": total / count if count else 0.0,
-                }
-            shards: Dict[str, Dict[int, StageTimings]] = {}
-            for (stage, shard_id), count in self._shard_count.items():
-                total = self._shard_seconds[(stage, shard_id)]
-                shards.setdefault(stage, {})[shard_id] = {
-                    "count": count,
-                    "total_seconds": total,
-                    "mean_seconds": total / count if count else 0.0,
-                }
-            latency = {name: histogram.summary()
-                       for name, histogram in self._latency.items()}
-            return {"counters": dict(self._counters), "stages": stages,
-                    "shards": shards, "latency": latency}
+        children = self.children()
+        own = self._raw_copy()
+        if not children:
+            result = _render_state(own)
+            result["gauges"] = self.gauges()
+            return result
+        fleet = EngineMetrics()
+        fleet.merge_state(own)
+        processes = {"parent": _render_state(own)}
+        for tag in sorted(children):
+            raw = children[tag]._raw_copy()
+            fleet.merge_state(raw)
+            processes[tag] = _render_state(raw)
+        result = _render_state(fleet._raw_copy())
+        result["gauges"] = self.gauges()
+        result["processes"] = processes
+        return result
 
     def reset(self) -> None:
-        """Clear every counter, timing accumulator and latency histogram."""
+        """Clear every accumulator, gauge and per-process child."""
         with self._lock:
             self._counters.clear()
             self._stage_count.clear()
@@ -276,3 +499,5 @@ class EngineMetrics:
             self._shard_count.clear()
             self._shard_seconds.clear()
             self._latency.clear()
+            self._gauges.clear()
+            self._children.clear()

@@ -31,6 +31,18 @@ same "continue a caller-supplied trace" contract the PR 6 wire protocol
 uses), captures its span tree, ships it back ``Span.to_dict()``-encoded,
 and the parent re-parents it under the calling span -- so a single query
 trace shows worker-side ``shard.map[i]`` spans with worker pids attached.
+
+Metrics cross the boundary the same way: each worker accumulates a local
+:class:`~repro.service.metrics.EngineMetrics` (per-shard stage seconds,
+op counters) and every result envelope piggybacks the
+:meth:`~repro.service.metrics.EngineMetrics.drain_state` delta recorded
+since the previous envelope, plus one final flush when the worker drains
+its queue at shutdown.  The parent's collector folds each delta into
+``metrics.child(f"worker-<i>")`` *before* fulfilling the pending task, so
+by the time a query returns, ``stats()`` / ``metrics_text`` already show
+its worker-side work.  Deltas ship at most once (drain clears what it
+exports), so a killed worker loses only its unshipped residue -- nothing
+is ever double-counted.
 """
 
 from __future__ import annotations
@@ -49,6 +61,7 @@ import numpy as np
 
 from repro import obs
 from repro.errors import ExecutorError
+from repro.service.metrics import EngineMetrics
 from repro.service.shm import ColumnArena, shm_available
 
 __all__ = ["ProcessShardExecutor", "process_available"]
@@ -109,8 +122,8 @@ class _WorkerDataset:
         self.shards: Dict[int, _WorkerShard] = {}
 
 
-def _op_adopt(state: Dict[str, _WorkerDataset],
-              payload: Dict[str, Any]) -> Dict[int, Dict[str, Any]]:
+def _op_adopt(state: Dict[str, _WorkerDataset], payload: Dict[str, Any],
+              metrics: EngineMetrics) -> Dict[int, Dict[str, Any]]:
     """Attach the arenas and aggregate this worker's owned shards.
 
     The arithmetic mirrors the serial build exactly: ``point_cell`` encodes
@@ -151,18 +164,20 @@ def _op_adopt(state: Dict[str, _WorkerDataset],
             dataset.shards[shard_id] = _WorkerShard(
                 shard_id, (row0, row1, col0, col1), point_ids, global_cell)
             sp.set_attribute("points", int(point_ids.size))
+        seconds = time.perf_counter() - begin
+        metrics.observe_shard(f"shard_{payload['stage']}", shard_id, seconds)
         results[shard_id] = {
             "cell_weights": cell_weights,
             "cell_counts": cell_counts,
             "points": int(point_ids.size),
-            "seconds": time.perf_counter() - begin,
+            "seconds": seconds,
         }
     state[key] = dataset
     return results
 
 
-def _op_window(state: Dict[str, _WorkerDataset],
-               payload: Dict[str, Any]) -> Dict[int, Dict[str, Any]]:
+def _op_window(state: Dict[str, _WorkerDataset], payload: Dict[str, Any],
+               metrics: EngineMetrics) -> Dict[int, Dict[str, Any]]:
     """Halo window sums for this worker's owned shard blocks."""
     dataset = state[payload["key"]]
     halo_rows, halo_cols = payload["halo"]
@@ -192,13 +207,14 @@ def _op_window(state: Dict[str, _WorkerDataset],
                      - prefix[np.ix_(lo_r, hi_c)]
                      - prefix[np.ix_(hi_r, lo_c)]
                      + prefix[np.ix_(lo_r, lo_c)])
-        results[shard_id] = {"block": block,
-                             "seconds": time.perf_counter() - begin}
+        seconds = time.perf_counter() - begin
+        metrics.observe_shard("shard_window", shard_id, seconds)
+        results[shard_id] = {"block": block, "seconds": seconds}
     return results
 
 
-def _op_gather(state: Dict[str, _WorkerDataset],
-               payload: Dict[str, Any]) -> Dict[int, Dict[str, Any]]:
+def _op_gather(state: Dict[str, _WorkerDataset], payload: Dict[str, Any],
+               metrics: EngineMetrics) -> Dict[int, Dict[str, Any]]:
     """Pruned-point gathers: ids of owned points in surviving cells."""
     dataset = state[payload["key"]]
     flat = payload["mask"]
@@ -210,13 +226,14 @@ def _op_gather(state: Dict[str, _WorkerDataset],
                       pid=os.getpid()) as sp:
             found = shard.point_ids[flat[shard.global_cell]]
             sp.set_attribute("points", int(found.size))
-        results[shard_id] = {"indices": found,
-                             "seconds": time.perf_counter() - begin}
+        seconds = time.perf_counter() - begin
+        metrics.observe_shard("shard_gather", shard_id, seconds)
+        results[shard_id] = {"indices": found, "seconds": seconds}
     return results
 
 
-def _op_release(state: Dict[str, _WorkerDataset],
-                payload: Dict[str, Any]) -> bool:
+def _op_release(state: Dict[str, _WorkerDataset], payload: Dict[str, Any],
+                metrics: EngineMetrics) -> bool:
     """Drop one adopted dataset and close its arena attachments."""
     dataset = state.pop(payload["key"], None)
     if dataset is not None:
@@ -226,7 +243,8 @@ def _op_release(state: Dict[str, _WorkerDataset],
     return dataset is not None
 
 
-def _op_call(state: Dict[str, _WorkerDataset], payload: bytes) -> Any:
+def _op_call(state: Dict[str, _WorkerDataset], payload: bytes,
+             metrics: EngineMetrics) -> Any:
     """Generic ``map`` task: ``(fn, item)`` pre-pickled by the parent."""
     fn, item = pickle.loads(payload)
     return fn(item)
@@ -271,6 +289,7 @@ def _picklable_error(exc: BaseException) -> BaseException:
 
 def _worker_loop(worker_id: int, task_queue, result_queue) -> None:
     state: Dict[str, _WorkerDataset] = {}
+    metrics = EngineMetrics()
     while True:
         task = task_queue.get()
         if task is None:
@@ -278,27 +297,40 @@ def _worker_loop(worker_id: int, task_queue, result_queue) -> None:
         task_id, op, payload, trace_ctx = task
         span_payload = None
         try:
-            if trace_ctx is not None:
-                trace_id, parent_span_id = trace_ctx
-                recorder = _CaptureRecorder()
-                tracer = obs.Tracer(recorder)
-                with tracer.trace(f"procpool.worker[{worker_id}]",
-                                  trace_id=trace_id, op=op,
-                                  pid=os.getpid()):
-                    value = _OPS[op](state, payload)
-                if recorder.trace is not None:
-                    root = recorder.trace.root
-                    root.parent_id = parent_span_id
-                    span_payload = root.to_dict()
-            else:
-                value = _OPS[op](state, payload)
+            metrics.increment(f"worker_{op}_tasks")
+            with metrics.time_stage(f"worker_{op}"):
+                if trace_ctx is not None:
+                    trace_id, parent_span_id = trace_ctx
+                    recorder = _CaptureRecorder()
+                    tracer = obs.Tracer(recorder)
+                    with tracer.trace(f"procpool.worker[{worker_id}]",
+                                      trace_id=trace_id, op=op,
+                                      pid=os.getpid()):
+                        value = _OPS[op](state, payload, metrics)
+                    if recorder.trace is not None:
+                        root = recorder.trace.root
+                        root.parent_id = parent_span_id
+                        span_payload = root.to_dict()
+                else:
+                    value = _OPS[op](state, payload, metrics)
         except BaseException as exc:
+            metrics.increment("worker_task_errors")
             result_queue.put((task_id, False, _picklable_error(exc),
-                              span_payload))
+                              span_payload, metrics.drain_state()))
         else:
-            result_queue.put((task_id, True, value, span_payload))
+            result_queue.put((task_id, True, value, span_payload,
+                              metrics.drain_state()))
     for key in list(state):
-        _op_release(state, {"key": key})
+        _op_release(state, {"key": key}, metrics)
+    # Final flush: whatever accumulated since the last envelope (e.g. the
+    # release loop above).  Because drain_state() exports each observation
+    # exactly once, this can never repeat what already rode on envelopes.
+    flush = metrics.drain_state()
+    if flush is not None:
+        try:
+            result_queue.put((None, True, worker_id, None, flush))
+        except Exception:  # pragma: no cover - parent queue already gone
+            pass
 
 
 def _worker_main(worker_id: int, task_queue, result_queue) -> None:
@@ -369,6 +401,9 @@ class ProcessShardExecutor:
         self._started = False
         self._closed = False
         self._broken: Optional[str] = None
+        #: Fleet sink for worker metric deltas; the engine rebinds this to
+        #: its own EngineMetrics so worker work shows up in stats().
+        self._metrics = EngineMetrics()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -381,6 +416,42 @@ class ProcessShardExecutor:
     def worker_count(self) -> int:
         """Live worker processes (0 before first use / after close)."""
         return len(self._workers)
+
+    @property
+    def metrics(self) -> EngineMetrics:
+        """The sink worker metric deltas merge into (per-process children)."""
+        return self._metrics
+
+    def bind_metrics(self, metrics: EngineMetrics) -> None:
+        """Redirect worker metric deltas into the caller's accumulator.
+
+        The engine calls this once, when it adopts the executor and before
+        any worker spawns; deltas land in ``metrics.child("worker-<i>")``.
+        """
+        self._metrics = metrics
+
+    def worker_info(self) -> List[Dict[str, Any]]:
+        """Pid/liveness per worker, for health checks and the sampler."""
+        with self._lock:
+            workers = list(self._workers)
+        return [
+            {"index": worker.index, "pid": worker.process.pid,
+             "alive": worker.process.is_alive()}
+            for worker in workers
+        ]
+
+    def queue_depths(self) -> Dict[int, int]:
+        """Outstanding tasks per worker queue (platforms without a working
+        ``qsize`` -- e.g. macOS -- simply report no entries)."""
+        with self._lock:
+            workers = list(self._workers)
+        depths: Dict[int, int] = {}
+        for worker in workers:
+            try:
+                depths[worker.index] = worker.queue.qsize()
+            except (NotImplementedError, OSError):  # pragma: no cover
+                continue
+        return depths
 
     def _ensure_started(self) -> None:
         with self._lock:
@@ -416,6 +487,35 @@ class ProcessShardExecutor:
             self._collector.start()
             self._started = True
 
+    def _merge_worker_state(self, worker_index: int, state) -> None:
+        """Fold one worker delta into the fleet sink (collector thread)."""
+        try:
+            self._metrics.child(f"worker-{worker_index}").merge_state(state)
+        except Exception:  # pragma: no cover - sink must not kill collector
+            pass
+
+    def _handle_envelope(self, item) -> None:
+        task_id, ok, value, span_payload, metrics_state = item
+        if task_id is None:
+            # Shutdown flush: no pending task, value is the worker index.
+            if metrics_state is not None:
+                self._merge_worker_state(int(value), metrics_state)
+            return
+        with self._lock:
+            pending = self._pending.pop(task_id, None)
+        if pending is not None and metrics_state is not None:
+            # Merge *before* fulfilling: when the caller's query returns,
+            # the fleet metrics already include its worker-side work.
+            self._merge_worker_state(pending.worker.index, metrics_state)
+        if pending is None:
+            return
+        if ok:
+            pending.value = value
+        else:
+            pending.error = value
+        pending.span_payload = span_payload
+        pending.event.set()
+
     def _collect(self) -> None:
         while True:
             try:
@@ -426,17 +526,7 @@ class ProcessShardExecutor:
                 continue
             except (EOFError, OSError):  # pragma: no cover - queue torn down
                 return
-            task_id, ok, value, span_payload = item
-            with self._lock:
-                pending = self._pending.pop(task_id, None)
-            if pending is None:
-                continue
-            if ok:
-                pending.value = value
-            else:
-                pending.error = value
-            pending.span_payload = span_payload
-            pending.event.set()
+            self._handle_envelope(item)
 
     def close(self, *, timeout: float = 5.0) -> None:
         """Stop the workers and the collector (idempotent)."""
@@ -476,6 +566,18 @@ class ProcessShardExecutor:
             # collector polls with a short timeout and exits on `_closed`.
             if self._collector is not None:
                 self._collector.join(timeout)
+            # The collector may have exited before the workers' shutdown
+            # flush envelopes landed; drain what is left so the fleet view
+            # keeps the release-path metrics.
+            while True:
+                try:
+                    item = self._result_queue.get_nowait()
+                except (queue.Empty, EOFError, OSError):
+                    break
+                try:
+                    self._handle_envelope(item)
+                except Exception:  # pragma: no cover - defensive teardown
+                    break
             self._result_queue.close()
 
     def __del__(self) -> None:  # pragma: no cover - GC-timing dependent

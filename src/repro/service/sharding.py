@@ -562,7 +562,15 @@ class ShardedGridIndex(GridQueryOps):
     timing_hook:
         Optional ``hook(stage, shard_id, seconds)`` callback; the engine
         wires this to :meth:`EngineMetrics.observe_shard` so per-shard build
-        and gather timings appear in ``stats()``.
+        and gather timings appear in ``stats()``.  Under a plane executor
+        the workers record their own shard timings instead (shipped back as
+        metric deltas), so the hook only fires for work done in-process.
+    counter_hook:
+        Optional ``hook(counter_name)`` callback fired on notable events --
+        currently ``"executor_degraded"`` whenever the plane executor fails
+        and the index falls back to the threaded tier.  The engine wires
+        this to :meth:`EngineMetrics.increment` so degrades are countable,
+        not just a one-shot warning.
     """
 
     def __init__(self, xs: np.ndarray, ys: np.ndarray, ws: np.ndarray, *,
@@ -571,7 +579,8 @@ class ShardedGridIndex(GridQueryOps):
                  arena: Optional[Any] = None,
                  target_points_per_cell: int = 1,
                  max_cells_per_side: int = 512,
-                 timing_hook: Optional[TimingHook] = None) -> None:
+                 timing_hook: Optional[TimingHook] = None,
+                 counter_hook: Optional[Callable[[str], None]] = None) -> None:
         if shards is not None and shards < 1:
             raise ConfigurationError(
                 f"shard count must be positive, got {shards}")
@@ -585,6 +594,7 @@ class ShardedGridIndex(GridQueryOps):
                   for r0, r1 in zip(row_edges, row_edges[1:])
                   for c0, c1 in zip(col_edges, col_edges[1:])]
         self._hook = timing_hook
+        self._counter_hook = counter_hook
         self._adopt_executor(executor, len(blocks))
         self._build(xs, ys, ws, geometry, blocks, persisted=None, arena=arena)
 
@@ -596,7 +606,8 @@ class ShardedGridIndex(GridQueryOps):
                       snap: Union[ShardedGridSnapshot, GridSnapshot], *,
                       executor: ExecutorSpec = None,
                       arena: Optional[Any] = None,
-                      timing_hook: Optional[TimingHook] = None
+                      timing_hook: Optional[TimingHook] = None,
+                      counter_hook: Optional[Callable[[str], None]] = None
                       ) -> "ShardedGridIndex":
         """Rebuild a sharded index from persisted per-shard aggregates.
 
@@ -639,6 +650,7 @@ class ShardedGridIndex(GridQueryOps):
         blocks = [(s.row0, s.row1, s.col0, s.col1) for s in snap.shards]
         self = cls.__new__(cls)
         self._hook = timing_hook
+        self._counter_hook = counter_hook
         self._adopt_executor(executor, len(blocks))
         self._build(xs, ys, ws, geometry, blocks, persisted=snap.shards,
                     arena=arena)
@@ -822,8 +834,10 @@ class ShardedGridIndex(GridQueryOps):
                 point_ids=ids, global_cell=point_cell[ids],
                 aggregates=(cell_weights, cell_counts),
                 part_factory=self._make_part_factory(index)))
-            if self._hook is not None:
-                self._hook(f"shard_{stage}", index, info["seconds"])
+            # No timing-hook call here: the worker that ran this shard
+            # recorded the timing into its own metrics, which ship back as
+            # deltas -- recording the shipped seconds again parent-side
+            # would double-count them in the fleet view.
         self._shards = shards
         self._assemble_globals()
         prefix = self._index_arena.view("prefix")
@@ -868,6 +882,18 @@ class ShardedGridIndex(GridQueryOps):
             f"process shard executor failed ({exc}); sharded index "
             f"degrading to the threaded executor",
             RuntimeWarning, stacklevel=4)
+        # Degrades must be countable and traceable, not just a one-shot
+        # warning: bump the engine-wired counter and stamp the ambient span
+        # so the in-flight query's trace shows where serving fell back.
+        if self._counter_hook is not None:
+            try:
+                self._counter_hook("executor_degraded")
+            except Exception:  # pragma: no cover - hook must not block
+                pass
+        span = obs.current_span()
+        if span is not None:
+            span.set_attribute("executor_degraded", True)
+            span.set_attribute("degrade_reason", str(exc))
         self._degraded_executor = ThreadedExecutor()
         self._executor = self._degraded_executor
         if self._owned_plane_executor is not None:
@@ -1050,13 +1076,11 @@ class ShardedGridIndex(GridQueryOps):
             except ExecutorError as exc:
                 self._degrade_plane(exc)
             else:
-                parts = []
-                for shard in self._shards:
-                    info = gathered[shard.shard_id]
-                    if self._hook is not None:
-                        self._hook("shard_gather", shard.shard_id,
-                                   info["seconds"])
-                    parts.append(info["indices"])
+                # No timing-hook call: the owning workers recorded these
+                # gather timings locally and ship them back as metric
+                # deltas -- re-recording parent-side would double-count.
+                parts = [gathered[shard.shard_id]["indices"]
+                         for shard in self._shards]
                 return np.sort(np.concatenate(parts))
 
         def gather(shard: GridShard) -> np.ndarray:

@@ -30,13 +30,16 @@ only the name disappears) -- exactly the POSIX file semantics the engine's
 from __future__ import annotations
 
 import os
+import threading
+import weakref
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import ExecutorError
 
-__all__ = ["ColumnArena", "shm_available"]
+__all__ = ["ColumnArena", "arena_bytes_total", "arena_registry",
+           "shm_available"]
 
 try:  # pragma: no cover - import guard exercised via shm_available()
     from multiprocessing import shared_memory as _shared_memory
@@ -72,6 +75,38 @@ def shm_available() -> bool:
     return _PROBE
 
 
+#: Process-global registry of *owned* (not attached) live arenas, so the
+#: resource sampler can report total shared-memory bytes and the health
+#: monitor can check for leaked or prematurely-released segments.  Weak
+#: references, so the registry never keeps an arena alive past its last
+#: user -- ``__del__``-driven release stays the GC backstop it always was.
+#: Keyed by ``id(arena)``: arena keys are random but could in principle
+#: collide, and identity is what ``release()`` knows.
+_REGISTRY_LOCK = threading.Lock()
+_REGISTRY: Dict[int, "weakref.ref"] = {}
+
+
+def arena_registry() -> List[Dict[str, object]]:
+    """Live owner-side arenas: ``[{"key", "bytes", "segments"}, ...]``.
+
+    Attach-side (worker) arenas are excluded: they map the owner's pages and
+    would double-count.  Sorted by key for deterministic output.
+    """
+    with _REGISTRY_LOCK:
+        arenas = [ref() for ref in _REGISTRY.values()]
+    entries = [
+        {"key": arena.key, "bytes": arena.nbytes,
+         "segments": len(arena.segment_names())}
+        for arena in arenas if arena is not None and not arena.closed
+    ]
+    return sorted(entries, key=lambda entry: entry["key"])
+
+
+def arena_bytes_total() -> int:
+    """Total bytes of live owned shared-memory segments in this process."""
+    return sum(entry["bytes"] for entry in arena_registry())
+
+
 def _attach_segment(name: str):
     """Attach an existing segment without adopting cleanup responsibility.
 
@@ -96,7 +131,8 @@ class ColumnArena:
     treat them as read-only after the producing side has filled them.
     """
 
-    __slots__ = ("key", "_segments", "_views", "_layout", "_owner", "_closed")
+    __slots__ = ("key", "_segments", "_views", "_layout", "_owner", "_closed",
+                 "_nbytes", "__weakref__")
 
     def __init__(self, key: str, segments: Dict[str, object],
                  layout: Dict[str, Tuple[Tuple[int, ...], str]],
@@ -107,10 +143,16 @@ class ColumnArena:
         self._owner = owner
         self._closed = False
         self._views: Dict[str, np.ndarray] = {}
+        nbytes = 0
         for name, (shape, dtype) in layout.items():
             view = np.ndarray(shape, dtype=np.dtype(dtype),
                               buffer=segments[name].buf)
             self._views[name] = view
+            nbytes += view.nbytes
+        self._nbytes = nbytes
+        if owner:
+            with _REGISTRY_LOCK:
+                _REGISTRY[id(self)] = weakref.ref(self)
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -194,6 +236,11 @@ class ColumnArena:
         """The OS-level segment names (for leak assertions in tests)."""
         return [segment.name for segment in self._segments.values()]
 
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes across the arena's arrays."""
+        return self._nbytes
+
     def spec(self) -> Dict[str, object]:
         """The JSON-ish payload a worker needs to :meth:`attach`."""
         return {
@@ -222,6 +269,9 @@ class ColumnArena:
         if self._closed:
             return
         self._closed = True
+        if self._owner:
+            with _REGISTRY_LOCK:
+                _REGISTRY.pop(id(self), None)
         self._views.clear()
         for segment in self._segments.values():
             try:

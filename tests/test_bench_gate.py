@@ -98,6 +98,19 @@ class TestCompareEntries:
         _, failures = gate.compare_entries(base, fresh, tolerance=0.30)
         assert failures and "speedup" in failures[0]
 
+    def test_sub_floor_p50s_never_fail(self):
+        """Microsecond p50s live inside one histogram-bucket quantum: a
+        3.5us -> 7us flip is adjacent-bucket noise, not a regression."""
+        base = {"q": _entry("q", p50=3.5e-06)}
+        fresh = {"q": _entry("q", p50=7e-06)}
+        _, failures = gate.compare_entries(base, fresh, tolerance=0.30)
+        assert failures == []
+        # Blowing past the absolute floor is a real hot-path regression
+        # (a cache hit turning into a solve) and still fails.
+        fresh = {"q": _entry("q", p50=2 * gate.LATENCY_FLOOR_SECONDS)}
+        _, failures = gate.compare_entries(base, fresh, tolerance=0.30)
+        assert failures and "latency.maxrs.p50_seconds" in failures[0]
+
     def test_tolerance_boundary_is_inclusive(self):
         base = {"q": _entry("q", speedup=2.0)}
         fresh = {"q": _entry("q", speedup=2.0 * 0.7)}

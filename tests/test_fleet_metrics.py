@@ -1,0 +1,276 @@
+"""Fleet telemetry integration: cross-process aggregation, health, gauges.
+
+The contract under test: with the multiprocess data plane, the parent's
+:class:`~repro.service.metrics.EngineMetrics` is *whole-fleet truth* --
+worker-side counters and timings ship as reset-on-export deltas riding the
+result envelopes, merge before the query returns, and can never be counted
+twice (not even by the shutdown flush or a SIGKILLed worker).  On top of
+that sit the health checks (``healthz`` flips within one query of a worker
+dying) and the resource gauges.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.service.engine import MaxRSEngine, QuerySpec
+from repro.service.procpool import process_available
+from repro.service.shm import arena_registry
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::RuntimeWarning")  # degrade warnings are part of the scenarios
+
+needs_processes = pytest.mark.skipif(
+    not process_available(), reason="no usable multiprocessing on platform")
+
+#: A mixed workload: repeats (cache hits), several kinds, both refine modes.
+QUERY_MIX = [
+    QuerySpec.maxrs(7.0, 4.5),
+    QuerySpec.maxrs(12.0, 12.0),
+    QuerySpec.maxrs(7.0, 4.5),           # repeat: cache hit
+    QuerySpec.maxrs(3.0, 9.0, refine=False),
+    QuerySpec.maxkrs(8.0, 8.0, 2),
+    QuerySpec.maxrs(20.0, 2.0),
+]
+
+#: Counters whose totals are execution-tier independent: they count query
+#: semantics (what was asked and how pruning went), not where work ran.
+SEMANTIC_COUNTERS = ("queries", "refine_pruned", "refine_unpruned")
+
+
+def run_mix(engine, objects):
+    engine.register_dataset(objects, name="d")
+    return [engine.query("d", spec) for spec in QUERY_MIX]
+
+
+@needs_processes
+@pytest.mark.parametrize("seed", [3, 17])
+def test_counter_totals_identical_across_executors(make_objects, seed):
+    """Property: the same query mix yields the same semantic counter totals
+    and latency counts on the serial, threaded and process tiers -- fleet
+    aggregation changes *where* numbers come from, never what they say."""
+    objects = make_objects(1500, seed=seed)
+    totals, answers = {}, {}
+    for tier in ("serial", "threaded", "process"):
+        engine = MaxRSEngine(shards=4, shard_executor=tier)
+        try:
+            answers[tier] = run_mix(engine, objects)
+            snapshot = engine.metrics.snapshot()
+            totals[tier] = {
+                name: snapshot["counters"].get(name, 0)
+                for name in SEMANTIC_COUNTERS}
+            totals[tier]["latency_maxrs"] = \
+                snapshot["latency"].get("maxrs", {}).get("count", 0)
+        finally:
+            engine.close()
+    assert totals["serial"] == totals["threaded"] == totals["process"]
+    assert answers["serial"] == answers["threaded"] == answers["process"]
+
+
+@needs_processes
+def test_worker_deltas_merge_into_fleet_snapshot(make_objects):
+    engine = MaxRSEngine(shards=4, shard_executor="process")
+    try:
+        run_mix(engine, make_objects(1500, seed=5))
+        snapshot = engine.metrics.snapshot()
+        # Worker-side op counters exist only through the delta merge.
+        worker_tasks = sum(
+            count for name, count in snapshot["counters"].items()
+            if name.startswith("worker_") and name.endswith("_tasks"))
+        assert worker_tasks > 0
+        assert "processes" in snapshot
+        tags = sorted(snapshot["processes"])
+        assert "parent" in tags
+        workers = [tag for tag in tags if tag.startswith("worker-")]
+        assert workers
+        # The same worker tasks, attributed per process, sum to the fleet.
+        per_process = sum(
+            count
+            for tag in workers
+            for name, count in snapshot["processes"][tag]["counters"].items()
+            if name.startswith("worker_") and name.endswith("_tasks"))
+        assert per_process == worker_tasks
+        # Worker-side stage/shard seconds made it across the wire.
+        assert any(stage.startswith("worker_")
+                   for stage in snapshot["stages"])
+        assert any(stage.startswith("shard_")
+                   for stage in snapshot["shards"])
+    finally:
+        engine.close()
+
+
+@needs_processes
+def test_metrics_text_carries_worker_series_and_gauges(make_objects):
+    """Acceptance: with the process executor, one scrape shows worker-side
+    stage seconds and per-process RSS/CPU/arena gauges."""
+    engine = MaxRSEngine(shards=4, shard_executor="process")
+    try:
+        run_mix(engine, make_objects(1500, seed=5))
+        text = engine.metrics_text()
+        assert "repro_process_stage_seconds_total" in text
+        assert 'process="worker-' in text
+        assert "repro_process_rss_bytes" in text
+        assert "repro_process_cpu_seconds" in text
+        assert "repro_shm_arena_bytes" in text
+        assert "repro_pool_workers_alive" in text
+    finally:
+        engine.close()
+
+
+@needs_processes
+def test_graceful_close_flush_never_double_counts(make_objects):
+    """Every per-task delta was already merged when its query returned, so
+    the shutdown flush carries nothing new: totals must not move."""
+    engine = MaxRSEngine(shards=4, shard_executor="process")
+    run_mix(engine, make_objects(1500, seed=5))
+    before = {
+        name: count
+        for name, count in engine.metrics.snapshot()["counters"].items()
+        if name.startswith("worker_")}
+    assert before
+    engine.close()  # workers drain, send their final flush, exit
+    after = {
+        name: count
+        for name, count in engine.metrics.snapshot()["counters"].items()
+        if name.startswith("worker_")}
+    # Every pre-close counter is exactly unchanged; the flush may only add
+    # genuinely *new* work (the release ops close() itself dispatched).
+    for name, count in before.items():
+        assert after[name] == count
+    assert set(after) - set(before) <= {"worker_release_tasks"}
+
+
+@needs_processes
+def test_sigkilled_worker_cannot_double_count(make_objects):
+    """A SIGKILLed worker sends no flush at all -- and whatever it already
+    shipped stays merged exactly once through the degrade and close."""
+    engine = MaxRSEngine(shards=4, shard_executor="process")
+    try:
+        run_mix(engine, make_objects(1500, seed=5))
+        before = {
+            name: count
+            for name, count in engine.metrics.snapshot()["counters"].items()
+            if name.startswith("worker_")}
+        for worker in engine._proc_executor.worker_info():
+            os.kill(worker["pid"], signal.SIGKILL)
+        # The next query degrades to threads; worker totals must not move.
+        engine.query("d", QuerySpec.maxrs(5.0, 5.0))
+        after = {
+            name: count
+            for name, count in engine.metrics.snapshot()["counters"].items()
+            if name.startswith("worker_")}
+        assert after == before
+        assert engine.metrics.counter("executor_degraded") >= 1
+    finally:
+        engine.close()
+
+
+@needs_processes
+def test_healthz_flips_within_one_query_of_worker_death(make_objects):
+    engine = MaxRSEngine(shards=4, shard_executor="process")
+    try:
+        run_mix(engine, make_objects(1500, seed=5))
+        assert engine.healthz()["status"] == "ok"
+        victim = engine._proc_executor.worker_info()[0]
+        os.kill(victim["pid"], signal.SIGKILL)
+        engine.query("d", QuerySpec.maxrs(5.0, 5.0))  # at most one query...
+        verdict = engine.healthz()                    # ...then the flip
+        assert verdict["status"] == "degraded"
+        assert verdict["ok"] is True  # degraded still serves correct answers
+        statuses = {verdict["checks"]["workers"]["status"],
+                    verdict["checks"]["executor"]["status"]}
+        assert "degraded" in statuses
+        assert engine.stats()["sharding"]["resolved_executor"] == "threaded"
+    finally:
+        engine.close()
+
+
+@needs_processes
+def test_arena_registry_empty_after_close(make_objects):
+    engine = MaxRSEngine(shards=4, shard_executor="process")
+    run_mix(engine, make_objects(1500, seed=5))
+    assert arena_registry()  # the plane is sharing columns right now
+    assert engine.healthz()["checks"]["arenas"]["status"] == "ok"
+    engine.close()
+    assert arena_registry() == []
+
+
+def test_health_surface_without_processes(make_objects):
+    """The health/gauge surface also stands on the serial tier (no pool,
+    no arenas): checks pass, gauges exist, readyz flips on close."""
+    engine = MaxRSEngine(shards=1)
+    run_mix(engine, make_objects(300, seed=9))
+    stats = engine.stats()
+    assert stats["health"]["healthz"]["ok"] is True
+    assert stats["health"]["readyz"]["ready"] is True
+    assert stats["processes"] == {}
+    names = set(stats["gauges"])
+    assert {"process_cpu_seconds", "process_rss_bytes", "cache_entries",
+            "cache_capacity", "pool_workers_alive"} <= names
+    engine.close()
+    verdict = engine.readyz()
+    assert verdict["ready"] is False
+    assert verdict["checks"]["closed"]["status"] == "failing"
+    assert engine.healthz()["ok"] is True  # alive, just not ready
+
+
+def test_persist_dir_writability_gates_readiness(make_objects, tmp_path):
+    persist_dir = tmp_path / "snaps"
+    engine = MaxRSEngine(persist_dir=str(persist_dir))
+    try:
+        run_mix(engine, make_objects(300, seed=9))
+        assert engine.readyz()["ready"] is True
+        os.chmod(persist_dir, 0o500)  # read + traverse, no write
+        try:
+            if os.access(str(persist_dir), os.W_OK):
+                pytest.skip("running as a user chmod cannot restrict")
+            verdict = engine.readyz()
+            assert verdict["ready"] is False
+            assert verdict["checks"]["persist"]["status"] == "failing"
+        finally:
+            os.chmod(persist_dir, 0o700)
+        assert engine.readyz()["ready"] is True
+    finally:
+        engine.close()
+
+
+def test_engine_slo_records_queries_and_surfaces_in_stats(make_objects):
+    from repro.obs import SLObjective
+
+    engine = MaxRSEngine(slo=[
+        SLObjective("latency", target=0.5, latency_threshold_s=1e-9,
+                    min_events=2),
+    ])
+    try:
+        run_mix(engine, make_objects(300, seed=9))
+        slo = engine.stats()["health"]["slo"]["latency"]
+        assert slo["events"] == len(QUERY_MIX)
+        # Every real query blows a 1 ns latency budget: alert must fire...
+        assert slo["alerting"] is True
+        # ...and surface as a degraded (liveness-only) health check.
+        verdict = engine.healthz()
+        assert verdict["status"] == "degraded"
+        assert verdict["checks"]["slo"]["status"] == "degraded"
+        assert "slo" not in engine.readyz()["checks"]
+    finally:
+        engine.close()
+
+
+def test_query_errors_count_against_the_budget(make_objects):
+    from repro.errors import ServiceError
+    from repro.obs import SLObjective, SLOTracker
+
+    alerts = []
+    tracker = SLOTracker([SLObjective("avail", target=0.5, min_events=1)],
+                         sinks=[alerts.append])
+    engine = MaxRSEngine(slo=tracker, maxcrs_exact_limit=1)
+    try:
+        engine.register_dataset(make_objects(300, seed=9), name="d")
+        with pytest.raises(ServiceError):
+            engine.query("d", QuerySpec.maxcrs(50.0))
+        assert engine.metrics.counter("query_errors") == 1
+        assert tracker.snapshot()["avail"]["bad_events"] == 1
+        assert alerts and alerts[0]["state"] == "firing"
+    finally:
+        engine.close()

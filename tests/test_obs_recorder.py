@@ -1,0 +1,116 @@
+"""Tests for :class:`repro.obs.recorder.JsonLinesRecorder` rotation.
+
+A long-running slow-query/trace log must not fill the disk: ``max_bytes``
+caps the live file, rotation shifts ``log -> log.1 -> ... -> log.N`` with
+the oldest dropped, and a single oversized line still lands (in a fresh
+file) rather than being lost.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.recorder import JsonLinesRecorder
+
+
+class StubTrace:
+    """The recorder only calls ``to_dict()``; no real spans needed."""
+
+    def __init__(self, payload):
+        self.payload = payload
+
+    def to_dict(self):
+        return self.payload
+
+
+def line_for(payload) -> bytes:
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode()
+
+
+def read_lines(path):
+    with open(path, encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle]
+
+
+class TestRotation:
+    def test_no_cap_never_rotates(self, tmp_path):
+        path = str(tmp_path / "traces.jsonl")
+        recorder = JsonLinesRecorder(path)
+        for index in range(50):
+            recorder.record(StubTrace({"i": index, "pad": "x" * 100}))
+        recorder.close()
+        assert len(read_lines(path)) == 50
+        assert not os.path.exists(path + ".1")
+
+    def test_rotates_when_cap_would_be_exceeded(self, tmp_path):
+        path = str(tmp_path / "traces.jsonl")
+        payload = {"pad": "x" * 40, "i": 0}
+        cap = 2 * len(line_for(payload)) + 1  # two lines fit, a third rotates
+        recorder = JsonLinesRecorder(path, max_bytes=cap, backups=2)
+        for index in range(5):
+            recorder.record(StubTrace({"pad": "x" * 40, "i": index}))
+        recorder.close()
+        # 5 records, 2 per file: live file has the last, .1 the middle two,
+        # .2 the first two.
+        assert [rec["i"] for rec in read_lines(path)] == [4]
+        assert [rec["i"] for rec in read_lines(path + ".1")] == [2, 3]
+        assert [rec["i"] for rec in read_lines(path + ".2")] == [0, 1]
+        assert not os.path.exists(path + ".3")
+
+    def test_oldest_backup_is_dropped(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        payload = {"pad": "y" * 20, "i": 0}
+        cap = len(line_for(payload)) + 1  # one line per file
+        recorder = JsonLinesRecorder(path, max_bytes=cap, backups=1)
+        for index in range(4):
+            recorder.record(StubTrace({"pad": "y" * 20, "i": index}))
+        recorder.close()
+        assert [rec["i"] for rec in read_lines(path)] == [3]
+        assert [rec["i"] for rec in read_lines(path + ".1")] == [2]
+        assert not os.path.exists(path + ".2")  # 0 and 1 aged out
+
+    def test_backups_zero_truncates_instead_of_keeping(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        payload = {"pad": "z" * 20, "i": 0}
+        cap = len(line_for(payload)) + 1
+        recorder = JsonLinesRecorder(path, max_bytes=cap, backups=0)
+        for index in range(3):
+            recorder.record(StubTrace({"pad": "z" * 20, "i": index}))
+        recorder.close()
+        assert [rec["i"] for rec in read_lines(path)] == [2]
+        assert not os.path.exists(path + ".1")
+
+    def test_oversized_single_line_still_lands(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        recorder = JsonLinesRecorder(path, max_bytes=64, backups=2)
+        recorder.record(StubTrace({"big": "b" * 500}))  # > cap, empty file
+        recorder.record(StubTrace({"i": 1}))            # forces rotation
+        recorder.close()
+        assert [list(rec) for rec in read_lines(path + ".1")] == [["big"]]
+        assert read_lines(path) == [{"i": 1}]
+
+    def test_rotation_survives_reopen(self, tmp_path):
+        """A restarted recorder (fresh instance, same path) keeps rotating
+        from the on-disk size, not from a stale in-memory offset."""
+        path = str(tmp_path / "t.jsonl")
+        payload = {"pad": "r" * 20, "i": 0}
+        cap = len(line_for(payload)) + 1
+        first = JsonLinesRecorder(path, max_bytes=cap, backups=2)
+        first.record(StubTrace({"pad": "r" * 20, "i": 0}))
+        first.close()
+        second = JsonLinesRecorder(path, max_bytes=cap, backups=2)
+        second.record(StubTrace({"pad": "r" * 20, "i": 1}))
+        second.close()
+        assert [rec["i"] for rec in read_lines(path)] == [1]
+        assert [rec["i"] for rec in read_lines(path + ".1")] == [0]
+
+    def test_validation(self, tmp_path):
+        import io
+
+        with pytest.raises(ValueError):
+            JsonLinesRecorder(str(tmp_path / "t"), max_bytes=0)
+        with pytest.raises(ValueError):
+            JsonLinesRecorder(str(tmp_path / "t"), backups=-1)
+        with pytest.raises(ValueError):
+            JsonLinesRecorder(io.StringIO(), max_bytes=100)
