@@ -6,6 +6,7 @@
 #   make bench-backends - sweep-backend A/B comparison (smoke preset)
 #   make bench-persist  - warm-start vs cold re-ingest comparison (fast preset)
 #   make bench-shards   - sharded vs unsharded grid index (fast preset)
+#   make bench-pyramid  - grid pyramid + bounded-error descent vs flat (fast preset)
 #   make bench-async    - concurrent async clients vs sequential sync (fast preset)
 #   make bench-obs      - fleet-telemetry overhead guard (fast preset)
 #   make bench-json     - refresh the BENCH_*.json perf-trajectory artefacts
@@ -20,7 +21,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench-smoke bench bench-backends bench-persist bench-shards \
-	bench-async bench-obs bench-json bench-gate trace-smoke examples
+	bench-pyramid bench-async bench-obs bench-json bench-gate trace-smoke \
+	examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -48,6 +50,14 @@ bench-persist:
 bench-shards:
 	$(PYTHON) -m pytest benchmarks/test_service_shards.py -q
 
+# Grid pyramid (bounded-error coarse-to-fine descent, error_bound=0.05) vs
+# the flat single-level index on large cold queries; the >= 2x acceptance
+# bound, the strictly-fewer-swept-points property and the <= 25% roll-up
+# build overhead are asserted at (near-)paper scale, e.g.
+# REPRO_BENCH_PRESET=paper make bench-pyramid.
+bench-pyramid:
+	$(PYTHON) -m pytest benchmarks/test_service_pyramid.py -q
+
 # Concurrent clients through the asyncio front-end (request coalescing +
 # bounded admission) vs the same workload as naive sequential sync queries;
 # the >= 2x acceptance bound is asserted at (near-)paper scale on hosts with
@@ -73,6 +83,7 @@ bench-json:
 		benchmarks/test_service_throughput.py \
 		benchmarks/test_service_coldstart.py \
 		benchmarks/test_service_shards.py \
+		benchmarks/test_service_pyramid.py \
 		benchmarks/test_service_async.py \
 		benchmarks/test_obs_overhead.py \
 		benchmarks/test_obs_agg_overhead.py

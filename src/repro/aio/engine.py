@@ -19,6 +19,16 @@ one event loop.  Three mechanisms do the work:
   order.  Overflow is shed with a typed
   :class:`~repro.errors.ServiceOverloadError` (``overflow="reject"``, the
   default) or queued without bound (``overflow="wait"``), per policy.
+* **Degraded serving under overload** (opt-in) -- with
+  ``degraded_error_bound=`` set, a request the admission gate would shed is
+  instead answered approximately: the engine descends its grid pyramid only
+  far enough to certify that relative optimality gap and returns an answer
+  whose ``result.gap`` carries the certificate.  Queries that cannot express
+  a certified gap (MaxkRS, ``refine=False``) raise
+  :class:`~repro.errors.ServiceDegradedError` so callers can tell "retry
+  later" from "cannot degrade".  Degraded serves are recorded against the
+  ``"degraded"`` SLO kind -- they consume a latency objective of their own,
+  not the exact-path error budget.
 
 Dataset mutation (:meth:`~AsyncMaxRSEngine.register_dataset` /
 :meth:`~AsyncMaxRSEngine.unregister_dataset`) is serialized against queries
@@ -37,13 +47,16 @@ from __future__ import annotations
 
 import asyncio
 import contextvars
+import math
 import time
 from collections import deque
+from dataclasses import replace
 from typing import Callable, Deque, Dict, Hashable, List, Optional, Sequence, \
     Tuple, Union
 
 from repro import obs
-from repro.errors import ConfigurationError, ServiceError, ServiceOverloadError
+from repro.errors import ConfigurationError, ServiceDegradedError, \
+    ServiceError, ServiceOverloadError
 from repro.geometry import WeightedPoint
 from repro.service.engine import MaxRSEngine, QueryResult, QuerySpec
 from repro.service.store import DatasetHandle
@@ -201,6 +214,17 @@ class AsyncMaxRSEngine:
         ``"reject"`` (default) sheds overflow with
         :class:`~repro.errors.ServiceOverloadError`; ``"wait"`` queues
         without bound (``max_queue`` still reported in :meth:`stats`).
+    degraded_error_bound:
+        ``None`` (default) sheds overflow per the ``overflow`` policy.  A
+        positive relative gap (e.g. ``0.05``) switches the front-end to
+        degraded serving: a request that would have been shed is answered
+        via the engine's bounded-error pyramid descent with this certified
+        gap, bypassing admission (the work it replaces was about to be
+        refused outright, and the descent is a few vectorised array passes).
+        Requests that already carry their own ``error_bound`` are shed
+        normally (there is nothing softer to serve); MaxkRS and
+        ``refine=False`` requests raise
+        :class:`~repro.errors.ServiceDegradedError`.
     engine_kwargs:
         Passed through to :class:`MaxRSEngine` when ``engine`` is ``None``
         (``cache_size=``, ``shards=``, ``persist_dir=``, ...).
@@ -215,7 +239,9 @@ class AsyncMaxRSEngine:
 
     def __init__(self, engine: Optional[MaxRSEngine] = None, *,
                  max_inflight: int = 8, max_queue: int = 64,
-                 overflow: str = "reject", **engine_kwargs) -> None:
+                 overflow: str = "reject",
+                 degraded_error_bound: Optional[float] = None,
+                 **engine_kwargs) -> None:
         if max_inflight < 1:
             raise ConfigurationError(
                 f"max_inflight must be at least 1, got {max_inflight}")
@@ -226,6 +252,13 @@ class AsyncMaxRSEngine:
             raise ConfigurationError(
                 f"unknown overflow policy {overflow!r}; expected one of "
                 f"{_OVERFLOW_POLICIES}")
+        if degraded_error_bound is not None and not (
+                math.isfinite(degraded_error_bound)
+                and degraded_error_bound > 0):
+            raise ConfigurationError(
+                "degraded_error_bound must be a positive finite relative "
+                f"gap, got {degraded_error_bound!r}")
+        self._degraded_error_bound = degraded_error_bound
         self._owns_engine = engine is None
         self._engine = engine if engine is not None \
             else MaxRSEngine(**engine_kwargs)
@@ -446,6 +479,9 @@ class AsyncMaxRSEngine:
                           queue_depth=self._admission.queue_depth):
                 await self._admission.acquire()
         except ServiceOverloadError:
+            if self._degraded_error_bound is not None \
+                    and spec.error_bound is None:
+                return await self._execute_degraded(dataset, spec)
             metrics.increment("aio_rejected")
             raise
         try:
@@ -454,6 +490,38 @@ class AsyncMaxRSEngine:
                 lambda: self._engine.query(dataset, spec))
         finally:
             self._admission.release()
+
+    async def _execute_degraded(self, dataset: Union[str, DatasetHandle],
+                                spec: QuerySpec) -> QueryResult:
+        """Serve an overloaded request approximately instead of shedding it.
+
+        The spec is re-issued with the front-end's ``degraded_error_bound``,
+        so the engine's pyramid descent stops as soon as it certifies that
+        gap -- the answer's ``result.gap`` carries the certificate.  Runs
+        *outside* admission control: the request was just refused a slot, and
+        the whole point is to answer it anyway with bounded cheap work.
+        Recorded against the ``"degraded"`` SLO kind (a latency objective of
+        its own), never the exact path's error budget.
+        """
+        metrics = self._engine.metrics
+        if spec.kind == "maxkrs" or not spec.refine:
+            metrics.increment("aio_degrade_refused")
+            raise ServiceDegradedError(
+                f"engine overloaded and a {spec.kind} query with "
+                f"refine={spec.refine} cannot carry a certified error "
+                "bound; back off and retry")
+        metrics.increment("aio_degraded")
+        metrics.increment("degraded_served")
+        degraded = replace(spec, error_bound=self._degraded_error_bound)
+        start = time.perf_counter()
+        with obs.span("aio.degraded",
+                      error_bound=self._degraded_error_bound):
+            result = await self._run(
+                lambda: self._engine.query(dataset, degraded))
+        if self._engine.slo is not None:
+            self._engine.slo.record("degraded",
+                                    time.perf_counter() - start)
+        return result
 
     async def query_batch(self, dataset: Union[str, DatasetHandle],
                           specs: Sequence[QuerySpec]) -> List[QueryResult]:
@@ -498,6 +566,9 @@ class AsyncMaxRSEngine:
             "queries": counters.get("aio_queries", 0),
             "admitted": counters.get("aio_admitted", 0),
             "rejected": counters.get("aio_rejected", 0),
+            "degraded_error_bound": self._degraded_error_bound,
+            "degraded": counters.get("aio_degraded", 0),
+            "degrade_refused": counters.get("aio_degrade_refused", 0),
             "coalesce_hits": counters.get("aio_coalesce_hits", 0),
             "coalesce_retries": counters.get("aio_coalesce_retries", 0),
             "batch_queries": counters.get("aio_batch_queries", 0),

@@ -109,6 +109,8 @@ def spec_to_wire(spec: QuerySpec) -> Dict[str, Any]:
         wire["diameter"] = float(spec.diameter)
     if not spec.refine:
         wire["refine"] = False
+    if spec.error_bound is not None:
+        wire["error_bound"] = float(spec.error_bound)
     return wire
 
 
@@ -117,7 +119,8 @@ def spec_from_wire(wire: Dict[str, Any]) -> QuerySpec:
     if not isinstance(wire, dict):
         raise SerializationError(
             f"query spec must be a JSON object, got {type(wire).__name__}")
-    unknown = set(wire) - {"kind", "width", "height", "k", "diameter", "refine"}
+    unknown = set(wire) - {"kind", "width", "height", "k", "diameter",
+                           "refine", "error_bound"}
     if unknown:
         raise SerializationError(
             f"unknown query spec fields {sorted(unknown)}")
@@ -129,6 +132,7 @@ def spec_from_wire(wire: Dict[str, Any]) -> QuerySpec:
             k=wire.get("k", 1),
             diameter=wire.get("diameter"),
             refine=wire.get("refine", True),
+            error_bound=wire.get("error_bound"),
         )
     except TypeError as exc:
         # Non-numeric field values; QuerySpec's own validation raises the
@@ -170,7 +174,7 @@ def _point_to_wire(point: Point) -> list:
 
 def _maxrs_to_wire(result: MaxRSResult) -> Dict[str, Any]:
     region = result.region
-    return {
+    wire = {
         "type": "maxrs",
         "location": _point_to_wire(result.location),
         "region": [float(region.x1), float(region.y1),
@@ -179,11 +183,15 @@ def _maxrs_to_wire(result: MaxRSResult) -> Dict[str, Any]:
         "recursion_levels": int(result.recursion_levels),
         "leaf_count": int(result.leaf_count),
     }
+    if result.gap is not None:
+        wire["gap"] = float(result.gap)
+    return wire
 
 
 def _maxrs_from_wire(wire: Dict[str, Any]) -> MaxRSResult:
     x1, y1, x2, y2, weight = (float(v) for v in wire["region"])
     loc_x, loc_y = (float(v) for v in wire["location"])
+    gap = wire.get("gap")
     return MaxRSResult(
         location=Point(loc_x, loc_y),
         region=MaxRegion(x1=x1, y1=y1, x2=x2, y2=y2, weight=weight),
@@ -191,6 +199,7 @@ def _maxrs_from_wire(wire: Dict[str, Any]) -> MaxRSResult:
         io=None,
         recursion_levels=int(wire["recursion_levels"]),
         leaf_count=int(wire["leaf_count"]),
+        gap=None if gap is None else float(gap),
     )
 
 
@@ -206,11 +215,14 @@ def _maxcrs_to_wire(result: MaxCRSResult) -> Dict[str, Any]:
                                      for w in result.candidate_weights]
     if result.rectangle_result is not None:
         wire["rectangle_result"] = _maxrs_to_wire(result.rectangle_result)
+    if result.gap is not None:
+        wire["gap"] = float(result.gap)
     return wire
 
 
 def _maxcrs_from_wire(wire: Dict[str, Any]) -> MaxCRSResult:
     rectangle = wire.get("rectangle_result")
+    gap = wire.get("gap")
     return MaxCRSResult(
         location=Point(*(float(v) for v in wire["location"])),
         total_weight=float(wire["total_weight"]),
@@ -221,6 +233,7 @@ def _maxcrs_from_wire(wire: Dict[str, Any]) -> MaxCRSResult:
         rectangle_result=None if rectangle is None
         else _maxrs_from_wire(rectangle),
         io=None,
+        gap=None if gap is None else float(gap),
     )
 
 

@@ -89,6 +89,11 @@ class MaxRSResult:
         Depth of the ExactMaxRS recursion (0 when the input fit in memory).
     leaf_count:
         Number of leaf sub-problems solved by the in-memory plane sweep.
+    gap:
+        Certified relative optimality gap of a bounded-error answer: the true
+        optimum is at most ``total_weight * (1 + gap)``.  ``0.0`` when the
+        bounded-error path happened to finish exactly; ``None`` for answers
+        from the exact path.
     """
 
     location: Point
@@ -97,6 +102,7 @@ class MaxRSResult:
     io: Optional[IOSnapshot] = None
     recursion_levels: int = 0
     leaf_count: int = 1
+    gap: Optional[float] = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -118,6 +124,10 @@ class MaxCRSResult:
         The underlying ExactMaxRS answer on the MBRs, kept for diagnostics.
     io:
         Block transfers performed by the whole computation, or ``None``.
+    gap:
+        Certified relative optimality gap of a bounded-error answer (relative
+        to the best *rectangle* weight the circle heuristic starts from), or
+        ``None`` for answers from the exact path.
     """
 
     location: Point
@@ -126,3 +136,4 @@ class MaxCRSResult:
     candidate_weights: tuple = field(default_factory=tuple)
     rectangle_result: Optional[MaxRSResult] = None
     io: Optional[IOSnapshot] = None
+    gap: Optional[float] = None

@@ -22,6 +22,9 @@ More specific subclasses indicate which subsystem detected the problem:
   (:mod:`repro.aio`) refused to admit a request because the engine is at its
   concurrency limit and the admission queue is full; callers should back off
   and retry.
+* :class:`ServiceDegradedError` -- degraded (bounded-error) serving was
+  requested -- explicitly, or by the overloaded admission layer -- for a
+  query that cannot express a certified optimality gap.
 * :class:`PersistError` -- the durable snapshot store (:mod:`repro.persist`)
   found a corrupt, truncated, or incompatible snapshot (bad magic, checksum
   mismatch, fingerprint mismatch, unsupported catalog version, ...).
@@ -43,6 +46,7 @@ __all__ = [
     "DatasetError",
     "ExecutorError",
     "PersistError",
+    "ServiceDegradedError",
     "ServiceError",
     "ServiceOverloadError",
 ]
@@ -88,6 +92,19 @@ class ServiceOverloadError(ServiceError):
     The request was **not** executed; callers should back off and retry (or
     configure the engine with ``overflow="wait"`` to queue instead).  A
     subclass of :class:`ServiceError` so existing service guards keep working.
+    """
+
+
+class ServiceDegradedError(ServiceError):
+    """Raised when degraded (bounded-error) serving cannot satisfy a query.
+
+    The async front-end can answer MaxRS/MaxCRS queries approximately under
+    overload -- descending the grid pyramid only far enough to certify an
+    optimality gap -- instead of shedding them.  Queries that cannot express a
+    certified gap (MaxkRS, unrefined grid estimates) raise this instead, so
+    callers can distinguish "retry later" (:class:`ServiceOverloadError`) from
+    "this query cannot be degraded".  A :class:`ServiceError` subclass so
+    existing guards keep working.
     """
 
 

@@ -53,6 +53,8 @@ __all__ = [
     "POINTS_CODEC_NAME",
     "RESULT_CODEC",
     "DatasetManifest",
+    "GridLevelManifest",
+    "GridLevelSnapshot",
     "GridManifest",
     "GridShardManifest",
     "GridShardSnapshot",
@@ -77,12 +79,14 @@ _BLOB_HEADER = struct.Struct("<8sQQQ32s")
 CATALOG_FILENAME = "catalog.json"
 
 #: Catalog format version this build writes.  Version 2 added sharded grid
-#: manifests (one blob per shard); version-1 catalogs (a single grid blob per
-#: dataset) are still read and their grids adopted as 1-shard indexes.
-CATALOG_VERSION = 2
+#: manifests (one blob per shard); version 3 added grid-pyramid level blobs
+#: (one checksummed blob per coarse level).  Version-1 catalogs (a single
+#: grid blob per dataset) are still read and their grids adopted as 1-shard
+#: indexes; v1/v2 catalogs restore as 1-level (flat) pyramids.
+CATALOG_VERSION = 3
 
 #: Catalog format versions this build can read.
-SUPPORTED_CATALOG_VERSIONS = (1, 2)
+SUPPORTED_CATALOG_VERSIONS = (1, 2, 3)
 
 #: Codec identifier recorded in every manifest entry.  Bump alongside any
 #: change to the column encoding so old stores are rejected, not misread.
@@ -193,13 +197,31 @@ def read_blob(path: Path) -> Tuple[int, int, List[bytes]]:
 # Manifest dataclasses
 # ---------------------------------------------------------------------- #
 @dataclass(frozen=True, slots=True)
+class GridLevelSnapshot:
+    """The persistable state of one coarse grid-pyramid level (format v3).
+
+    ``scale`` base cells fold into one level cell per axis; the aggregate
+    arrays have the level's own (coarser) shape.  Levels are stored as their
+    own checksummed blobs and verified against a fresh roll-up of the level
+    below on load, so a corrupt or stale level can never loosen a bound.
+    """
+
+    scale: int
+    n_rows: int
+    n_cols: int
+    cell_weights: np.ndarray  # float64, shape (n_rows, n_cols)
+    cell_counts: np.ndarray   # int64,  shape (n_rows, n_cols)
+
+
+@dataclass(frozen=True, slots=True)
 class GridSnapshot:
     """The persistable state of one :class:`~repro.service.grid_index.GridIndex`.
 
-    Geometry plus the per-cell aggregates.  The CSR point lists and the
-    prefix-sum table are *not* persisted -- they are rebuilt from the point
-    columns in vectorised time on load, and recomputing the per-cell counts
-    doubles as a structural consistency check against the persisted ones.
+    Geometry plus the per-cell aggregates (base grid and, since format v3,
+    the coarse pyramid levels).  The CSR point lists and the prefix-sum
+    tables are *not* persisted -- they are rebuilt from the point columns in
+    vectorised time on load, and recomputing the per-cell counts doubles as
+    a structural consistency check against the persisted ones.
     """
 
     n_rows: int
@@ -210,6 +232,7 @@ class GridSnapshot:
     cell_h: float
     cell_weights: np.ndarray  # float64, shape (n_rows, n_cols)
     cell_counts: np.ndarray   # int64,  shape (n_rows, n_cols)
+    levels: Tuple[GridLevelSnapshot, ...] = ()
 
 
 @dataclass(frozen=True, slots=True)
@@ -246,10 +269,11 @@ class ShardedGridSnapshot:
     cell_w: float
     cell_h: float
     shards: Tuple[GridShardSnapshot, ...]
+    levels: Tuple[GridLevelSnapshot, ...] = ()
 
     @classmethod
     def from_single(cls, snap: GridSnapshot) -> "ShardedGridSnapshot":
-        """Adopt a v1 single-grid snapshot as a 1-shard layout."""
+        """Adopt a single-grid snapshot as a 1-shard layout."""
         return cls(
             n_rows=snap.n_rows, n_cols=snap.n_cols,
             x0=snap.x0, y0=snap.y0, cell_w=snap.cell_w, cell_h=snap.cell_h,
@@ -257,6 +281,7 @@ class ShardedGridSnapshot:
                 row0=0, row1=snap.n_rows, col0=0, col1=snap.n_cols,
                 cell_weights=snap.cell_weights,
                 cell_counts=snap.cell_counts),),
+            levels=snap.levels,
         )
 
     def tiles_exactly(self) -> bool:
@@ -295,12 +320,37 @@ class GridShardManifest:
 
 
 @dataclass(frozen=True, slots=True)
+class GridLevelManifest:
+    """Catalog entry describing one pyramid level's blob (format v3)."""
+
+    file: str
+    scale: int
+    n_rows: int
+    n_cols: int
+
+    def to_json(self) -> Dict[str, object]:
+        return {"file": self.file, "scale": self.scale,
+                "n_rows": self.n_rows, "n_cols": self.n_cols}
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "GridLevelManifest":
+        try:
+            return cls(file=str(data["file"]), scale=int(data["scale"]),
+                       n_rows=int(data["n_rows"]), n_cols=int(data["n_cols"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PersistError(f"malformed grid level manifest entry: {exc}") from exc
+
+
+@dataclass(frozen=True, slots=True)
 class GridManifest:
     """Catalog entry describing one persisted grid index.
 
-    Two layouts share this entry: the version-1 single-blob grid (``file``
-    set, ``shards`` ``None``) and the version-2 sharded grid (``shards`` set,
-    ``file`` ``None``).  Exactly one of the two must be present.
+    Two base layouts share this entry: the version-1 single-blob grid
+    (``file`` set, ``shards`` ``None``) and the version-2 sharded grid
+    (``shards`` set, ``file`` ``None``).  Exactly one of the two must be
+    present.  ``levels`` (format v3) is orthogonal to the base layout: the
+    pyramid rolls up from the *global* aggregates, so either layout may
+    carry level blobs (finest first).
     """
 
     file: Optional[str]
@@ -311,12 +361,18 @@ class GridManifest:
     cell_w: float
     cell_h: float
     shards: Optional[Tuple[GridShardManifest, ...]] = None
+    levels: Optional[Tuple[GridLevelManifest, ...]] = None
 
     def files(self) -> Tuple[str, ...]:
         """Every blob file this grid entry references."""
+        base: Tuple[str, ...]
         if self.shards is not None:
-            return tuple(shard.file for shard in self.shards)
-        return (self.file,) if self.file is not None else ()
+            base = tuple(shard.file for shard in self.shards)
+        else:
+            base = (self.file,) if self.file is not None else ()
+        if self.levels:
+            base += tuple(level.file for level in self.levels)
+        return base
 
     def to_json(self) -> Dict[str, object]:
         document: Dict[str, object] = {
@@ -326,6 +382,8 @@ class GridManifest:
         }
         if self.shards is not None:
             document["shards"] = [shard.to_json() for shard in self.shards]
+        if self.levels:
+            document["levels"] = [level.to_json() for level in self.levels]
         return document
 
     @classmethod
@@ -338,6 +396,13 @@ class GridManifest:
                     raise ValueError("'shards' must be a non-empty list")
                 shards = tuple(GridShardManifest.from_json(entry)
                                for entry in raw_shards)
+            raw_levels = data.get("levels")
+            levels = None
+            if raw_levels is not None:
+                if not isinstance(raw_levels, list) or not raw_levels:
+                    raise ValueError("'levels' must be a non-empty list")
+                levels = tuple(GridLevelManifest.from_json(entry)
+                               for entry in raw_levels)
             raw_file = data.get("file")
             file = str(raw_file) if raw_file is not None else None
             if (file is None) == (shards is None):
@@ -348,7 +413,7 @@ class GridManifest:
                        n_rows=int(data["n_rows"]), n_cols=int(data["n_cols"]),
                        x0=float(data["x0"]), y0=float(data["y0"]),
                        cell_w=float(data["cell_w"]), cell_h=float(data["cell_h"]),
-                       shards=shards)
+                       shards=shards, levels=levels)
         except PersistError:
             raise
         except (KeyError, TypeError, ValueError) as exc:
@@ -478,14 +543,21 @@ def save_catalog(directory: Path, catalog: SnapshotCatalog) -> None:
     The stamped format version is the *lowest* one that can express the
     catalog: a store whose grids are all single-blob (or absent) is written
     as version 1, so it stays readable by pre-sharding builds after a
-    rollback; only a catalog actually containing sharded grid entries is
-    stamped version 2.
+    rollback; a catalog containing sharded grid entries but no pyramid
+    levels is stamped version 2, and only one actually carrying level blobs
+    is stamped version 3.
     """
     path = Path(directory) / CATALOG_FILENAME
-    sharded = any(manifest.grid is not None and manifest.grid.shards is not None
-                  for manifest in catalog.datasets.values())
+    grids = [manifest.grid for manifest in catalog.datasets.values()
+             if manifest.grid is not None]
+    if any(grid.levels for grid in grids):
+        version = CATALOG_VERSION
+    elif any(grid.shards is not None for grid in grids):
+        version = 2
+    else:
+        version = 1
     document = {
-        "format_version": CATALOG_VERSION if sharded else 1,
+        "format_version": version,
         "datasets": {dataset_id: manifest.to_json()
                      for dataset_id, manifest in sorted(catalog.datasets.items())},
     }

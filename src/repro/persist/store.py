@@ -42,6 +42,8 @@ from repro.persist.format import (
     POINTS_CODEC_NAME,
     RESULT_CODEC,
     DatasetManifest,
+    GridLevelManifest,
+    GridLevelSnapshot,
     GridManifest,
     GridShardManifest,
     GridShardSnapshot,
@@ -150,9 +152,10 @@ class SnapshotStore:
         ``grid`` may be a single-grid :class:`GridSnapshot` (persisted as one
         blob, the format-v1 layout) or a :class:`ShardedGridSnapshot`
         (persisted as **one blob per shard**, so a warm start can verify and
-        adopt the shards in parallel).  Overwrites any existing snapshot under
-        ``dataset_id``.  Returns the new manifest; the catalog file is
-        rewritten atomically.
+        adopt the shards in parallel).  Either kind may carry pyramid levels,
+        persisted as one checksummed blob per coarse level (format v3).
+        Overwrites any existing snapshot under ``dataset_id``.  Returns the
+        new manifest; the catalog file is rewritten atomically.
         """
         self.root.mkdir(parents=True, exist_ok=True)
         fingerprint = fingerprint_columns(xs, ys, ws)
@@ -177,6 +180,7 @@ class SnapshotStore:
                 file=grid_file, n_rows=grid.n_rows, n_cols=grid.n_cols,
                 x0=grid.x0, y0=grid.y0,
                 cell_w=grid.cell_w, cell_h=grid.cell_h,
+                levels=self._save_grid_levels(stem, grid),
             )
 
         # Re-saving byte-identical data keeps any persisted results (they are
@@ -227,7 +231,35 @@ class SnapshotStore:
             file=None, n_rows=grid.n_rows, n_cols=grid.n_cols,
             x0=grid.x0, y0=grid.y0, cell_w=grid.cell_w, cell_h=grid.cell_h,
             shards=tuple(shard_manifests),
+            levels=self._save_grid_levels(stem, grid),
         )
+
+    def _save_grid_levels(self, stem: str,
+                          grid: Union[GridSnapshot, ShardedGridSnapshot],
+                          ) -> Optional[tuple]:
+        """Write one aggregate blob per pyramid level (format v3).
+
+        Level blobs reuse the grid blob layout (weights column, counts
+        column) behind the same checksummed header, so every level gets its
+        own integrity check.  The name carries the *base* resolution plus the
+        level scale and shape: the same data rolled up under a different
+        pyramid configuration is different content.
+        """
+        if not grid.levels:
+            return None
+        manifests = []
+        for level in grid.levels:
+            level_file = (f"{stem}-{grid.n_rows}x{grid.n_cols}"
+                          f"-L{level.scale}-{level.n_rows}x{level.n_cols}.grid")
+            self._write_columns(
+                level_file,
+                [level.cell_weights.ravel(),
+                 level.cell_counts.ravel().astype(np.float64)],
+            )
+            manifests.append(GridLevelManifest(
+                file=level_file, scale=level.scale,
+                n_rows=level.n_rows, n_cols=level.n_cols))
+        return tuple(manifests)
 
     def save_results(self, dataset_id: str,
                      records: List[tuple]) -> DatasetManifest:
@@ -504,7 +536,34 @@ class SnapshotStore:
             x0=manifest.x0, y0=manifest.y0,
             cell_w=manifest.cell_w, cell_h=manifest.cell_h,
             cell_weights=weights, cell_counts=counts,
+            levels=self._load_grid_levels(dataset_id, manifest),
         )
+
+    def _load_grid_levels(self, dataset_id: str, manifest: GridManifest
+                          ) -> tuple:
+        """Read the pyramid level blobs back (empty for v1/v2 manifests).
+
+        A missing or corrupt level blob raises
+        :class:`~repro.errors.PersistError`, which the caller surfaces as
+        ``grid_error`` -- the whole index is rebuilt rather than served with
+        an unverifiable level.  Roll-up consistency against the base
+        aggregates is re-checked at adoption time (``adopt_pyramid``).
+        """
+        if not manifest.levels:
+            return ()
+        levels = []
+        for level in manifest.levels:
+            if level.n_rows < 1 or level.n_cols < 1 or level.scale < 2:
+                raise PersistError(
+                    f"grid level of {dataset_id!r} has degenerate shape "
+                    f"{level.n_rows} x {level.n_cols} at scale {level.scale}"
+                )
+            weights, counts = self._read_grid_blob(
+                dataset_id, level.file, level.n_rows, level.n_cols)
+            levels.append(GridLevelSnapshot(
+                scale=level.scale, n_rows=level.n_rows, n_cols=level.n_cols,
+                cell_weights=weights, cell_counts=counts))
+        return tuple(levels)
 
     def _load_sharded_grid(self, dataset_id: str,
                            manifest: GridManifest) -> ShardedGridSnapshot:
@@ -528,6 +587,7 @@ class SnapshotStore:
             x0=manifest.x0, y0=manifest.y0,
             cell_w=manifest.cell_w, cell_h=manifest.cell_h,
             shards=tuple(shards),
+            levels=self._load_grid_levels(dataset_id, manifest),
         )
         if not snap.tiles_exactly():
             raise PersistError(

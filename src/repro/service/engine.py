@@ -42,7 +42,7 @@ import threading
 import time
 import warnings
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -70,7 +70,7 @@ from repro.geometry import Point, WeightedPoint
 from repro.persist.format import ShardedGridSnapshot
 from repro.persist.store import SnapshotStore
 from repro.service.cache import LRUCache
-from repro.service.grid_index import GridIndex
+from repro.service.grid_index import _PRUNE_SLACK, GridIndex
 from repro.service.metrics import EngineMetrics
 from repro.service.sharding import (
     ExecutorSpec,
@@ -105,6 +105,15 @@ class QuerySpec:
     ``refine=True`` (default) returns exact answers; ``refine=False`` returns
     the fast grid-window approximation (a lower bound with an achievable
     placement).
+
+    ``error_bound=`` requests the bounded-error fast path: the engine
+    descends the grid pyramid only far enough to *certify* that the true
+    optimum is within ``error_bound`` (relative) of the answer it returns,
+    and reports the certified gap on the result's ``gap`` field.  When the
+    pyramid cannot certify early the query falls through to the exact sweep
+    (``gap == 0.0``).  MaxkRS cannot express a certified gap (its k strips
+    interact non-locally), so ``error_bound`` is rejected for it, as it is
+    for ``refine=False`` (the unrefined estimate carries no certificate).
     """
 
     kind: str = "maxrs"
@@ -113,6 +122,7 @@ class QuerySpec:
     k: int = 1
     diameter: Optional[float] = None
     refine: bool = True
+    error_bound: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -132,11 +142,29 @@ class QuerySpec:
             raise ConfigurationError(
                 f"maxcrs queries need a positive diameter, got {self.diameter}"
             )
+        if self.error_bound is not None:
+            if self.kind == "maxkrs":
+                raise ConfigurationError(
+                    "maxkrs queries cannot be served with a certified "
+                    "error bound; use exact maxkrs"
+                )
+            if not (math.isfinite(self.error_bound) and self.error_bound > 0):
+                raise ConfigurationError(
+                    f"error_bound must be a positive finite relative gap, "
+                    f"got {self.error_bound}"
+                )
+            if not self.refine:
+                raise ConfigurationError(
+                    "error_bound needs refine=True: the unrefined grid "
+                    "estimate carries no optimality certificate"
+                )
 
     @classmethod
-    def maxrs(cls, width: float, height: float, *, refine: bool = True) -> "QuerySpec":
+    def maxrs(cls, width: float, height: float, *, refine: bool = True,
+              error_bound: Optional[float] = None) -> "QuerySpec":
         """A plain MaxRS query for a ``width x height`` rectangle."""
-        return cls(kind="maxrs", width=width, height=height, refine=refine)
+        return cls(kind="maxrs", width=width, height=height, refine=refine,
+                   error_bound=error_bound)
 
     @classmethod
     def maxkrs(cls, width: float, height: float, k: int) -> "QuerySpec":
@@ -144,14 +172,16 @@ class QuerySpec:
         return cls(kind="maxkrs", width=width, height=height, k=k)
 
     @classmethod
-    def maxcrs(cls, diameter: float, *, refine: bool = True) -> "QuerySpec":
+    def maxcrs(cls, diameter: float, *, refine: bool = True,
+               error_bound: Optional[float] = None) -> "QuerySpec":
         """A MaxCRS query for a circle of ``diameter``."""
-        return cls(kind="maxcrs", diameter=diameter, refine=refine)
+        return cls(kind="maxcrs", diameter=diameter, refine=refine,
+                   error_bound=error_bound)
 
     def cache_params(self) -> Tuple[Hashable, ...]:
         """The parameter tuple identifying this query in the result cache."""
         return (self.kind, self.width, self.height, self.k, self.diameter,
-                self.refine)
+                self.refine, self.error_bound)
 
 
 class MaxRSEngine:
@@ -167,6 +197,13 @@ class MaxRSEngine:
     target_points_per_cell, max_cells_per_side:
         Grid-index resolution knobs, passed to
         :class:`~repro.service.grid_index.GridIndex`.
+    pyramid_levels:
+        Depth of the grid pyramid built on top of each dataset's base grid
+        (the base level counts, so ``1`` keeps the flat grid and ``None``
+        -- the default -- rolls up 2x-coarser levels until one side fits in
+        a handful of cells).  The pyramid powers the ``error_bound=``
+        bounded-error query mode; exact queries never consult it, so any
+        depth serves bit-identical exact answers.
     maxcrs_exact_limit:
         MaxCRS queries run the quadratic exact circle solver on the pruned
         subset; when the subset exceeds this many points the engine raises
@@ -240,6 +277,7 @@ class MaxRSEngine:
                  max_workers: Optional[int] = None,
                  target_points_per_cell: int = 1,
                  max_cells_per_side: int = 512,
+                 pyramid_levels: Optional[int] = None,
                  maxcrs_exact_limit: int = 5_000,
                  sweep_backend: BackendSpec = None,
                  shards: Optional[int] = None,
@@ -255,6 +293,10 @@ class MaxRSEngine:
         if shards is not None and shards < 1:
             raise ConfigurationError(
                 f"shards must be positive (or None for auto), got {shards}")
+        if pyramid_levels is not None and pyramid_levels < 1:
+            raise ConfigurationError(
+                f"pyramid_levels must be positive (or None for auto), "
+                f"got {pyramid_levels}")
         # Fail at the configuration site, not on the first registration (or,
         # worse, from stats()): resolving validates names and the protocol.
         resolve_executor(shard_executor, 2)
@@ -270,6 +312,7 @@ class MaxRSEngine:
         self.shard_executor = shard_executor
         self._target_points_per_cell = target_points_per_cell
         self._max_cells_per_side = max_cells_per_side
+        self._pyramid_levels = pyramid_levels
         self._grids: Dict[str, Optional[AnyGridIndex]] = {}
         self._persist_grid = persist_grid
         self._restore_errors: Dict[str, str] = {}
@@ -596,6 +639,7 @@ class MaxRSEngine:
                 arena=self._shared_arena_for(entry, executor),
                 target_points_per_cell=self._target_points_per_cell,
                 max_cells_per_side=self._max_cells_per_side,
+                pyramid_levels=self._pyramid_levels,
                 timing_hook=self.metrics.observe_shard,
                 counter_hook=self.metrics.increment,
             )
@@ -608,6 +652,7 @@ class MaxRSEngine:
             *entry.columns(),
             target_points_per_cell=self._target_points_per_cell,
             max_cells_per_side=self._max_cells_per_side,
+            pyramid_levels=self._pyramid_levels,
         )
 
     def _shared_arena_for(self, entry: RegisteredDataset, executor):
@@ -788,10 +833,11 @@ class MaxRSEngine:
         """RESULT_CODEC records for one fingerprint's cached refined answers."""
         records = []
         for key, value, cost in entries:
-            if not (isinstance(key, tuple) and len(key) == 7):
+            if not (isinstance(key, tuple) and len(key) == 8):
                 continue
-            fp, kind, width, height, k, diameter, refine = key
-            if fp != fingerprint or kind != "maxrs" or refine is not True:
+            fp, kind, width, height, k, diameter, refine, error_bound = key
+            if fp != fingerprint or kind != "maxrs" or refine is not True \
+                    or error_bound is not None:
                 continue
             if not isinstance(value, MaxRSResult) or value.region is None:
                 continue
@@ -817,7 +863,8 @@ class MaxRSEngine:
                 total_weight=total_weight, io=None,
                 recursion_levels=int(levels), leaf_count=int(leaves),
             )
-            key = (handle.fingerprint, "maxrs", width, height, 1, None, True)
+            key = (handle.fingerprint, "maxrs", width, height, 1, None, True,
+                   None)
             self.cache.put(key, result, cost=max(0.0, cost))
         if records:
             self.metrics.increment("results_restored", len(records))
@@ -902,10 +949,12 @@ class MaxRSEngine:
                 entry.xs, entry.ys, entry.ws, snap,
                 executor=executor,
                 arena=self._shared_arena_for(entry, executor),
+                pyramid_levels=self._pyramid_levels,
                 timing_hook=self.metrics.observe_shard,
                 counter_hook=self.metrics.increment,
             )
-        return GridIndex.from_snapshot(entry.xs, entry.ys, entry.ws, snap)
+        return GridIndex.from_snapshot(entry.xs, entry.ys, entry.ws, snap,
+                                       pyramid_levels=self._pyramid_levels)
 
     def grid_index(self, dataset: Union[str, DatasetHandle]
                    ) -> Optional[AnyGridIndex]:
@@ -1132,7 +1181,12 @@ class MaxRSEngine:
     # ------------------------------------------------------------------ #
     def _compute(self, entry: RegisteredDataset, spec: QuerySpec) -> QueryResult:
         if spec.kind == "maxrs":
-            return self._compute_maxrs(entry, spec)
+            if spec.error_bound is None:
+                return self._compute_maxrs(entry, spec)
+            grid = self._grids.get(entry.handle.dataset_id)
+            if grid is None:  # empty dataset: the exact answer is free
+                return replace(self._compute_maxrs(entry, spec), gap=0.0)
+            return self._bounded_maxrs(entry, spec, grid)
         if spec.kind == "maxkrs":
             # Top-k strips may lie anywhere (the 2nd best placement can sit in
             # a region the bound would prune), so MaxkRS always solves the
@@ -1142,6 +1196,11 @@ class MaxRSEngine:
                     entry.objects, spec.width, spec.height, spec.k,
                     force_in_memory=True,
                     backend=self._backend_for(entry.count)))
+        if spec.error_bound is not None:
+            grid = self._grids.get(entry.handle.dataset_id)
+            if grid is None:
+                return replace(self._compute_maxcrs(entry, spec), gap=0.0)
+            return self._bounded_maxcrs(entry, spec, grid)
         return self._compute_maxcrs(entry, spec)
 
     def _compute_maxrs(self, entry: RegisteredDataset,
@@ -1159,6 +1218,7 @@ class MaxRSEngine:
             row, col, _ = grid.best_cell(width, height, bounds)
             probe_indices = grid.points_in_window(row, col, width, height)
             approx_span.set_attribute("probe_points", int(len(probe_indices)))
+            self.metrics.increment("swept_points", int(len(probe_indices)))
             probe = solve_in_memory(
                 entry.subset(probe_indices), width, height,
                 backend=self._backend_for(len(probe_indices)))
@@ -1171,6 +1231,7 @@ class MaxRSEngine:
             subset_indices = grid.points_in_mask(grid.dilate(mask, width, height))
             refine_span.set_attribute("subset_points",
                                       int(len(subset_indices)))
+            self.metrics.increment("swept_points", int(len(subset_indices)))
             if len(subset_indices) == entry.count:
                 self.metrics.increment("refine_unpruned")
                 refine_span.set_attribute("pruned", False)
@@ -1204,6 +1265,7 @@ class MaxRSEngine:
             probe_indices = grid.points_in_window(row, col, diameter, diameter)
             approx_span.set_attribute("probe_points", int(len(probe_indices)))
             self._check_maxcrs_budget(len(probe_indices))
+            self.metrics.increment("swept_points", int(len(probe_indices)))
             centre, weight = exact_maxcrs(entry.subset(probe_indices), diameter)
         if not spec.refine:
             return MaxCRSResult(location=centre, total_weight=weight)
@@ -1215,9 +1277,136 @@ class MaxRSEngine:
             refine_span.set_attribute("subset_points",
                                       int(len(subset_indices)))
             self._check_maxcrs_budget(len(subset_indices))
+            self.metrics.increment("swept_points", int(len(subset_indices)))
             if not np.array_equal(subset_indices, probe_indices):
                 centre, weight = exact_maxcrs(entry.subset(subset_indices), diameter)
             return MaxCRSResult(location=centre, total_weight=weight)
+
+    # ------------------------------------------------------------------ #
+    # Bounded-error fast path (pyramid descent)
+    # ------------------------------------------------------------------ #
+    def _descend(self, grid: AnyGridIndex, width: float, height: float,
+                 anchor: float, error_bound: float,
+                 base_bounds: np.ndarray
+                 ) -> Tuple[float, Optional[np.ndarray]]:
+        """Coarse-to-fine pyramid descent around an achievable ``anchor``.
+
+        Walks from the coarsest pyramid level down to the base grid.  Each
+        level evaluates its window-sum upper bounds only on cells whose
+        ancestors survived, kills cells that cannot beat the anchor, and
+        *certifies* as soon as the surviving maximum bound ``U`` is within
+        ``error_bound`` of the anchor -- sound because every killed cell's
+        bound caps all placements centred in it below the anchor, so the
+        true optimum is at most ``max(U, anchor)``.
+
+        Returns ``(gap, live_mask)``: ``live_mask is None`` means certified
+        (serve the anchor answer with that ``gap``); otherwise ``live_mask``
+        is the base-resolution survivor mask for the exact fall-through.
+        """
+        slack = _PRUNE_SLACK * max(1.0, abs(anchor))
+        mask: Optional[np.ndarray] = None
+        for level in (*reversed(grid.levels), None):
+            scale = 1 if level is None else level.scale
+            with obs.span(f"grid.descend[{scale}]") as span:
+                bounds = (base_bounds if level is None
+                          else grid.level_bounds(level, width, height))
+                if mask is None:
+                    live = bounds >= anchor - slack
+                else:
+                    mask = grid.refine_level_mask(mask, bounds.shape[0],
+                                                  bounds.shape[1])
+                    live = mask & (bounds >= anchor - slack)
+                upper = float(bounds[live].max()) if live.any() else -math.inf
+                gap = _certified_gap(anchor, upper)
+                span.set_attribute("live_cells", int(live.sum()))
+                span.set_attribute("gap", gap if math.isfinite(gap) else -1.0)
+                self.metrics.increment("descent_levels")
+                if gap <= error_bound:
+                    self.metrics.increment("descent_certified")
+                    self.metrics.increment(f"descent_stop_level_{scale}")
+                    return gap, None
+                mask = live
+        self.metrics.increment("descent_stop_exact")
+        return 0.0, mask
+
+    def _bounded_maxrs(self, entry: RegisteredDataset, spec: QuerySpec,
+                       grid: AnyGridIndex) -> MaxRSResult:
+        """MaxRS with a certified optimality gap: probe once at the base
+        grid's best window (an achievable anchor), then descend the pyramid
+        only far enough to certify ``spec.error_bound``; fall through to the
+        exact sweep on the surviving cells when certification fails."""
+        width, height = spec.width, spec.height
+        with self.metrics.time_stage("approximate"), \
+                obs.span("engine.approximate") as approx_span:
+            bounds = grid.upper_bounds(width, height)
+            row, col, _ = grid.best_cell(width, height, bounds)
+            probe_indices = grid.points_in_window(row, col, width, height)
+            approx_span.set_attribute("probe_points", int(len(probe_indices)))
+            self.metrics.increment("swept_points", int(len(probe_indices)))
+            probe = solve_in_memory(
+                entry.subset(probe_indices), width, height,
+                backend=self._backend_for(len(probe_indices)))
+        self.metrics.increment("pyramid_descents")
+        with self.metrics.time_stage("descend"):
+            gap, live = self._descend(grid, width, height,
+                                      probe.total_weight, spec.error_bound,
+                                      bounds)
+        if live is None:
+            return replace(probe, gap=gap)
+        with self.metrics.time_stage("refine"), \
+                obs.span("engine.refine") as refine_span:
+            mask = grid.candidate_mask(width, height, probe.total_weight,
+                                       bounds) & live
+            subset_indices = grid.points_in_mask(
+                grid.dilate(mask, width, height))
+            refine_span.set_attribute("subset_points",
+                                      int(len(subset_indices)))
+            self.metrics.increment("swept_points", int(len(subset_indices)))
+            if np.array_equal(subset_indices, probe_indices):
+                result = probe
+            else:
+                result = solve_in_memory(
+                    entry.subset(subset_indices), width, height,
+                    backend=self._backend_for(len(subset_indices)))
+            return replace(_restore_closing_hline(result, entry, height),
+                           gap=0.0)
+
+    def _bounded_maxcrs(self, entry: RegisteredDataset, spec: QuerySpec,
+                        grid: AnyGridIndex) -> MaxCRSResult:
+        """MaxCRS with a certified gap against the square-window bound (a
+        circle fits in its bounding square, so the pyramid's rectangle
+        bounds cap circle placements too)."""
+        diameter = spec.diameter
+        with self.metrics.time_stage("approximate"), \
+                obs.span("engine.approximate") as approx_span:
+            bounds = grid.upper_bounds(diameter, diameter)
+            row, col, _ = grid.best_cell(diameter, diameter, bounds)
+            probe_indices = grid.points_in_window(row, col, diameter, diameter)
+            approx_span.set_attribute("probe_points", int(len(probe_indices)))
+            self._check_maxcrs_budget(len(probe_indices))
+            self.metrics.increment("swept_points", int(len(probe_indices)))
+            centre, weight = exact_maxcrs(entry.subset(probe_indices),
+                                          diameter)
+        self.metrics.increment("pyramid_descents")
+        with self.metrics.time_stage("descend"):
+            gap, live = self._descend(grid, diameter, diameter, weight,
+                                      spec.error_bound, bounds)
+        if live is None:
+            return MaxCRSResult(location=centre, total_weight=weight, gap=gap)
+        with self.metrics.time_stage("refine"), \
+                obs.span("engine.refine") as refine_span:
+            mask = grid.candidate_mask(diameter, diameter, weight,
+                                       bounds) & live
+            subset_indices = grid.points_in_mask(
+                grid.dilate(mask, diameter, diameter))
+            refine_span.set_attribute("subset_points",
+                                      int(len(subset_indices)))
+            self._check_maxcrs_budget(len(subset_indices))
+            self.metrics.increment("swept_points", int(len(subset_indices)))
+            if not np.array_equal(subset_indices, probe_indices):
+                centre, weight = exact_maxcrs(entry.subset(subset_indices),
+                                              diameter)
+            return MaxCRSResult(location=centre, total_weight=weight, gap=0.0)
 
     def _check_maxcrs_budget(self, subset_size: int) -> None:
         """Refuse MaxCRS work that would hang the engine.
@@ -1271,6 +1460,21 @@ def _restore_closing_hline(result: MaxRSResult, entry: RegisteredDataset,
     )
 
 
+def _certified_gap(anchor: float, upper: float) -> float:
+    """The relative optimality gap certified by a surviving bound ``upper``.
+
+    ``anchor`` is achievable, so the true optimum lies in
+    ``[anchor, max(upper, anchor)]``; a non-positive anchor cannot certify a
+    *relative* gap (returns ``inf``, forcing the exact fall-through) unless
+    the bound already proves the anchor optimal.
+    """
+    if upper <= anchor:
+        return 0.0
+    if anchor <= 0.0:
+        return math.inf
+    return (upper - anchor) / anchor
+
+
 def _grid_layout_matches(grid_manifest, grid: "AnyGridIndex") -> bool:
     """Whether a persisted grid manifest matches an index's exact layout.
 
@@ -1284,6 +1488,8 @@ def _grid_layout_matches(grid_manifest, grid: "AnyGridIndex") -> bool:
     if (grid_manifest.n_rows, grid_manifest.n_cols) != (grid.n_rows,
                                                         grid.n_cols):
         return False
+    if len(grid_manifest.levels or ()) != len(grid.levels):
+        return False  # pyramid depth changed: refresh the durable levels
     if isinstance(grid, ShardedGridIndex):
         if grid_manifest.shards is None:
             return False

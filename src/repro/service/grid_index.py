@@ -30,24 +30,47 @@ Two serving primitives build on the bound:
 
 The same window bound is valid for circles of diameter ``d`` (a circle fits
 inside its bounding square), so the engine reuses it for MaxCRS pruning.
+
+**The grid pyramid.**  On uniform data the flat bound barely prunes: at a
+fixed cell granularity every window sum is close to the mean, so exact
+queries degenerate toward a full sweep.  The fix is hierarchical roll-up: on
+top of the base grid the index keeps a **pyramid** of levels, each 2x
+coarser than the one below, whose per-cell aggregates are rolled up
+bottom-to-top at registration (one vectorised reshape-sum per level, a
+geometric series totalling ``O(#cells)``).  Every level supports the *same*
+window-bound machinery at its own granularity -- a placement centred in a
+level cell is centred in one of its base cells, so a level bound is a true
+upper bound for every contained base cell and killing a level cell safely
+kills all its descendants.  Queries with a certified ``error_bound`` descend
+the pyramid coarse-to-fine (see the engine), stopping as soon as the gap
+between the best achievable answer and the surviving upper bound is small
+enough; exact queries keep using the base level verbatim, which is what
+makes the pyramid bit-identical to the flat grid whenever ``error_bound``
+is unset.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, NamedTuple, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError, PersistError
-from repro.persist.format import GridSnapshot
+from repro.persist.format import GridLevelSnapshot, GridSnapshot
 
-__all__ = ["GridGeometry", "GridIndex", "GridQueryOps", "plan_geometry"]
+__all__ = ["GridGeometry", "GridIndex", "GridLevel", "GridQueryOps",
+           "adopt_pyramid", "build_pyramid", "plan_geometry",
+           "rollup_aggregates"]
 
 #: Relative slack applied when comparing upper bounds against a lower bound,
 #: guarding against prefix-sum rounding pruning a borderline-optimal cell.
 #: Extra surviving cells cost time, never correctness.
 _PRUNE_SLACK = 1e-6
+
+#: Stop rolling up once both axes of a level fit in this many cells: an even
+#: coarser summary could not separate anything a 4x4 table cannot.
+_MIN_LEVEL_SIDE = 4
 
 
 def _axis_halo(half_extent: float, cell_size: float, limit: int) -> int:
@@ -56,6 +79,190 @@ def _axis_halo(half_extent: float, cell_size: float, limit: int) -> int:
     if not math.isfinite(ratio) or ratio >= limit:
         return limit
     return min(limit, int(ratio) + 2)
+
+
+def _prefix_window_sums(prefix: np.ndarray, n_rows: int, n_cols: int,
+                        halo_rows: int, halo_cols: int) -> np.ndarray:
+    """Halo window sums for every cell from a zero-padded prefix table.
+
+    Four lookups per cell, clamped at the grid edges -- the one formula every
+    granularity (base grid, pyramid levels, worker-side shard blocks) uses.
+    """
+    rows = np.arange(n_rows)
+    cols = np.arange(n_cols)
+    lo_r = np.maximum(rows - halo_rows, 0)
+    hi_r = np.minimum(rows + halo_rows, n_rows - 1) + 1
+    lo_c = np.maximum(cols - halo_cols, 0)
+    hi_c = np.minimum(cols + halo_cols, n_cols - 1) + 1
+    return (prefix[np.ix_(hi_r, hi_c)] - prefix[np.ix_(lo_r, hi_c)]
+            - prefix[np.ix_(hi_r, lo_c)] + prefix[np.ix_(lo_r, lo_c)])
+
+
+def rollup_aggregates(values: np.ndarray) -> np.ndarray:
+    """One 2x-coarser roll-up of a per-cell aggregate table.
+
+    Odd extents are zero-padded to even before the fold, so a coarse cell
+    always covers exactly a 2x2 block of finer cells (padding cells are empty
+    and cannot change any sum).  A single vectorised reshape-sum: the tables
+    are at most ``max_cells_per_side^2`` so -- unlike the event streams the
+    sweep backends chunk (:mod:`repro.core.backends`) -- one pass is already
+    cache-resident and the whole pyramid build is a geometric series of
+    these, ``O(#cells)`` total.
+    """
+    rows, cols = values.shape
+    r2, c2 = (rows + 1) // 2, (cols + 1) // 2
+    if (rows, cols) != (r2 * 2, c2 * 2):
+        padded = np.zeros((r2 * 2, c2 * 2), dtype=values.dtype)
+        padded[:rows, :cols] = values
+        values = padded
+    return values.reshape(r2, 2, c2, 2).sum(axis=(1, 3))
+
+
+class GridLevel:
+    """One coarse pyramid level: ``scale`` base cells fold into one per axis.
+
+    Carries the rolled-up aggregates plus the level's own zero-padded
+    prefix-sum table, so the ``O(#cells)`` window-bound machinery runs
+    unchanged at every granularity.  The aggregate arrays may be shared-
+    memory views (the multiprocess data plane allocates them in the index
+    arena); treat them as read-only after construction.
+    """
+
+    __slots__ = ("scale", "n_rows", "n_cols", "cell_weights", "cell_counts",
+                 "_prefix")
+
+    def __init__(self, scale: int, cell_weights: np.ndarray,
+                 cell_counts: np.ndarray) -> None:
+        self.scale = int(scale)
+        self.cell_weights = cell_weights
+        self.cell_counts = cell_counts
+        self.n_rows, self.n_cols = cell_weights.shape
+        self._prefix = np.zeros((self.n_rows + 1, self.n_cols + 1),
+                                dtype=np.float64)
+        np.cumsum(np.cumsum(cell_weights, axis=0), axis=1,
+                  out=self._prefix[1:, 1:])
+
+    def window_sums(self, halo_rows: int, halo_cols: int) -> np.ndarray:
+        """Halo window sums over this level's cells (clamped at the edges)."""
+        return _prefix_window_sums(self._prefix, self.n_rows, self.n_cols,
+                                   halo_rows, halo_cols)
+
+    def detach(self) -> "GridLevel":
+        """A heap-backed copy (for releasing shared-memory arenas)."""
+        return GridLevel(self.scale, np.array(self.cell_weights),
+                         np.array(self.cell_counts))
+
+
+def pyramid_shapes(n_rows: int, n_cols: int,
+                   pyramid_levels: Optional[int] = None,
+                   ) -> List[Tuple[int, int, int]]:
+    """The ``(scale, rows, cols)`` of every coarse level above a base grid.
+
+    Pure geometry -- the sharded index uses it to size shared-memory arenas
+    before any aggregate exists, and the restore path to validate persisted
+    blobs.  ``pyramid_levels`` counts the base: ``1`` (or an axis already at
+    most ``_MIN_LEVEL_SIDE`` cells) means a flat, level-free grid.
+    """
+    if pyramid_levels is not None and pyramid_levels < 1:
+        raise ConfigurationError(
+            f"pyramid_levels must be at least 1 (the base grid), "
+            f"got {pyramid_levels}")
+    shapes: List[Tuple[int, int, int]] = []
+    rows, cols, scale = n_rows, n_cols, 1
+    while max(rows, cols) > _MIN_LEVEL_SIDE:
+        if pyramid_levels is not None and len(shapes) + 1 >= pyramid_levels:
+            break
+        rows, cols = (rows + 1) // 2, (cols + 1) // 2
+        scale *= 2
+        shapes.append((scale, rows, cols))
+    return shapes
+
+
+def build_pyramid(cell_weights: np.ndarray, cell_counts: np.ndarray, *,
+                  pyramid_levels: Optional[int] = None,
+                  out: Optional[Sequence[Tuple[np.ndarray, np.ndarray]]] = None,
+                  ) -> Tuple[GridLevel, ...]:
+    """Roll base aggregates up into the coarse levels (finest first).
+
+    ``levels[0]`` is 2x coarser than the base, each next entry 2x coarser
+    again, stopping at ``_MIN_LEVEL_SIDE`` or after ``pyramid_levels`` total
+    levels (base included).  ``out``, when given, supplies pre-allocated
+    ``(weights, counts)`` destination arrays per level (the sharded index
+    points these into a shared-memory arena); the roll-up is written through
+    them so workers see the filled tables.
+    """
+    levels: List[GridLevel] = []
+    weights, counts = cell_weights, cell_counts
+    for index, (scale, rows, cols) in enumerate(
+            pyramid_shapes(*cell_weights.shape,
+                           pyramid_levels=pyramid_levels)):
+        weights = rollup_aggregates(weights)
+        counts = rollup_aggregates(counts)
+        if out is not None:
+            dest_w, dest_c = out[index]
+            np.copyto(dest_w, weights, casting="no")
+            np.copyto(dest_c, counts, casting="same_kind")
+            weights, counts = dest_w, dest_c
+        levels.append(GridLevel(scale, weights, counts))
+    return tuple(levels)
+
+
+def adopt_pyramid(cell_weights: np.ndarray, cell_counts: np.ndarray,
+                  level_snaps: Sequence[GridLevelSnapshot], *,
+                  pyramid_levels: Optional[int] = None,
+                  ) -> Tuple[GridLevel, ...]:
+    """Verify persisted pyramid levels against a fresh roll-up, then adopt.
+
+    Each persisted level is checked against the roll-up of the level below
+    it: counts must match exactly, weights to float tolerance (the
+    reshape-sum reduction order may differ across numpy versions).  Any
+    disagreement raises :class:`~repro.errors.PersistError` -- a stale blob
+    must never loosen a bound -- and callers fall back to a full rebuild.
+    The *persisted* arrays are served, so a restarted engine's level bounds
+    are bit-identical to the ones it saved.  A configured ``pyramid_levels``
+    smaller than the persisted depth truncates; snapshots without levels
+    (catalog v1/v2) simply restore as a 1-level pyramid.
+    """
+    if pyramid_levels is not None:
+        level_snaps = level_snaps[:max(0, pyramid_levels - 1)]
+    levels: List[GridLevel] = []
+    weights, counts, scale = cell_weights, cell_counts, 1
+    for snap in level_snaps:
+        weights = rollup_aggregates(weights)
+        counts = rollup_aggregates(counts)
+        scale *= 2
+        persisted_w = np.asarray(snap.cell_weights, dtype=np.float64)
+        persisted_c = np.asarray(snap.cell_counts, dtype=np.int64)
+        if (int(snap.scale) != scale or persisted_w.shape != weights.shape
+                or persisted_c.shape != counts.shape):
+            raise PersistError(
+                f"persisted pyramid level has scale {snap.scale} and shape "
+                f"{persisted_w.shape}, expected scale {scale} and "
+                f"{weights.shape}")
+        if not np.array_equal(persisted_c, counts):
+            raise PersistError(
+                "persisted pyramid level counts disagree with the roll-up "
+                "of the level below; the snapshot is stale or corrupt")
+        tolerance = 1e-9 * max(1.0, float(np.abs(weights).max(initial=0.0)))
+        if not np.allclose(persisted_w, weights, rtol=0.0, atol=tolerance):
+            raise PersistError(
+                "persisted pyramid level weights disagree with the roll-up "
+                "of the level below; the snapshot is stale or corrupt")
+        levels.append(GridLevel(scale, persisted_w, persisted_c))
+        weights, counts = persisted_w, persisted_c
+    return tuple(levels)
+
+
+def snapshot_levels(levels: Sequence[GridLevel]) -> Tuple[GridLevelSnapshot, ...]:
+    """The persistable form of a pyramid (heap copies, finest first)."""
+    return tuple(
+        GridLevelSnapshot(
+            scale=level.scale, n_rows=level.n_rows, n_cols=level.n_cols,
+            cell_weights=np.array(level.cell_weights, dtype=np.float64),
+            cell_counts=np.array(level.cell_counts, dtype=np.int64),
+        )
+        for level in levels
+    )
 
 
 class GridGeometry(NamedTuple):
@@ -123,6 +330,57 @@ class GridQueryOps:
     are evaluated -- in one block, or fanned out per shard) and
     ``points_in_mask``.
     """
+
+    #: Coarse pyramid levels, finest first (``levels[0]`` is 2x coarser than
+    #: the base).  Shard-local partitions and pyramid-disabled indexes keep
+    #: the empty default -- every query path must work with a flat grid.
+    levels: Tuple[GridLevel, ...] = ()
+
+    def pyramid_depth(self) -> int:
+        """Total pyramid depth, base grid included (1 = flat)."""
+        return 1 + len(self.levels)
+
+    def level_halo(self, level: GridLevel, width: float,
+                   height: float) -> Tuple[int, int]:
+        """The query halo in *level* cells: the base margin rule, at scale."""
+        if width <= 0 or height <= 0:
+            raise ConfigurationError(
+                f"query extent must be positive, got {width} x {height}"
+            )
+        return (_axis_halo(height / 2.0, level.scale * self.cell_h,
+                           level.n_rows),
+                _axis_halo(width / 2.0, level.scale * self.cell_w,
+                           level.n_cols))
+
+    def level_bounds(self, level: GridLevel, width: float,
+                     height: float) -> np.ndarray:
+        """Per-level-cell upper bound on any placement centred there.
+
+        A placement centred in a level cell is centred in one of the base
+        cells it covers, and the level window (same halo rule, level-sized
+        cells) contains every point such a placement can reach -- so the
+        level bound dominates the base bound of every contained cell, and
+        discarding a level cell whose bound cannot reach the incumbent
+        safely discards all its descendants.
+        """
+        halo_rows, halo_cols = self.level_halo(level, width, height)
+        return level.window_sums(halo_rows, halo_cols)
+
+    @staticmethod
+    def refine_level_mask(mask: np.ndarray, n_rows: int,
+                          n_cols: int) -> np.ndarray:
+        """Expand a live-cell mask one level finer (2x), clipped to shape."""
+        return np.repeat(np.repeat(mask, 2, axis=0),
+                         2, axis=1)[:n_rows, :n_cols]
+
+    def level_stats(self) -> List[Dict[str, int]]:
+        """Shape/occupancy per coarse level (finest first), for stats()."""
+        return [
+            {"scale": level.scale, "rows": level.n_rows,
+             "cols": level.n_cols, "cells": level.n_rows * level.n_cols,
+             "occupied_cells": int((level.cell_counts > 0).sum())}
+            for level in self.levels
+        ]
 
     def halo(self, width: float, height: float) -> Tuple[int, int]:
         """Return the halo ``(rows, cols)`` for a ``width x height`` query.
@@ -224,11 +482,16 @@ class GridIndex(GridQueryOps):
         Upper limit on the number of rows/columns, bounding index memory and
         per-query aggregate work to ``O(max_cells_per_side^2)`` regardless of
         dataset size.
+    pyramid_levels:
+        Total pyramid depth including the base grid.  ``None`` (default)
+        rolls up until the coarsest level fits in a few cells; ``1`` keeps
+        the grid flat (no coarse levels -- the pre-pyramid behaviour).
     """
 
     def __init__(self, xs: np.ndarray, ys: np.ndarray, ws: np.ndarray, *,
                  target_points_per_cell: int = 1,
-                 max_cells_per_side: int = 512) -> None:
+                 max_cells_per_side: int = 512,
+                 pyramid_levels: Optional[int] = None) -> None:
         self.count = len(xs)
         self._adopt_geometry(plan_geometry(
             xs, ys, target_points_per_cell=target_points_per_cell,
@@ -236,6 +499,8 @@ class GridIndex(GridQueryOps):
         self._assign_points(xs, ys)
         self._aggregate(ws)
         self._build_derived()
+        self.levels = build_pyramid(self.cell_weights, self.cell_counts,
+                                    pyramid_levels=pyramid_levels)
 
     @classmethod
     def from_cells(cls, ws: np.ndarray, point_cell: np.ndarray, *,
@@ -247,7 +512,9 @@ class GridIndex(GridQueryOps):
         boundary point can never land in different cells under different shard
         counts) and hands each shard its points' local cell ids.  Unlike the
         public constructor this accepts an **empty** partition -- a spatial
-        shard may own no points.
+        shard may own no points.  Shard partitions carry no pyramid: levels
+        roll up from the *global* aggregates (see ``ShardedGridIndex``),
+        never from a tile.
         """
         self = cls.__new__(cls)
         self.count = len(ws)
@@ -307,10 +574,11 @@ class GridIndex(GridQueryOps):
     def snapshot(self) -> GridSnapshot:
         """The persistable state of this index: geometry + cell aggregates.
 
-        The CSR point lists and the prefix-sum table are derived data and are
-        rebuilt (vectorised) by :meth:`from_snapshot`; only what cannot be
-        reproduced bit-identically from the point columns alone -- the chosen
-        resolution and the aggregate tables -- is part of the snapshot.
+        The CSR point lists and the prefix-sum tables are derived data and
+        are rebuilt (vectorised) by :meth:`from_snapshot`; only what cannot
+        be reproduced bit-identically from the point columns alone -- the
+        chosen resolution and the aggregate tables, base and pyramid levels
+        alike -- is part of the snapshot.
         """
         return GridSnapshot(
             n_rows=self.n_rows, n_cols=self.n_cols,
@@ -318,11 +586,13 @@ class GridIndex(GridQueryOps):
             cell_w=self.cell_w, cell_h=self.cell_h,
             cell_weights=self.cell_weights.copy(),
             cell_counts=self.cell_counts.astype(np.int64),
+            levels=snapshot_levels(self.levels),
         )
 
     @classmethod
     def from_snapshot(cls, xs: np.ndarray, ys: np.ndarray, ws: np.ndarray,
-                      snap: GridSnapshot) -> "GridIndex":
+                      snap: GridSnapshot, *,
+                      pyramid_levels: Optional[int] = None) -> "GridIndex":
         """Rebuild an index from persisted aggregates, verifying consistency.
 
         The persisted geometry is adopted verbatim -- a restarted engine
@@ -380,6 +650,9 @@ class GridIndex(GridQueryOps):
         self.cell_counts = snap.cell_counts.astype(np.int64).reshape(
             self.n_rows, self.n_cols)
         self._build_derived()
+        self.levels = adopt_pyramid(self.cell_weights, self.cell_counts,
+                                    snap.levels,
+                                    pyramid_levels=pyramid_levels)
         return self
 
     def _assign_points(self, xs: np.ndarray, ys: np.ndarray) -> None:
@@ -420,7 +693,7 @@ class GridIndex(GridQueryOps):
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
-    def stats(self) -> Dict[str, float]:
+    def stats(self) -> Dict[str, object]:
         """Shape and occupancy statistics (for ``MaxRSEngine.stats()``).
 
         ``shard_count`` / ``executor`` mirror the keys the sharded index
@@ -438,6 +711,8 @@ class GridIndex(GridQueryOps):
             "max_points_per_cell": int(self.cell_counts.max()),
             "shard_count": 1,
             "executor": "serial",
+            "pyramid_depth": self.pyramid_depth(),
+            "levels": self.level_stats(),
         }
 
     # ------------------------------------------------------------------ #
@@ -452,11 +727,5 @@ class GridIndex(GridQueryOps):
         else:
             prefix = np.zeros((self.n_rows + 1, self.n_cols + 1), dtype=np.float64)
             np.cumsum(np.cumsum(values, axis=0), axis=1, out=prefix[1:, 1:])
-        rows = np.arange(self.n_rows)
-        cols = np.arange(self.n_cols)
-        lo_r = np.maximum(rows - halo_rows, 0)
-        hi_r = np.minimum(rows + halo_rows, self.n_rows - 1) + 1
-        lo_c = np.maximum(cols - halo_cols, 0)
-        hi_c = np.minimum(cols + halo_cols, self.n_cols - 1) + 1
-        return (prefix[np.ix_(hi_r, hi_c)] - prefix[np.ix_(lo_r, hi_c)]
-                - prefix[np.ix_(hi_r, lo_c)] + prefix[np.ix_(lo_r, lo_c)])
+        return _prefix_window_sums(prefix, self.n_rows, self.n_cols,
+                                   halo_rows, halo_cols)

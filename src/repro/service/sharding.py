@@ -55,6 +55,13 @@ run, never their operands -- worker processes recover global ``rows``/``cols``
 from the parent's ``point_cell`` by exact integer division -- so MaxRS /
 MaxkRS / MaxCRS answers refined through a sharded index equal the unsharded
 ones bit for bit.
+
+The grid **pyramid** (the bounded-error fast path's coarse levels) extends
+the argument: levels are rolled up from the *assembled global* aggregates
+after the shard merge, so every level array -- and hence every certified gap
+-- is bit-identical across shard counts and executors too.  In plane mode
+the level arrays live in the shared index arena next to ``prefix`` (workers
+ignore them; level-bound evaluation is a parent-side prefix walk).
 """
 
 from __future__ import annotations
@@ -83,7 +90,11 @@ from repro.service.grid_index import (
     GridGeometry,
     GridIndex,
     GridQueryOps,
+    adopt_pyramid,
+    build_pyramid,
     plan_geometry,
+    pyramid_shapes,
+    snapshot_levels,
 )
 
 __all__ = [
@@ -579,6 +590,7 @@ class ShardedGridIndex(GridQueryOps):
                  arena: Optional[Any] = None,
                  target_points_per_cell: int = 1,
                  max_cells_per_side: int = 512,
+                 pyramid_levels: Optional[int] = None,
                  timing_hook: Optional[TimingHook] = None,
                  counter_hook: Optional[Callable[[str], None]] = None) -> None:
         if shards is not None and shards < 1:
@@ -595,6 +607,7 @@ class ShardedGridIndex(GridQueryOps):
                   for c0, c1 in zip(col_edges, col_edges[1:])]
         self._hook = timing_hook
         self._counter_hook = counter_hook
+        self._pyramid_levels = pyramid_levels
         self._adopt_executor(executor, len(blocks))
         self._build(xs, ys, ws, geometry, blocks, persisted=None, arena=arena)
 
@@ -606,6 +619,7 @@ class ShardedGridIndex(GridQueryOps):
                       snap: Union[ShardedGridSnapshot, GridSnapshot], *,
                       executor: ExecutorSpec = None,
                       arena: Optional[Any] = None,
+                      pyramid_levels: Optional[int] = None,
                       timing_hook: Optional[TimingHook] = None,
                       counter_hook: Optional[Callable[[str], None]] = None
                       ) -> "ShardedGridIndex":
@@ -651,9 +665,10 @@ class ShardedGridIndex(GridQueryOps):
         self = cls.__new__(cls)
         self._hook = timing_hook
         self._counter_hook = counter_hook
+        self._pyramid_levels = pyramid_levels
         self._adopt_executor(executor, len(blocks))
         self._build(xs, ys, ws, geometry, blocks, persisted=snap.shards,
-                    arena=arena)
+                    arena=arena, persisted_levels=snap.levels)
         return self
 
     def _adopt_executor(self, executor: ExecutorSpec, shard_count: int) -> None:
@@ -671,7 +686,8 @@ class ShardedGridIndex(GridQueryOps):
     def _build(self, xs: np.ndarray, ys: np.ndarray, ws: np.ndarray,
                geometry: GridGeometry, blocks: List[Tuple[int, int, int, int]],
                persisted: Optional[Sequence[GridShardSnapshot]],
-               arena: Optional[Any] = None) -> None:
+               arena: Optional[Any] = None,
+               persisted_levels: Tuple = ()) -> None:
         (self.n_rows, self.n_cols, self.x0, self.y0,
          self.cell_w, self.cell_h) = geometry
         self.count = len(xs)
@@ -685,7 +701,8 @@ class ShardedGridIndex(GridQueryOps):
 
         if getattr(self._executor, "owns_shards", False):
             try:
-                self._build_plane(xs, ys, ws, blocks, persisted)
+                self._build_plane(xs, ys, ws, blocks, persisted,
+                                  persisted_levels)
                 return
             except PersistError:
                 # Stale/corrupt snapshot: clean up the half-built plane and
@@ -695,11 +712,12 @@ class ShardedGridIndex(GridQueryOps):
             except ExecutorError as exc:
                 self._release_plane()
                 self._degrade_executor(exc)
-        self._build_local(xs, ys, ws, blocks, persisted)
+        self._build_local(xs, ys, ws, blocks, persisted, persisted_levels)
 
     def _build_local(self, xs: np.ndarray, ys: np.ndarray, ws: np.ndarray,
                      blocks: List[Tuple[int, int, int, int]],
-                     persisted: Optional[Sequence[GridShardSnapshot]]) -> None:
+                     persisted: Optional[Sequence[GridShardSnapshot]],
+                     persisted_levels: Tuple = ()) -> None:
         # Bin every point against the *global* frame exactly once -- the same
         # float computation GridIndex._assign_points runs, so shard ownership
         # can never disagree with unsharded cell assignment.
@@ -745,6 +763,7 @@ class ShardedGridIndex(GridQueryOps):
                                 dtype=np.float64)
         np.cumsum(np.cumsum(self.cell_weights, axis=0), axis=1,
                   out=self._prefix[1:, 1:])
+        self._finish_levels(persisted, persisted_levels)
 
     # ------------------------------------------------------------------ #
     # The multiprocess data plane
@@ -766,7 +785,8 @@ class ShardedGridIndex(GridQueryOps):
 
     def _build_plane(self, xs: np.ndarray, ys: np.ndarray, ws: np.ndarray,
                      blocks: List[Tuple[int, int, int, int]],
-                     persisted: Optional[Sequence[GridShardSnapshot]]) -> None:
+                     persisted: Optional[Sequence[GridShardSnapshot]],
+                     persisted_levels: Tuple = ()) -> None:
         """Adopt the columns into shared memory and build on the workers.
 
         The parent computes the global binning and the stable shard order
@@ -788,10 +808,21 @@ class ShardedGridIndex(GridQueryOps):
         ys = self._column_arena.view("ys")
         ws = self._column_arena.view("ws")
 
-        self._index_arena = ColumnArena.allocate({
+        layouts: Dict[str, Tuple[Tuple[int, ...], Any]] = {
             "point_cell": ((self.count,), np.int64),
             "order": ((self.count,), np.int64),
-            "prefix": ((self.n_rows + 1, self.n_cols + 1), np.float64)})
+            "prefix": ((self.n_rows + 1, self.n_cols + 1), np.float64)}
+        # Pyramid levels ride in the index arena next to the prefix table
+        # (pre-sized from pure geometry; workers simply never view them).
+        # A snapshot restore adopts the persisted heap arrays instead.
+        level_shapes = () if persisted is not None else tuple(pyramid_shapes(
+            self.n_rows, self.n_cols, self._pyramid_levels))
+        for depth, (_, level_rows, level_cols) in enumerate(level_shapes):
+            layouts[f"level{depth}_weights"] = ((level_rows, level_cols),
+                                                np.float64)
+            layouts[f"level{depth}_counts"] = ((level_rows, level_cols),
+                                               np.int64)
+        self._index_arena = ColumnArena.allocate(layouts)
         point_cell = self._index_arena.view("point_cell")
         cols = np.clip((xs - self.x0) / self.cell_w,
                        0, self.n_cols - 1).astype(np.int64)
@@ -845,6 +876,30 @@ class ShardedGridIndex(GridQueryOps):
         np.cumsum(np.cumsum(self.cell_weights, axis=0), axis=1,
                   out=prefix[1:, 1:])
         self._prefix = prefix
+        level_out = [(self._index_arena.view(f"level{depth}_weights"),
+                      self._index_arena.view(f"level{depth}_counts"))
+                     for depth in range(len(level_shapes))]
+        self._finish_levels(persisted, persisted_levels,
+                            out=level_out or None)
+
+    def _finish_levels(self, persisted, persisted_levels: Tuple,
+                       out: Optional[List] = None) -> None:
+        """Roll the pyramid up from the assembled global aggregates.
+
+        Fresh builds roll up (into ``out`` arrays when the plane pre-sized
+        arena slots); snapshot restores verify-then-adopt the persisted
+        level arrays so a restart's certified gaps are bit-identical to the
+        ones it saved.  Built after the shard merge, the levels are
+        element-wise identical whatever the shard count or executor.
+        """
+        if persisted is not None:
+            self.levels = adopt_pyramid(
+                self.cell_weights, self.cell_counts, persisted_levels,
+                pyramid_levels=self._pyramid_levels)
+        else:
+            self.levels = build_pyramid(
+                self.cell_weights, self.cell_counts,
+                pyramid_levels=self._pyramid_levels, out=out)
 
     def _assemble_globals(self) -> None:
         """The global aggregates the merge layer serves from -- assembled
@@ -929,6 +984,7 @@ class ShardedGridIndex(GridQueryOps):
         to the heap (views die when the arenas are released)."""
         self.point_cell = np.array(self.point_cell)
         self._prefix = np.array(self._prefix)
+        self.levels = tuple(level.detach() for level in self.levels)
         for shard in self._shards:
             shard.point_ids = np.array(shard.point_ids)
 
@@ -1039,6 +1095,7 @@ class ShardedGridIndex(GridQueryOps):
             n_rows=self.n_rows, n_cols=self.n_cols,
             x0=self.x0, y0=self.y0, cell_w=self.cell_w, cell_h=self.cell_h,
             shards=tuple(shard_snapshot(shard) for shard in self._shards),
+            levels=snapshot_levels(self.levels),
         )
 
     # ------------------------------------------------------------------ #
@@ -1136,6 +1193,8 @@ class ShardedGridIndex(GridQueryOps):
             "points": self.count,
             "occupied_cells": occupied,
             "max_points_per_cell": int(self.cell_counts.max()),
+            "pyramid_depth": self.pyramid_depth(),
+            "levels": self.level_stats(),
             "shard_count": len(self._shards),
             "executor": self._executor.name,
             "shards": [shard_stats(shard) for shard in self._shards],

@@ -278,7 +278,8 @@ class TestShardedPersistence:
         assert manifest.grid is not None
         assert manifest.grid.shards is not None
         assert len(manifest.grid.shards) == 4
-        assert len(manifest.grid.files()) == 4
+        # One blob per shard, plus one per pyramid level (format v3).
+        assert len(manifest.grid.files()) == 4 + len(manifest.grid.levels or ())
 
         day2 = MaxRSEngine(persist_dir=tmp_path)
         stats = day2.stats()["persist"]
@@ -375,19 +376,27 @@ class TestShardedPersistence:
         assert len(manifest.grid.shards) == 4
 
     def test_catalog_version_is_lowest_expressible(self, tmp_path, objects):
-        """Unsharded stores stay version 1 (rollback-safe); only catalogs
-        actually holding sharded grids are stamped version 2."""
+        """Flat unsharded stores stay version 1 (rollback-safe), flat
+        sharded ones version 2; only catalogs actually holding pyramid
+        level blobs are stamped version 3."""
         import json
 
-        MaxRSEngine(shards=1, persist_dir=tmp_path / "mono") \
+        MaxRSEngine(shards=1, pyramid_levels=1,
+                    persist_dir=tmp_path / "mono") \
             .register_dataset(objects, name="ds")
         mono = json.loads((tmp_path / "mono" / "catalog.json").read_text())
         assert mono["format_version"] == 1
-        MaxRSEngine(shards=4, persist_dir=tmp_path / "sharded") \
+        MaxRSEngine(shards=4, pyramid_levels=1,
+                    persist_dir=tmp_path / "sharded") \
             .register_dataset(objects, name="ds")
         sharded = json.loads(
             (tmp_path / "sharded" / "catalog.json").read_text())
         assert sharded["format_version"] == 2
+        MaxRSEngine(shards=1, persist_dir=tmp_path / "pyramid") \
+            .register_dataset(objects, name="ds")
+        pyramid = json.loads(
+            (tmp_path / "pyramid" / "catalog.json").read_text())
+        assert pyramid["format_version"] == 3
 
     def test_rebuilt_grid_refreshes_snapshot_resolution(self, tmp_path,
                                                         objects):
