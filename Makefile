@@ -9,10 +9,12 @@
 #   make bench-pyramid  - grid pyramid + bounded-error descent vs flat (fast preset)
 #   make bench-async    - concurrent async clients vs sequential sync (fast preset)
 #   make bench-obs      - fleet-telemetry overhead guard (fast preset)
+#   make bench-introspect - query-introspection overhead guard (fast preset)
 #   make bench-json     - refresh the BENCH_*.json perf-trajectory artefacts
 #   make bench-gate     - fail if fresh bench numbers regress vs checked-in
 #   make trace-smoke    - observability suite + the traced-query walkthrough
 #   make examples       - run every example script end-to-end
+#   make verify         - tier-1 tests + bench-gate + examples smoke run
 #
 # All targets run from the repository checkout without installation: the
 # PYTHONPATH export makes the src/ layout importable, matching conftest.py.
@@ -21,8 +23,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench-smoke bench bench-backends bench-persist bench-shards \
-	bench-pyramid bench-async bench-obs bench-json bench-gate trace-smoke \
-	examples
+	bench-pyramid bench-async bench-obs bench-introspect bench-json \
+	bench-gate trace-smoke examples verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -72,6 +74,13 @@ bench-async:
 bench-obs:
 	$(PYTHON) -m pytest benchmarks/test_obs_agg_overhead.py -q
 
+# Query-introspection overhead guard: the engine with the cost ledger,
+# per-client accounting and tail-sampling tracer all enabled vs the default
+# engine on the refined cold query; the <= 3% acceptance bound is asserted
+# at (near-)paper scale, e.g. REPRO_BENCH_PRESET=paper make bench-introspect.
+bench-introspect:
+	$(PYTHON) -m pytest benchmarks/test_obs_introspect_overhead.py -q
+
 bench:
 	REPRO_BENCH_PRESET=bench $(PYTHON) -m pytest benchmarks -q
 
@@ -86,7 +95,8 @@ bench-json:
 		benchmarks/test_service_pyramid.py \
 		benchmarks/test_service_async.py \
 		benchmarks/test_obs_overhead.py \
-		benchmarks/test_obs_agg_overhead.py
+		benchmarks/test_obs_agg_overhead.py \
+		benchmarks/test_obs_introspect_overhead.py
 
 # Perf regression gate: re-run the BENCH-emitting benchmarks, compare the
 # fresh p50 latency / speedup numbers against the checked-in BENCH_*.json
@@ -97,11 +107,13 @@ bench-json:
 bench-gate:
 	$(PYTHON) scripts/check_bench_regression.py
 
-# The observability smoke: obs unit + propagation tests, the disabled-
-# tracing overhead guard, and the traced-query example's rendered trees.
+# The observability smoke: obs unit + propagation + introspection tests,
+# the disabled-tracing overhead guard, and the traced-query example --
+# which exercises explain(), the cost ledger and trace_profile() end-to-end.
 trace-smoke:
-	$(PYTHON) -m pytest -q tests/test_obs_span.py \
-		tests/test_obs_propagation.py benchmarks/test_obs_overhead.py
+	$(PYTHON) -m pytest -q tests/test_obs_span.py tests/test_obs_tail.py \
+		tests/test_obs_propagation.py tests/test_introspection.py \
+		benchmarks/test_obs_overhead.py
 	$(PYTHON) examples/traced_query.py
 
 examples:
@@ -109,3 +121,11 @@ examples:
 		echo "== $$script"; \
 		$(PYTHON) "$$script"; \
 	done
+
+# The full local gate: tier-1 tests, the perf-regression gate over the
+# checked-in BENCH_*.json trajectory, and an examples smoke run of the
+# service/observability walkthroughs.
+verify: test bench-gate
+	$(PYTHON) examples/query_service.py
+	$(PYTHON) examples/traced_query.py
+	$(PYTHON) examples/health_monitor.py

@@ -179,10 +179,16 @@ def _run_mix(mix_name, clients, objects, report, cardinality):
                 "cores": cores},
         seconds=async_seconds, baseline_seconds=sync_seconds,
         speedup=speedup,
-        latency=aio["latency"],
+        # Latency rides in extra (reported, not gated): under this
+        # deliberately-overloaded workload (64 clients, max_inflight 4,
+        # overflow="wait") the per-query p50 is queue-wait -- where a
+        # coalescing follower lands inside the leader's solve window --
+        # and swings ~30x run-to-run on identical code.  `speedup` stays
+        # the tracked metric for this benchmark.
         extra={"admitted": aio["admitted"],
                "coalesce_hits": aio["coalesce_hits"],
-               "rejected": aio["rejected"]})
+               "rejected": aio["rejected"],
+               "latency": aio["latency"]})
     # Acceptance: >= 2x at (near-)paper scale with real parallelism to
     # exploit.  Single-core hosts (or tiny presets, where fixed event-loop
     # overhead dominates microsecond solves) assert bit-identity above and

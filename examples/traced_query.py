@@ -1,20 +1,25 @@
 #!/usr/bin/env python3
-"""End-to-end query tracing: watch one query walk through the engine.
+"""End-to-end query introspection: watch one query walk through the engine.
 
 The observability subsystem (:mod:`repro.obs`) records each query as a tree
 of timed spans -- admission, cache lookup, shard fan-out, the plane sweep,
-blob I/O -- and renders it as an indented tree.  This demo registers a
+blob I/O -- and renders it as an indented tree.  Since the introspection
+work each answer also carries a **cost ledger** and the engine can
+**explain** a query's plan without running it.  This demo registers a
 dataset on a sharded, persistent engine with an in-memory ring recorder,
-then prints the rendered traces of
+then prints, for each of three queries --
 
-* the **registration** (grid build, per-shard builds, snapshot writes with
-  their block-transfer counts),
 * one **cold query** (cache miss, approximate probe, pruned exact refine,
-  the backend sweep at the bottom), and
-* the **same query again** (two spans: the cache does all the work).
+  the backend sweep at the bottom),
+* the **same query again** (two spans: the cache does all the work), and
+* a **bounded-error query** (``error_bound=`` pyramid descent that stops
+  as soon as the certified gap is small enough) --
 
-It finishes with the slow-query log firing on the cold query and a taste of
-the Prometheus text exposition.
+the EXPLAIN plan the engine predicted, the rendered trace tree, and the
+cost ledger the answer actually accrued.  It finishes with the slow-query
+log firing, the per-stage self-time profile folded from every retained
+trace (:func:`repro.obs.profile`), and a taste of the Prometheus text
+exposition.
 
 Run with::
 
@@ -23,6 +28,7 @@ Run with::
 
 from __future__ import annotations
 
+import json
 import tempfile
 
 import numpy as np
@@ -48,9 +54,36 @@ def make_city(seed: int = 17, count: int = 12_000) -> list[WeightedPoint]:
             for x, y, w in zip(xs, ys, weights)]
 
 
+def show_plan(plan: dict) -> None:
+    """Print the interesting lines of an EXPLAIN plan."""
+    print(f"  path: {plan['path']}  "
+          f"(cache would_hit={plan['cache']['would_hit']}, "
+          f"backend probe={plan['backend']['probe']}/"
+          f"refine={plan['backend']['refine']})")
+    estimates = plan.get("estimates")
+    if estimates:
+        print(f"  estimates: probe~{estimates['probe_points']} pts, "
+              f"subset~{estimates['subset_points']} pts, "
+              f"pruned~{estimates['pruned_points']} of "
+              f"{plan['dataset_points']}")
+    for level in plan.get("levels", []):
+        print(f"  level scale={level['scale']:>3}: "
+              f"{level['live_cells']}/{level['cells']} cells live")
+    sharding = plan.get("sharding", {})
+    print(f"  sharding: {sharding.get('shards')} shard(s) "
+          f"on the {sharding.get('executor')} executor")
+
+
+def show_cost(result) -> None:
+    """Print the cost ledger an answer carried back."""
+    cost = result[0].cost if isinstance(result, tuple) else result.cost
+    print("  cost: " + json.dumps(cost, default=str))
+
+
 def main() -> None:
     objects = make_city()
     spec = QuerySpec.maxrs(3_000.0, 3_000.0)
+    bounded = QuerySpec.maxrs(3_000.0, 3_000.0, error_bound=0.05)
     slow_log: list[str] = []
 
     print("Traced query demo")
@@ -64,15 +97,22 @@ def main() -> None:
         engine.tracer.slow_query_log(0.001, sink=slow_log.append)
 
         dataset = engine.register_dataset(objects, name="city")
+
+        # EXPLAIN first: the predicted plan, without running anything.
+        print("\n== EXPLAIN (before running anything)")
+        show_plan(engine.explain(dataset, spec))
+
         cold = engine.query(dataset, spec)
         cached = engine.query(dataset, spec)
-        assert cached is cold  # the second answer came straight from cache
+        assert cached == cold  # bit-identical answer, straight from cache
+        assert cached.cost["cache"] == "hit"
+        approx = engine.query(dataset, bounded)
 
         recorder = engine.tracer.recorder
         register_trace = next(t for t in recorder.traces()
                               if t.name == "engine.register")
-        cold_trace, cached_trace = [t for t in recorder.traces()
-                                    if t.name == "engine.query"]
+        cold_trace, cached_trace, approx_trace = [
+            t for t in recorder.traces() if t.name == "engine.query"]
 
         print(f"\n== registration "
               f"(trace {register_trace.trace_id}, "
@@ -83,16 +123,30 @@ def main() -> None:
               f"(trace {cold_trace.trace_id}, "
               f"{len(cold_trace.spans())} spans)")
         print(cold_trace.render())
+        show_cost(cold)
 
         print(f"\n== cached query "
               f"(trace {cached_trace.trace_id}, "
               f"{len(cached_trace.spans())} spans)")
         print(cached_trace.render())
+        show_cost(cached)
+
+        print(f"\n== bounded-error query (error_bound=0.05, "
+              f"trace {approx_trace.trace_id}, "
+              f"{len(approx_trace.spans())} spans)")
+        print("  -- the plan the engine predicted:")
+        show_plan(engine.explain(dataset, bounded, result=approx))
+        print(approx_trace.render())
+        show_cost(approx)
 
         print(f"\n== slow-query log ({len(slow_log)} entr"
               f"{'y' if len(slow_log) == 1 else 'ies'}, threshold 1 ms)")
         if slow_log:
             print(slow_log[-1].splitlines()[0])
+
+        print("\n== per-stage self-time profile (all retained traces)")
+        profile = engine.trace_profile()
+        print(obs.render_profile(profile["stages"]))
 
         print("\n== metrics exposition (first 12 lines)")
         for line in obs.metrics_text(engine.metrics).splitlines()[:12]:

@@ -108,6 +108,20 @@ def bench_modules(directory: Path) -> list[Path]:
     return modules
 
 
+def emitted_names(module: Path) -> list[str]:
+    """BENCH names a module emits: its ``write_bench_json("<name>", ...)``
+    string-literal first arguments (dynamic names are invisible here and
+    simply cannot be selected with ``--only``)."""
+    text = module.read_text(encoding="utf-8")
+    return re.findall(r"""write_bench_json\s*\(\s*["']([^"']+)["']""", text)
+
+
+def modules_for(directory: Path, names: set[str]) -> list[Path]:
+    """The emitting modules behind the selected BENCH *names*."""
+    return [module for module in bench_modules(directory)
+            if names & set(emitted_names(module))]
+
+
 def lookup(entry: dict, dotted: str):
     """Resolve a dotted metric path (``latency.p50_seconds``) or None."""
     node = entry
@@ -253,9 +267,12 @@ def render_report(rows: list[dict], failures: list[str], tolerance: float) -> st
     return "\n".join(lines)
 
 
-def run_benchmarks(bench_dir: Path) -> int:
-    """Re-run every BENCH-emitting benchmark module; returns pytest's rc."""
-    modules = bench_modules(bench_dir)
+def run_benchmarks(bench_dir: Path, only: set[str] | None = None) -> int:
+    """Re-run the BENCH-emitting benchmark modules; returns pytest's rc.
+
+    ``only`` restricts the run to the modules emitting those BENCH names.
+    """
+    modules = modules_for(bench_dir, only) if only else bench_modules(bench_dir)
     if not modules:
         print("bench-gate: no benchmark modules emit write_bench_json", file=sys.stderr)
         return 1
@@ -290,6 +307,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--keep-fresh", action="store_true",
                         help="leave the re-run's BENCH files in place instead "
                              "of restoring the checked-in ones")
+    parser.add_argument("--only", action="append", metavar="NAME",
+                        help="gate only this BENCH name (repeatable); other "
+                             "checked-in artefacts are neither re-run nor "
+                             "compared")
+    parser.add_argument("--list", action="store_true", dest="list_benchmarks",
+                        help="list the checked-in BENCH names and their "
+                             "emitting modules, then exit")
     args = parser.parse_args(argv)
 
     if args.no_run and args.fresh_dir is None:
@@ -297,9 +321,31 @@ def main(argv: list[str] | None = None) -> int:
 
     bench_dir: Path = args.benchmarks_dir
     baselines = load_entries(bench_dir)
+
+    if args.list_benchmarks:
+        by_name: dict[str, Path] = {}
+        for module in bench_modules(bench_dir):
+            for name in emitted_names(module):
+                by_name.setdefault(name, module)
+        for name in sorted(set(baselines) | set(by_name)):
+            module = by_name.get(name)
+            status = "" if name in baselines else "  (no checked-in baseline)"
+            print(f"{name:<22s} {module.name if module else '<unknown module>'}"
+                  f"{status}")
+        return 0
+
     if not baselines:
         print(f"bench-gate: no BENCH_*.json under {bench_dir}; nothing to gate")
         return 0
+
+    only: set[str] | None = set(args.only) if args.only else None
+    if only:
+        unknown = only - set(baselines)
+        if unknown:
+            parser.error("unknown BENCH name(s): " + ", ".join(sorted(unknown))
+                         + " (see --list)")
+        baselines = {name: entry for name, entry in baselines.items()
+                     if name in only}
 
     if args.no_run:
         fresh = load_entries(args.fresh_dir)
@@ -310,7 +356,7 @@ def main(argv: list[str] | None = None) -> int:
             snapshot = Path(tmp)
             for path in bench_dir.glob("BENCH_*.json"):
                 shutil.copy2(path, snapshot / path.name)
-            rc = run_benchmarks(bench_dir)
+            rc = run_benchmarks(bench_dir, only)
             fresh = load_entries(bench_dir)
             if not args.keep_fresh:
                 for path in snapshot.glob("BENCH_*.json"):
@@ -318,6 +364,9 @@ def main(argv: list[str] | None = None) -> int:
             if rc != 0:
                 print("bench-gate: benchmark run failed", file=sys.stderr)
                 return 1
+
+    if only:
+        fresh = {name: entry for name, entry in fresh.items() if name in only}
 
     rows, failures = compare_entries(
         baselines, fresh, tolerance=args.tolerance, strict_host=args.strict_host,

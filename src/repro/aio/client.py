@@ -54,13 +54,17 @@ class AsyncQueryClient:
     def __init__(self, reader: asyncio.StreamReader,
                  writer: asyncio.StreamWriter, *,
                  tracer: Union[None, str, obs.Tracer,
-                               obs.TraceRecorder] = None) -> None:
+                               obs.TraceRecorder] = None,
+                 client_id: Optional[str] = None) -> None:
         self._reader = reader
         self._writer = writer
         if tracer is None or isinstance(tracer, obs.Tracer):
             self.tracer = tracer
         else:
             self.tracer = obs.Tracer(obs.resolve_recorder(tracer))
+        #: Stamped into every query/query_batch request for the server's
+        #: per-client accounting (``stats()["clients"]``); None = anonymous.
+        self.client_id = client_id
         self._ids = itertools.count(1)
         self._pending: Dict[int, asyncio.Future] = {}
         self._write_lock = asyncio.Lock()
@@ -70,16 +74,21 @@ class AsyncQueryClient:
     @classmethod
     async def connect(cls, host: str, port: int, *,
                       tracer: Union[None, str, obs.Tracer,
-                                    obs.TraceRecorder] = None
+                                    obs.TraceRecorder] = None,
+                      client_id: Optional[str] = None
                       ) -> "AsyncQueryClient":
         """Open a connection to a running server.
 
         ``tracer`` enables client-side tracing: a :class:`~repro.obs.Tracer`,
         a :class:`~repro.obs.TraceRecorder`, or a recorder spec such as
         ``"ring"`` (see :func:`repro.obs.resolve_recorder`).
+
+        ``client_id`` names this client to the server's per-client
+        accounting: every query it issues is attributed to that id in the
+        engine's cumulative ledgers.  Servers predating the field ignore it.
         """
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer, tracer=tracer)
+        return cls(reader, writer, tracer=tracer, client_id=client_id)
 
     # ------------------------------------------------------------------ #
     # Wire plumbing
@@ -179,22 +188,56 @@ class AsyncQueryClient:
 
     async def query(self, dataset: str, spec: QuerySpec) -> QueryResult:
         """Answer one query remotely; the decoded result is bit-identical
-        to the engine's in-process answer."""
-        response = await self._call({
+        to the engine's in-process answer (its ``cost`` ledger rides along
+        but is excluded from equality)."""
+        message: Dict[str, Any] = {
             "op": "query", "dataset": dataset,
             "spec": protocol.spec_to_wire(spec),
-        })
+        }
+        if self.client_id is not None:
+            message["client_id"] = self.client_id
+        response = await self._call(message)
         return protocol.result_from_wire(response["result"])
 
     async def query_batch(self, dataset: str,
                           specs: Sequence[QuerySpec]) -> List[QueryResult]:
         """Answer many queries in one request; results align with ``specs``."""
-        response = await self._call({
+        message: Dict[str, Any] = {
             "op": "query_batch", "dataset": dataset,
             "specs": [protocol.spec_to_wire(spec) for spec in specs],
-        })
+        }
+        if self.client_id is not None:
+            message["client_id"] = self.client_id
+        response = await self._call(message)
         return [protocol.result_from_wire(wire)
                 for wire in response["results"]]
+
+    async def explain(self, dataset: str, spec: QuerySpec) -> Dict[str, Any]:
+        """The plan the server would take for ``spec`` -- without running it.
+
+        Returns the engine's :meth:`~repro.service.engine.MaxRSEngine.
+        explain` dict (path, cache membership, probe/prune estimates,
+        pyramid level survival, shard layout, backend choice).  Explaining
+        never sweeps and never mutates server state.
+        """
+        response = await self._call({
+            "op": "explain", "dataset": dataset,
+            "spec": protocol.spec_to_wire(spec),
+        })
+        return response["plan"]
+
+    async def trace_profile(self, trace_id: Optional[str] = None
+                            ) -> Dict[str, Any]:
+        """Per-stage self-time profile of the server's retained traces.
+
+        ``trace_id`` narrows the fold to one trace's server-side roots;
+        ``None`` profiles everything the server's recorder retained.
+        """
+        message: Dict[str, Any] = {"op": "trace_profile"}
+        if trace_id is not None:
+            message["trace_id"] = trace_id
+        response = await self._call(message)
+        return response["profile"]
 
     async def stats(self) -> Dict[str, Any]:
         """The server engine's ``stats()`` tree (JSON-sanitized)."""

@@ -385,7 +385,8 @@ class AsyncMaxRSEngine:
         return MaxRSEngine.cache_key(entry.handle.fingerprint, spec)
 
     async def query(self, dataset: Union[str, DatasetHandle],
-                    spec: QuerySpec) -> QueryResult:
+                    spec: QuerySpec, *,
+                    client_id: Optional[str] = None) -> QueryResult:
         """Answer one query; coalesce onto an identical in-flight one.
 
         The whole attempt -- key resolution, coalescing, admission,
@@ -401,6 +402,12 @@ class AsyncMaxRSEngine:
         policy) and run the sync engine's :meth:`~MaxRSEngine.query` --
         answers are bit-identical to calling it directly.  Errors propagate
         to every coalesced waiter.
+
+        ``client_id`` flows through to the sync engine's per-client
+        accounting.  Only the coalescing *leader* executes (and therefore
+        attributes) the computation: each ``engine.query`` call is booked to
+        exactly one client, keeping per-client totals reconciled with the
+        global counters; a follower rides the leader's answer for free.
         """
         metrics = self._engine.metrics
         metrics.increment("aio_queries")
@@ -410,7 +417,7 @@ class AsyncMaxRSEngine:
                 self._check_open()
                 await self._gate.acquire_read()
                 try:
-                    result = await self._attempt(dataset, spec)
+                    result = await self._attempt(dataset, spec, client_id)
                 except _LeaderAbandoned:
                     # The in-flight leader this attempt coalesced onto was
                     # cancelled.  Retry from scratch -- outside the read
@@ -425,7 +432,8 @@ class AsyncMaxRSEngine:
                 return result
 
     async def _attempt(self, dataset: Union[str, DatasetHandle],
-                       spec: QuerySpec) -> QueryResult:
+                       spec: QuerySpec,
+                       client_id: Optional[str] = None) -> QueryResult:
         """One coalesce-or-lead attempt, run entirely under the read gate."""
         metrics = self._engine.metrics
         key = self._coalesce_key(dataset, spec)
@@ -457,7 +465,7 @@ class AsyncMaxRSEngine:
         future = asyncio.get_running_loop().create_future()
         self._coalescing[key] = future
         try:
-            result = await self._execute(dataset, spec)
+            result = await self._execute(dataset, spec, client_id)
         except BaseException as exc:
             if not future.cancelled():
                 future.set_exception(exc)
@@ -471,7 +479,8 @@ class AsyncMaxRSEngine:
             del self._coalescing[key]
 
     async def _execute(self, dataset: Union[str, DatasetHandle],
-                       spec: QuerySpec) -> QueryResult:
+                       spec: QuerySpec,
+                       client_id: Optional[str] = None) -> QueryResult:
         """Admission-controlled execution of one leader query."""
         metrics = self._engine.metrics
         try:
@@ -481,18 +490,21 @@ class AsyncMaxRSEngine:
         except ServiceOverloadError:
             if self._degraded_error_bound is not None \
                     and spec.error_bound is None:
-                return await self._execute_degraded(dataset, spec)
+                return await self._execute_degraded(dataset, spec, client_id)
             metrics.increment("aio_rejected")
             raise
         try:
             metrics.increment("aio_admitted")
             return await self._run(
-                lambda: self._engine.query(dataset, spec))
+                lambda: self._engine.query(dataset, spec,
+                                           client_id=client_id))
         finally:
             self._admission.release()
 
     async def _execute_degraded(self, dataset: Union[str, DatasetHandle],
-                                spec: QuerySpec) -> QueryResult:
+                                spec: QuerySpec,
+                                client_id: Optional[str] = None
+                                ) -> QueryResult:
         """Serve an overloaded request approximately instead of shedding it.
 
         The spec is re-issued with the front-end's ``degraded_error_bound``,
@@ -517,14 +529,17 @@ class AsyncMaxRSEngine:
         with obs.span("aio.degraded",
                       error_bound=self._degraded_error_bound):
             result = await self._run(
-                lambda: self._engine.query(dataset, degraded))
+                lambda: self._engine.query(dataset, degraded,
+                                           client_id=client_id))
         if self._engine.slo is not None:
             self._engine.slo.record("degraded",
                                     time.perf_counter() - start)
         return result
 
     async def query_batch(self, dataset: Union[str, DatasetHandle],
-                          specs: Sequence[QuerySpec]) -> List[QueryResult]:
+                          specs: Sequence[QuerySpec], *,
+                          client_id: Optional[str] = None
+                          ) -> List[QueryResult]:
         """Answer many queries concurrently; results align with ``specs``.
 
         Duplicate specs coalesce (within the batch and with any other
@@ -536,7 +551,35 @@ class AsyncMaxRSEngine:
         self._check_open()
         self._engine.metrics.increment("aio_batch_queries", len(specs))
         return list(await asyncio.gather(
-            *(self.query(dataset, spec) for spec in specs)))
+            *(self.query(dataset, spec, client_id=client_id)
+              for spec in specs)))
+
+    async def explain(self, dataset: Union[str, DatasetHandle],
+                      spec: QuerySpec, *,
+                      result: Optional[QueryResult] = None
+                      ) -> Dict[str, object]:
+        """The sync engine's :meth:`~MaxRSEngine.explain`, loop-safely.
+
+        Runs under the read gate (so a concurrent ``replace=True``
+        registration cannot swap the dataset out from under the plan) and on
+        the executor (the grid window sums are real array work).  Like the
+        sync call, it never sweeps and never mutates: explaining has zero
+        effect on subsequent answers.
+        """
+        self._check_open()
+        await self._gate.acquire_read()
+        try:
+            return await self._run(
+                lambda: self._engine.explain(dataset, spec, result=result))
+        finally:
+            self._gate.release_read()
+
+    async def trace_profile(self, trace_id: Optional[str] = None
+                            ) -> Dict[str, object]:
+        """The sync engine's :meth:`~MaxRSEngine.trace_profile`, off-loop."""
+        self._check_open()
+        return await self._run(
+            lambda: self._engine.trace_profile(trace_id))
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -14,8 +14,10 @@ register  ``points`` ([[x, y, w], ...]), ``name``?, ``replace``?
 unregister``dataset``, ``keep_snapshot``?
 query     ``dataset``, ``spec``
 query_batch ``dataset``, ``specs``
+explain   ``dataset``, ``spec`` (returns the query plan; runs no sweep)
 stats     --
 trace     ``trace_id`` (returns the server-retained traces with that id)
+trace_profile ``trace_id``? (per-stage self-time profile of retained traces)
 metrics_text -- (Prometheus text exposition of the engine metrics)
 healthz   -- (liveness verdict: ``ok``, ``status``, per-check detail)
 readyz    -- (readiness verdict: ``ready``, ``status``, per-check detail)
@@ -29,6 +31,14 @@ one distributed trace covers client, server and engine.  Request-level
 fields are never rejected as unknown -- a server predating the field simply
 ignores it, and a client that never sends it loses nothing -- so tracing
 interoperates with older peers by construction.
+
+``query`` and ``query_batch`` requests may likewise carry a ``client_id``
+field (a request-level field, like ``trace``): the server attributes the
+work to that client in the engine's per-client accounting ledgers
+(``stats()["clients"]``, ``client=``-labelled metrics series).  Engine
+answers carry their per-query cost ledger in a ``cost`` object, elided when
+absent -- an old client simply never reads it, and an old server never
+sends it.
 
 Responses are ``{"id": ..., "ok": true, ...}`` on success or ``{"id": ...,
 "ok": false, "error": <exception class name>, "message": ...}`` on failure;
@@ -69,8 +79,9 @@ __all__ = [
 ]
 
 #: The operations the server understands (validated at decode time).
-OPS = ("register", "unregister", "query", "query_batch", "stats", "trace",
-       "metrics_text", "healthz", "readyz", "ping", "close")
+OPS = ("register", "unregister", "query", "query_batch", "explain", "stats",
+       "trace", "trace_profile", "metrics_text", "healthz", "readyz", "ping",
+       "close")
 
 
 # ---------------------------------------------------------------------- #
@@ -185,6 +196,8 @@ def _maxrs_to_wire(result: MaxRSResult) -> Dict[str, Any]:
     }
     if result.gap is not None:
         wire["gap"] = float(result.gap)
+    if result.cost is not None:
+        wire["cost"] = jsonable(result.cost)
     return wire
 
 
@@ -200,6 +213,7 @@ def _maxrs_from_wire(wire: Dict[str, Any]) -> MaxRSResult:
         recursion_levels=int(wire["recursion_levels"]),
         leaf_count=int(wire["leaf_count"]),
         gap=None if gap is None else float(gap),
+        cost=wire.get("cost"),
     )
 
 
@@ -217,6 +231,8 @@ def _maxcrs_to_wire(result: MaxCRSResult) -> Dict[str, Any]:
         wire["rectangle_result"] = _maxrs_to_wire(result.rectangle_result)
     if result.gap is not None:
         wire["gap"] = float(result.gap)
+    if result.cost is not None:
+        wire["cost"] = jsonable(result.cost)
     return wire
 
 
@@ -234,6 +250,7 @@ def _maxcrs_from_wire(wire: Dict[str, Any]) -> MaxCRSResult:
         else _maxrs_from_wire(rectangle),
         io=None,
         gap=None if gap is None else float(gap),
+        cost=wire.get("cost"),
     )
 
 

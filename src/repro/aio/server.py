@@ -240,16 +240,30 @@ class MaxRSServer:
         if op == "query":
             spec = protocol.spec_from_wire(_required(request, "spec"))
             result = await self.engine.query(_required(request, "dataset"),
-                                             spec)
+                                             spec,
+                                             client_id=_client_id(request))
             return {"id": request_id, "ok": True,
                     "result": protocol.result_to_wire(result)}
         if op == "query_batch":
             specs = [protocol.spec_from_wire(wire)
                      for wire in _required(request, "specs")]
             results = await self.engine.query_batch(
-                _required(request, "dataset"), specs)
+                _required(request, "dataset"), specs,
+                client_id=_client_id(request))
             return {"id": request_id, "ok": True,
                     "results": [protocol.result_to_wire(r) for r in results]}
+        if op == "explain":
+            spec = protocol.spec_from_wire(_required(request, "spec"))
+            plan = await self.engine.explain(_required(request, "dataset"),
+                                             spec)
+            return {"id": request_id, "ok": True,
+                    "plan": protocol.jsonable(plan)}
+        if op == "trace_profile":
+            trace_id = request.get("trace_id")
+            profile = await self.engine.trace_profile(
+                None if trace_id is None else str(trace_id))
+            return {"id": request_id, "ok": True,
+                    "profile": protocol.jsonable(profile)}
         if op == "stats":
             return {"id": request_id, "ok": True,
                     "stats": protocol.jsonable(self.engine.stats())}
@@ -274,6 +288,18 @@ class MaxRSServer:
                     "health": self.engine.readyz()}
         raise SerializationError(
             f"unknown op {op!r}; expected one of {protocol.OPS}")
+
+
+def _client_id(request: Dict[str, Any]) -> Optional[str]:
+    """The request's ``client_id`` field, or ``None``.
+
+    A request-level field like ``trace``: absent or malformed values mean
+    "unattributed" rather than an error, so old clients interoperate.
+    """
+    value = request.get("client_id")
+    if isinstance(value, str) and value:
+        return value
+    return None
 
 
 def _required(request: Dict[str, Any], field: str) -> Any:

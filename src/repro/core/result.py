@@ -94,6 +94,13 @@ class MaxRSResult:
         optimum is at most ``total_weight * (1 + gap)``.  ``0.0`` when the
         bounded-error path happened to finish exactly; ``None`` for answers
         from the exact path.
+    cost:
+        Per-query cost ledger attached by the serving engine
+        (:meth:`repro.service.MaxRSEngine.query`): a plain JSON-ready dict of
+        what answering cost -- wall/CPU seconds, swept vs pruned points,
+        pyramid descent, cache outcome, shard fan-out, block I/O.  ``None``
+        for answers from the bare solvers.  Excluded from equality so
+        ledger-carrying answers compare bit-identical to plain ones.
     """
 
     location: Point
@@ -103,6 +110,7 @@ class MaxRSResult:
     recursion_levels: int = 0
     leaf_count: int = 1
     gap: Optional[float] = None
+    cost: Optional[dict] = field(default=None, compare=False)
 
 
 @dataclass(frozen=True, slots=True)
@@ -128,6 +136,10 @@ class MaxCRSResult:
         Certified relative optimality gap of a bounded-error answer (relative
         to the best *rectangle* weight the circle heuristic starts from), or
         ``None`` for answers from the exact path.
+    cost:
+        Per-query cost ledger attached by the serving engine (see
+        :class:`MaxRSResult`); ``None`` for answers from the bare solvers.
+        Excluded from equality.
     """
 
     location: Point
@@ -137,3 +149,4 @@ class MaxCRSResult:
     rectangle_result: Optional[MaxRSResult] = None
     io: Optional[IOSnapshot] = None
     gap: Optional[float] = None
+    cost: Optional[dict] = field(default=None, compare=False)

@@ -12,7 +12,13 @@ each of them per request.  The pieces:
 * recorders (:mod:`repro.obs.recorder`) — :class:`NullRecorder` (default,
   disables tracing at near-zero cost), :class:`RingRecorder` (in-memory,
   feeds ``stats()["traces"]`` and the TCP ``trace`` op),
+  :class:`TailSamplingRecorder` (keeps only slow/error/degraded/top-p%
+  traces under a memory cap — the production introspection default),
   :class:`JsonLinesRecorder` (file export).
+* trace analytics (:mod:`repro.obs.analyze`) — :func:`profile` folds
+  retained traces into a per-stage self-time breakdown (the engine's
+  ``trace_profile`` op), :func:`critical_path` extracts the
+  latency-bounding span chain of one trace.
 * :func:`metrics_text` (:mod:`repro.obs.export`) — Prometheus-style text
   exposition of :class:`~repro.service.metrics.EngineMetrics`, including
   cumulative latency-histogram buckets, per-process worker series and
@@ -31,13 +37,16 @@ with the ``trace`` op.  See ``docs/observability.md`` for the span taxonomy
 and ``examples/traced_query.py`` for a rendered trace tree.
 """
 
+from repro.obs.analyze import (critical_path, profile, render_profile,
+                               span_self_seconds)
 from repro.obs.export import metrics_text
 from repro.obs.health import (HealthMonitor, ResourceSampler, SLObjective,
                               SLOTracker, arena_gauge_source,
                               json_lines_alert_sink, log_alert_sink,
                               process_gauge_source, read_proc_stats)
 from repro.obs.recorder import (JsonLinesRecorder, NullRecorder, RingRecorder,
-                                TraceRecorder, resolve_recorder)
+                                TailSamplingRecorder, TraceRecorder,
+                                resolve_recorder)
 from repro.obs.span import (NOOP_SPAN, Span, Trace, Tracer, current_span,
                             current_trace_id, new_trace_id, span)
 
@@ -51,10 +60,12 @@ __all__ = [
     "SLOTracker",
     "SLObjective",
     "Span",
+    "TailSamplingRecorder",
     "Trace",
     "TraceRecorder",
     "Tracer",
     "arena_gauge_source",
+    "critical_path",
     "current_span",
     "current_trace_id",
     "json_lines_alert_sink",
@@ -62,6 +73,9 @@ __all__ = [
     "metrics_text",
     "new_trace_id",
     "process_gauge_source",
+    "profile",
     "read_proc_stats",
+    "render_profile",
     "span",
+    "span_self_seconds",
 ]

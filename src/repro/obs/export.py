@@ -22,7 +22,7 @@ yields a scrape-ready payload; there is deliberately no HTTP listener here
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 if TYPE_CHECKING:  # type hints only; no runtime dependency on the service layer
     from repro.service.metrics import EngineMetrics
@@ -60,13 +60,21 @@ def _num(value: float) -> str:
     return repr(float(value))
 
 
-def metrics_text(metrics: "EngineMetrics", *, namespace: str = "repro") -> str:
+def metrics_text(metrics: "EngineMetrics", *, namespace: str = "repro",
+                 clients: Optional[Dict[str, Dict[str, float]]] = None) -> str:
     """Render ``metrics`` as Prometheus text exposition (one big string).
 
     ``metrics`` is anything with the :class:`EngineMetrics` read interface:
     ``snapshot()`` for counters/stages/shards and ``histograms()`` for the
     raw latency bucket counts (summaries alone cannot rebuild the
     cumulative ``le`` series).
+
+    ``clients`` is an optional per-client accounting mapping
+    (``client id -> {field -> cumulative value}``, the engine's
+    ``client_ledgers()``); each field becomes a ``client=``-labelled
+    counter series.  Label cardinality is bounded at the source: the engine
+    tracks at most ``max_tracked_clients`` ledgers (LRU-evicted), so the
+    scrape payload cannot grow without bound.
     """
     snapshot = metrics.snapshot()
     lines: List[str] = []
@@ -142,6 +150,19 @@ def metrics_text(metrics: "EngineMetrics", *, namespace: str = "repro") -> str:
                         f"{{process={_label(process)},stage={_label(stage)},"
                         f"shard={_label(shard_id)}}} "
                         f"{_num(entry['total_seconds'])}")
+
+    # Per-client accounting: one series per (client, ledger field).  The
+    # source mapping is LRU-bounded, so cardinality is too.
+    if clients:
+        lines.append(f"# HELP {namespace}_client_total Per-client "
+                     f"cumulative query accounting.")
+        lines.append(f"# TYPE {namespace}_client_total counter")
+        for client in sorted(clients):
+            ledger = clients[client]
+            for field in sorted(ledger):
+                lines.append(
+                    f"{namespace}_client_total{{client={_label(client)},"
+                    f"name={_label(field)}}} {_num(float(ledger[field]))}")
 
     # Sampled gauges (resource sampler output): one family per gauge name,
     # series distinguished by labels (typically process="parent|worker-i").

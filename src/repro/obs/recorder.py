@@ -1,6 +1,6 @@
 """Pluggable trace recorders: where finished traces go.
 
-Three implementations cover the deployment spectrum:
+Four implementations cover the deployment spectrum:
 
 * :class:`NullRecorder` — the production default.  Besides discarding
   traces it *signals* "tracing off" to the :class:`~repro.obs.span.Tracer`,
@@ -10,6 +10,11 @@ Three implementations cover the deployment spectrum:
 * :class:`RingRecorder` — a bounded in-memory ring buffer.  Powers tests,
   ``stats()["traces"]``, and the TCP ``trace`` op that lets a remote client
   fetch the server-side half of its own trace.
+* :class:`TailSamplingRecorder` — tail-based sampling for production
+  introspection: sees every finished trace but retains only the
+  *interesting* ones (errors, degraded serves, slow queries, the top
+  duration fraction of recent traffic) in a bounded buffer, so the memory
+  cost stays fixed while the traces you actually want to look at survive.
 * :class:`JsonLinesRecorder` — appends one JSON document per trace to a
   file, matching the JSON-lines framing of the wire protocol so the same
   tooling can chew on both.
@@ -21,16 +26,17 @@ tasks, pool threads, and shard workers alike.
 from __future__ import annotations
 
 import json
+import math
 import os
 import threading
 from collections import deque
-from typing import TYPE_CHECKING, Deque, List, Optional, TextIO, Union
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, TextIO, Union
 
 if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.obs.span
     from repro.obs.span import Trace
 
 __all__ = ["JsonLinesRecorder", "NullRecorder", "RingRecorder",
-           "TraceRecorder", "resolve_recorder"]
+           "TailSamplingRecorder", "TraceRecorder", "resolve_recorder"]
 
 
 class TraceRecorder:
@@ -85,6 +91,141 @@ class RingRecorder(TraceRecorder):
     def __len__(self) -> int:
         with self._lock:
             return len(self._traces)
+
+
+class TailSamplingRecorder(TraceRecorder):
+    """Buffer completed traces, keep only the tail worth looking at.
+
+    Head-based sampling (keep 1-in-N) throws away exactly the traces an
+    operator needs: the slow ones and the failures.  This recorder decides
+    *after* a trace completes — the tail-based strategy — keeping a trace
+    when it is any of:
+
+    * an **error**: any span in the tree finished with a non-``ok`` status;
+    * **degraded**: the tree contains a span named ``degraded_span``
+      (default ``"aio.degraded"``, the async engine's stale-serve marker);
+    * **slow**: root duration >= ``slow_threshold_s`` (when configured);
+    * **tail**: root duration in the top ``top_fraction`` of the last
+      ``window`` trace durations.  The quantile is estimated from a sliding
+      window, so it adapts to the workload; it is coarse until the window
+      warms up (the first trace after a :meth:`clear` always qualifies).
+
+    Everything else is dropped on arrival.  Kept traces live in a bounded
+    deque of ``capacity`` entries — the memory cap: steady-state cost is
+    ``capacity`` trace trees plus ``window`` floats, independent of traffic.
+    :meth:`stats` reports seen/kept totals and per-reason counts, and the
+    read API (:meth:`traces` / :meth:`find` / :meth:`last`) matches
+    :class:`RingRecorder` so ``stats()["traces"]``, the TCP ``trace`` op and
+    :mod:`repro.obs.analyze` work unchanged.
+    """
+
+    def __init__(self, capacity: int = 256, *,
+                 slow_threshold_s: Optional[float] = None,
+                 top_fraction: float = 0.05, window: int = 512,
+                 degraded_span: str = "aio.degraded") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if slow_threshold_s is not None and slow_threshold_s < 0:
+            raise ValueError(
+                f"slow_threshold_s must be >= 0, got {slow_threshold_s}")
+        if not 0.0 <= top_fraction <= 1.0:
+            raise ValueError(
+                f"top_fraction must be in [0, 1], got {top_fraction}")
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.capacity = capacity
+        self.slow_threshold_s = slow_threshold_s
+        self.top_fraction = top_fraction
+        self.window = window
+        self.degraded_span = degraded_span
+        self._lock = threading.Lock()
+        self._traces: Deque["Trace"] = deque(maxlen=capacity)
+        self._durations: Deque[float] = deque(maxlen=window)
+        self.seen = 0
+        self.kept = 0
+        self._reasons: Dict[str, int] = {"error": 0, "degraded": 0,
+                                         "slow": 0, "tail": 0}
+
+    def _keep_reason(self, trace: "Trace") -> Optional[str]:
+        """Why ``trace`` should be retained, or ``None`` (lock held)."""
+        degraded = False
+        for span_ in trace.root.iter_spans():
+            if span_.status != "ok":
+                return "error"
+            if span_.name == self.degraded_span:
+                degraded = True
+        if degraded:
+            return "degraded"
+        duration = trace.duration_s
+        if (self.slow_threshold_s is not None
+                and duration >= self.slow_threshold_s):
+            return "slow"
+        if self.top_fraction > 0.0:
+            if not self._durations:
+                return "tail"  # cold window: nothing to compare against yet
+            ordered = sorted(self._durations)
+            index = max(0, math.ceil(len(ordered)
+                                     * (1.0 - self.top_fraction)) - 1)
+            if duration >= ordered[index]:
+                return "tail"
+        return None
+
+    def record(self, trace: "Trace") -> None:
+        with self._lock:
+            self.seen += 1
+            reason = self._keep_reason(trace)
+            self._durations.append(trace.duration_s)
+            if reason is None:
+                return
+            self.kept += 1
+            self._reasons[reason] += 1
+            trace.root.attributes.setdefault("retained", reason)
+            self._traces.append(trace)
+
+    # -- read API (matches RingRecorder) ------------------------------------
+
+    def traces(self) -> List["Trace"]:
+        """A snapshot of retained traces, oldest first."""
+        with self._lock:
+            return list(self._traces)
+
+    def find(self, trace_id: str) -> List["Trace"]:
+        """Every retained trace with ``trace_id``, oldest first."""
+        with self._lock:
+            return [trace for trace in self._traces
+                    if trace.trace_id == trace_id]
+
+    def last(self) -> Optional["Trace"]:
+        """The most recently retained trace (``None`` when empty)."""
+        with self._lock:
+            return self._traces[-1] if self._traces else None
+
+    def clear(self) -> None:
+        """Drop retained traces and reset the duration window and counts."""
+        with self._lock:
+            self._traces.clear()
+            self._durations.clear()
+            self.seen = 0
+            self.kept = 0
+            for reason in self._reasons:
+                self._reasons[reason] = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def stats(self) -> Dict[str, object]:
+        """Sampling effectiveness: volumes, keep rate, per-reason counts."""
+        with self._lock:
+            return {
+                "seen": self.seen,
+                "kept": self.kept,
+                "retained": len(self._traces),
+                "capacity": self.capacity,
+                "window": self.window,
+                "keep_rate": (self.kept / self.seen) if self.seen else 0.0,
+                "reasons": dict(self._reasons),
+            }
 
 
 class JsonLinesRecorder(TraceRecorder):
@@ -174,7 +315,8 @@ def resolve_recorder(spec: Union[None, str, TraceRecorder]) -> TraceRecorder:
     """Resolve an engine-constructor recorder spec.
 
     ``None`` or ``"null"`` -> :class:`NullRecorder`; ``"ring"`` -> a
-    :class:`RingRecorder` with the default capacity; any
+    :class:`RingRecorder` with the default capacity; ``"tail"`` -> a
+    :class:`TailSamplingRecorder` with the default knobs; any
     :class:`TraceRecorder` instance passes through.
     """
     if spec is None:
@@ -186,8 +328,11 @@ def resolve_recorder(spec: Union[None, str, TraceRecorder]) -> TraceRecorder:
             return NullRecorder()
         if spec == "ring":
             return RingRecorder()
+        if spec == "tail":
+            return TailSamplingRecorder()
         raise ValueError(
-            f"unknown recorder spec {spec!r}; expected 'null' or 'ring'")
+            f"unknown recorder spec {spec!r}; expected 'null', 'ring' or "
+            f"'tail'")
     raise TypeError(
         f"recorder spec must be None, a name, or a TraceRecorder, got "
         f"{type(spec).__name__}")

@@ -335,20 +335,31 @@ class Tracer:
         ``stats()["traces"]``, or a
         :class:`~repro.obs.recorder.JsonLinesRecorder` to export.
     slow_query_threshold_s:
-        When set, every finished root span slower than this is rendered and
-        written to ``slow_query_sink`` even if the recorder is null — the
-        ``slow_query_log`` facility.
+        When set, slow spans are rendered and written to
+        ``slow_query_sink`` even if the recorder is null — the
+        ``slow_query_log`` facility.  Within each finished trace the
+        *outermost* spans named in ``slow_query_span_names`` are checked
+        individually (a server-side batch holding several ``aio.query``
+        children logs each slow query where it ran); a trace containing
+        none of those names falls back to the root-span check.
     slow_query_sink:
         Callable receiving the rendered slow-trace text; defaults to
         printing to stderr.
+    slow_query_span_names:
+        Span names treated as "a query" by the slow-query log.  Defaults
+        to ``("engine.query", "aio.query")`` — the sync engine root and
+        the async per-query span.
     """
 
     def __init__(self, recorder: Optional[TraceRecorder] = None, *,
                  slow_query_threshold_s: Optional[float] = None,
-                 slow_query_sink: Optional[Callable[[str], None]] = None) -> None:
+                 slow_query_sink: Optional[Callable[[str], None]] = None,
+                 slow_query_span_names: tuple = ("engine.query",
+                                                 "aio.query")) -> None:
         self.recorder: TraceRecorder = (recorder if recorder is not None
                                         else NullRecorder())
         self.slow_query_threshold_s = slow_query_threshold_s
+        self.slow_query_span_names = tuple(slow_query_span_names)
         self._slow_sink = slow_query_sink
         self._lock = threading.Lock()
         self.slow_queries = 0
@@ -401,12 +412,33 @@ class Tracer:
         trace = Trace(root)
         self.recorder.record(trace)
         threshold = self.slow_query_threshold_s
-        if threshold is not None and trace.duration_s >= threshold:
-            with self._lock:
-                self.slow_queries += 1
-            sink = self._slow_sink or _default_slow_sink
-            sink(f"SLOW QUERY trace={trace.trace_id} "
-                 f"{trace.duration_s * 1e3:.3f} ms\n{trace.render()}")
+        if threshold is None:
+            return
+        # Check the outermost query spans individually: a server-side trace
+        # roots at "server.request" and may hold several "aio.query"
+        # children, and each slow one deserves its own log entry where it
+        # ran.  Descent stops at the first match per branch so a nested
+        # "engine.query" under its "aio.query" never double-fires.
+        query_spans: List[Span] = []
+        _collect_outermost(root, self.slow_query_span_names, query_spans)
+        fired = False
+        for span_ in query_spans:
+            if (span_.duration_s or 0.0) >= threshold:
+                fired = True
+                self._fire_slow(span_)
+        # Traces without query spans (register, batch admin ops) keep the
+        # original root-level behaviour.
+        if not fired and not query_spans and trace.duration_s >= threshold:
+            self._fire_slow(root)
+
+    def _fire_slow(self, span_: Span) -> None:
+        """Render ``span_``'s subtree into the slow-query sink."""
+        with self._lock:
+            self.slow_queries += 1
+        sink = self._slow_sink or _default_slow_sink
+        subtree = Trace(span_)
+        sink(f"SLOW QUERY trace={span_.trace_id} "
+             f"{subtree.duration_s * 1e3:.3f} ms\n{subtree.render()}")
 
     # -- introspection -----------------------------------------------------
 
@@ -416,6 +448,16 @@ class Tracer:
         if traces is None:
             return []
         return [trace.summary() for trace in traces()]
+
+
+def _collect_outermost(span_: Span, names: tuple,
+                       out: List[Span]) -> None:
+    """Collect the shallowest spans named in ``names`` (one per branch)."""
+    if span_.name in names:
+        out.append(span_)
+        return
+    for child in span_.children:
+        _collect_outermost(child, names, out)
 
 
 def _default_slow_sink(text: str) -> None:  # pragma: no cover - io glue

@@ -41,6 +41,7 @@ import sys
 import threading
 import time
 import warnings
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
@@ -71,7 +72,12 @@ from repro.persist.format import ShardedGridSnapshot
 from repro.persist.store import SnapshotStore
 from repro.service.cache import LRUCache
 from repro.service.grid_index import _PRUNE_SLACK, GridIndex
-from repro.service.metrics import EngineMetrics
+from repro.service.metrics import (
+    EngineMetrics,
+    QueryLedger,
+    active_ledger,
+    ledger_scope,
+)
 from repro.service.sharding import (
     ExecutorSpec,
     SerialExecutor,
@@ -263,6 +269,13 @@ class MaxRSEngine:
         sampling is pull-only: ``stats()``, :meth:`metrics_text`,
         :meth:`healthz` and :meth:`readyz` each take a fresh sample, which
         keeps the idle engine completely quiet.
+    max_tracked_clients:
+        Cardinality bound of the per-client accounting ledgers kept when
+        callers pass ``client_id=`` to :meth:`query`: the engine tracks at
+        most this many distinct clients, evicting the least recently active
+        one (counted under ``client_ledgers_evicted``) when a new client
+        would exceed the bound -- so a client-id cardinality explosion can
+        never balloon ``stats()`` or the metrics exposition.
 
     Examples
     --------
@@ -289,7 +302,12 @@ class MaxRSEngine:
                                obs.TraceRecorder] = None,
                  slo: Union[None, obs.SLOTracker,
                             Sequence[obs.SLObjective]] = None,
-                 sample_interval_s: Optional[float] = None) -> None:
+                 sample_interval_s: Optional[float] = None,
+                 max_tracked_clients: int = 64) -> None:
+        if max_tracked_clients < 1:
+            raise ConfigurationError(
+                f"max_tracked_clients must be positive, got "
+                f"{max_tracked_clients}")
         if shards is not None and shards < 1:
             raise ConfigurationError(
                 f"shards must be positive (or None for auto), got {shards}")
@@ -316,6 +334,12 @@ class MaxRSEngine:
         self._grids: Dict[str, Optional[AnyGridIndex]] = {}
         self._persist_grid = persist_grid
         self._restore_errors: Dict[str, str] = {}
+        # Per-client accounting: a bounded LRU of client_id -> cumulative
+        # ledger, fed by query(client_id=...) and surfaced by stats() and
+        # the metrics exposition's client= series.
+        self.max_tracked_clients = max_tracked_clients
+        self._clients: "OrderedDict[str, Dict[str, float]]" = OrderedDict()
+        self._clients_lock = threading.Lock()
         # One long-lived thread pool serves both query_batch fan-out and
         # threaded shard executors; created lazily, shut down by close().
         self._pool: Optional[ThreadPoolExecutor] = None
@@ -562,7 +586,8 @@ class MaxRSEngine:
         counters (which the worker delta merge keeps fleet-wide).
         """
         self.sampler.sample()
-        return obs.metrics_text(self.metrics, namespace=namespace)
+        return obs.metrics_text(self.metrics, namespace=namespace,
+                                clients=self.client_ledgers())
 
     def _effective_shards(self) -> int:
         """The shard count new indexes are built with."""
@@ -682,8 +707,29 @@ class MaxRSEngine:
         Every resolution is counted, which is what :meth:`stats` reports.
         """
         backend = resolve_backend(self.sweep_backend, 2 * num_objects)
-        self.metrics.increment(f"sweep_backend_{backend.name}")
+        self._count(f"sweep_backend_{backend.name}")
         return backend
+
+    def _count(self, counter: str, amount: int = 1) -> None:
+        """Increment a work counter globally *and* on the active query ledger.
+
+        The compute path books every unit of attributable work through this
+        helper, so the per-query cost ledger's counters sum exactly to the
+        global :class:`EngineMetrics` deltas -- the invariant the ledger
+        reconciliation property test asserts.  Outside a metered query the
+        ledger read is one context-variable lookup.
+        """
+        self.metrics.increment(counter, amount)
+        ledger = active_ledger()
+        if ledger is not None:
+            ledger.count(counter, amount)
+
+    @staticmethod
+    def _note(**facts) -> None:
+        """Record point-in-time facts on the active query ledger, if any."""
+        ledger = active_ledger()
+        if ledger is not None:
+            ledger.note(**facts)
 
     # ------------------------------------------------------------------ #
     # Dataset lifecycle
@@ -977,8 +1023,24 @@ class MaxRSEngine:
         return (fingerprint,) + spec.cache_params()
 
     def query(self, dataset: Union[str, DatasetHandle],
-              spec: QuerySpec) -> QueryResult:
-        """Answer one query, consulting the result cache first."""
+              spec: QuerySpec, *,
+              client_id: Optional[str] = None) -> QueryResult:
+        """Answer one query, consulting the result cache first.
+
+        Every answer carries a **cost ledger** on its ``cost`` field: a plain
+        dict attributing the work this specific delivery cost -- wall/CPU
+        seconds, swept vs pruned points, pyramid descent, cache outcome,
+        shard fan-out, snapshot block I/O (see *Query introspection* in
+        ``docs/observability.md`` for the field reference).  The ledger never
+        changes the answer itself: ``cost`` is excluded from result equality
+        and from the cache key, so ledger-carrying answers stay bit-identical
+        to the solver's.
+
+        ``client_id`` (optional) additionally accounts the query against a
+        per-client cumulative ledger -- surfaced by ``stats()["clients"]``
+        and as ``client=``-labelled series in :meth:`metrics_text` -- bounded
+        to ``max_tracked_clients`` distinct clients (LRU eviction).
+        """
         arrival = time.perf_counter()
         entry = self.store.get(_dataset_id(dataset))
         key = self.cache_key(entry.handle.fingerprint, spec)
@@ -995,19 +1057,34 @@ class MaxRSEngine:
                 self.metrics.observe_latency(spec.kind, served)
                 if self.slo is not None:
                     self.slo.record(spec.kind, served)
-                return value
+                cost = {"cache": "hit", "wall_seconds": served,
+                        "cpu_seconds": 0.0, "swept_points": 0,
+                        "block_reads": 0, "block_writes": 0,
+                        "dataset_points": int(entry.count)}
+                self._account_client(client_id, cost)
+                return _attach_cost(value, cost)
+            ledger = QueryLedger()
+            io_before = (self.persist.counters.snapshot()
+                         if self.persist is not None else None)
             start = time.perf_counter()
+            cpu_start = time.process_time()
             try:
-                result = self._compute(entry, spec)
+                with ledger_scope(ledger):
+                    result = self._compute(entry, spec)
             except Exception:
                 # Failures count against the error budget at the latency
                 # the caller actually waited (then propagate unchanged).
                 self.metrics.increment("query_errors")
+                served = time.perf_counter() - arrival
                 if self.slo is not None:
-                    self.slo.record(spec.kind, time.perf_counter() - arrival,
-                                    error=True)
+                    self.slo.record(spec.kind, served, error=True)
+                self._account_client(client_id, None, error_wall_s=served)
                 raise
+            cpu_seconds = time.process_time() - cpu_start
             elapsed = time.perf_counter() - start
+            cost = self._assemble_cost(entry, ledger, elapsed, cpu_seconds,
+                                       io_before)
+            result = _attach_cost(result, cost)
             # Cost-weighted caching: entries are charged their computation
             # time, so eviction sheds cheap approximate answers before
             # expensive refined ones (see LRUCache).
@@ -1016,11 +1093,115 @@ class MaxRSEngine:
             self.metrics.observe_latency(spec.kind, served)
             if self.slo is not None:
                 self.slo.record(spec.kind, served)
+            self._account_client(client_id, cost)
             return result
+
+    def _assemble_cost(self, entry: RegisteredDataset, ledger: QueryLedger,
+                       elapsed: float, cpu_seconds: float,
+                       io_before) -> Dict[str, object]:
+        """Fold one finished computation's ledger into its cost record.
+
+        Counter-based fields (swept points, descent, backend uses, worker
+        seconds) come from the per-query :class:`QueryLedger` the compute
+        path double-booked into -- including worker-attributed stage seconds
+        the process executor adds from result envelopes -- so they attribute
+        correctly whatever tier the shard fan-out ran on.
+        """
+        counters = dict(ledger.counters)
+        facts = dict(ledger.fields)
+        grid = self._grids.get(entry.handle.dataset_id)
+        if isinstance(grid, ShardedGridIndex):
+            shards, executor = grid.shard_count, grid.executor_name
+        else:
+            shards, executor = 1, "local"
+        prefix = "sweep_backend_"
+        backends = {name[len(prefix):]: int(count)
+                    for name, count in sorted(counters.items())
+                    if name.startswith(prefix)}
+        # The exact-sweep footprint: the refine subset when the query
+        # refined, else the probe window; everything outside it was pruned.
+        swept_footprint = facts.get("subset_points",
+                                    facts.get("probe_points", entry.count))
+        descent = None
+        if counters.get("pyramid_descents"):
+            descent = {
+                "levels_visited": int(counters.get("descent_levels", 0)),
+                "certified": bool(counters.get("descent_certified", 0)),
+                "stop_scale": facts.get("descent_stop_scale"),
+                "certified_gap": facts.get("descent_gap"),
+            }
+        arena = getattr(entry, "arena", None)
+        arena_bytes = (int(arena.nbytes)
+                       if arena is not None and not arena.closed else 0)
+        block_reads = block_writes = 0
+        if io_before is not None:
+            delta = self.persist.counters.snapshot() - io_before
+            block_reads, block_writes = delta.block_reads, delta.block_writes
+        return {
+            "cache": "miss",
+            "wall_seconds": float(elapsed),
+            "cpu_seconds": float(cpu_seconds),
+            "dataset_points": int(entry.count),
+            "swept_points": int(counters.get("swept_points", 0)),
+            "probe_points": int(facts.get("probe_points", 0)),
+            "subset_points": int(facts.get("subset_points", 0)),
+            "pruned_points": max(0, int(entry.count) - int(swept_footprint)),
+            "backends": backends,
+            "descent": descent,
+            "shards": int(shards),
+            "executor": str(executor),
+            "worker_seconds": float(counters.get("worker_seconds", 0.0)),
+            "block_reads": int(block_reads),
+            "block_writes": int(block_writes),
+            "arena_bytes": arena_bytes,
+        }
+
+    def _account_client(self, client_id: Optional[str],
+                        cost: Optional[Dict[str, object]], *,
+                        error_wall_s: Optional[float] = None) -> None:
+        """Fold one delivery's cost into the client's cumulative ledger.
+
+        No-op without a ``client_id``.  The tracked-client set is a bounded
+        LRU: a new client beyond ``max_tracked_clients`` evicts the least
+        recently active ledger (counted as ``client_ledgers_evicted``).
+        """
+        if client_id is None:
+            return
+        with self._clients_lock:
+            ledger = self._clients.get(client_id)
+            if ledger is None:
+                while len(self._clients) >= self.max_tracked_clients:
+                    self._clients.popitem(last=False)
+                    self.metrics.increment("client_ledgers_evicted")
+                ledger = self._clients[client_id] = {
+                    "queries": 0, "hits": 0, "misses": 0, "errors": 0,
+                    "wall_seconds": 0.0, "cpu_seconds": 0.0,
+                    "swept_points": 0, "block_reads": 0, "block_writes": 0,
+                }
+            else:
+                self._clients.move_to_end(client_id)
+            ledger["queries"] += 1
+            if cost is None:  # the computation raised
+                ledger["errors"] += 1
+                ledger["wall_seconds"] += error_wall_s or 0.0
+                return
+            ledger["hits" if cost["cache"] == "hit" else "misses"] += 1
+            ledger["wall_seconds"] += cost["wall_seconds"]
+            ledger["cpu_seconds"] += cost["cpu_seconds"]
+            ledger["swept_points"] += cost["swept_points"]
+            ledger["block_reads"] += cost["block_reads"]
+            ledger["block_writes"] += cost["block_writes"]
+
+    def client_ledgers(self) -> Dict[str, Dict[str, float]]:
+        """Per-client accounting snapshots (least recently active first)."""
+        with self._clients_lock:
+            return {client: dict(ledger)
+                    for client, ledger in self._clients.items()}
 
     def query_batch(self, dataset: Union[str, DatasetHandle],
                     specs: Sequence[QuerySpec], *,
-                    max_workers: Optional[int] = None) -> List[QueryResult]:
+                    max_workers: Optional[int] = None,
+                    client_id: Optional[str] = None) -> List[QueryResult]:
         """Answer many queries, deduplicating and fanning out over threads.
 
         Identical specs in one batch are computed once; distinct cache-missing
@@ -1029,7 +1210,10 @@ class MaxRSEngine:
         instead of a pool built and torn down per call -- ``close()`` shuts it
         down).  A per-call ``max_workers`` that differs from the engine's
         cannot resize the shared pool and is honoured with a one-off pool.
-        Results come back aligned with ``specs``.
+        Results come back aligned with ``specs``.  ``client_id`` attributes
+        each *distinct* executed query to the client (duplicates within the
+        batch are served from the one computation, so they account once --
+        keeping per-client query totals reconciled with the global counter).
         """
         entry = self.store.get(_dataset_id(dataset))
         dataset_id = entry.handle.dataset_id
@@ -1043,7 +1227,7 @@ class MaxRSEngine:
                                    len(specs) - len(distinct))
 
         def run_query(spec: QuerySpec) -> QueryResult:
-            return self.query(dataset_id, spec)
+            return self.query(dataset_id, spec, client_id=client_id)
 
         if len(distinct) <= 1:
             answers = [run_query(spec) for spec in distinct]
@@ -1135,6 +1319,15 @@ class MaxRSEngine:
                 "capacity": cache.capacity,
                 "hit_rate": cache.hit_rate,
             },
+            # Per-client accounting ledgers (queries that carried a
+            # client_id), bounded to max_tracked_clients by LRU eviction.
+            "clients": {
+                "tracked": len(self._clients),
+                "capacity": self.max_tracked_clients,
+                "evicted": snapshot["counters"].get(
+                    "client_ledgers_evicted", 0),
+                "ledgers": self.client_ledgers(),
+            },
             "stages": snapshot["stages"],
             "counters": snapshot["counters"],
             "shard_stages": snapshot["shards"],
@@ -1175,6 +1368,153 @@ class MaxRSEngine:
     def clear_cache(self) -> None:
         """Drop every cached result (datasets and indexes stay resident)."""
         self.cache.clear()
+
+    def explain(self, dataset: Union[str, DatasetHandle], spec: QuerySpec, *,
+                result: Optional[QueryResult] = None) -> Dict[str, object]:
+        """The plan :meth:`query` would take for ``spec`` -- without running it.
+
+        Reads the same structures the query path reads (cache membership,
+        grid window sums, pyramid levels, shard layout, backend resolution)
+        but performs **no sweep and no state mutation**: the cache probe is
+        the non-refreshing membership test, no work counters advance beyond
+        ``explains``, and nothing is cached -- so explaining a query has
+        zero effect on any subsequent answer (property-tested bit-identical
+        across executors and shard counts).
+
+        The returned dict holds:
+
+        ``path``
+            ``"full_sweep"`` (MaxkRS), ``"direct"`` (no grid: empty
+            dataset), ``"approximate"`` (``refine=False`` stops at the
+            probe), ``"bounded_descent"`` (``error_bound=`` pyramid path),
+            or ``"exact_sweep"`` (probe + prune + refined sweep).
+        ``cache``
+            ``{"would_hit": bool}`` -- membership without touching recency.
+        ``estimates``
+            Best cell and bound, the exact probe-window point count, and an
+            *optimistic* refine-subset estimate anchored at the best upper
+            bound (the achieved probe weight can only be lower, so the real
+            subset can only be larger; compare with ``actual``).
+        ``levels``
+            Per pyramid level (coarsest first): cell count and how many
+            cells survive the optimistic anchor -- the descent's best case.
+        ``sharding`` / ``backend``
+            Tile layout and fan-out executor; the sweep backend the probe
+            and refine solves would resolve to.
+        ``actual``
+            ``result.cost`` when a previously answered ``result`` is passed
+            in, placing measured work next to the estimates.
+        """
+        self.metrics.increment("explains")
+        entry = self.store.get(_dataset_id(dataset))
+        key = self.cache_key(entry.handle.fingerprint, spec)
+        grid = self._grids.get(entry.handle.dataset_id)
+        plan: Dict[str, object] = {
+            "kind": spec.kind,
+            "dataset": entry.handle.dataset_id,
+            "dataset_points": int(entry.count),
+            # __contains__ is the documented non-mutating membership test:
+            # it neither counts as a lookup nor refreshes recency.
+            "cache": {"would_hit": key in self.cache},
+        }
+        if spec.kind == "maxkrs" or grid is None:
+            # Top-k always solves the full resident set; an absent grid
+            # means an empty dataset whose exact answer is free.
+            plan["path"] = "full_sweep" if spec.kind == "maxkrs" else "direct"
+            plan["estimates"] = {"swept_points": int(entry.count)}
+            plan["backend"] = {"sweep": resolve_backend(
+                self.sweep_backend, 2 * entry.count).name}
+            plan["sharding"] = {"shards": 1, "executor": "local", "tiles": []}
+        else:
+            if spec.kind == "maxrs":
+                w, h = spec.width, spec.height
+            else:
+                w, h = spec.diameter, spec.diameter
+            bounds = grid.upper_bounds(w, h)
+            row, col, best_bound = grid.best_cell(w, h, bounds)
+            probe_points = int(len(grid.points_in_window(row, col, w, h)))
+            mask = grid.candidate_mask(w, h, best_bound, bounds)
+            subset_estimate = int(len(grid.points_in_mask(
+                grid.dilate(mask, w, h))))
+            if spec.error_bound is not None:
+                plan["path"] = "bounded_descent"
+            elif not spec.refine:
+                plan["path"] = "approximate"
+            else:
+                plan["path"] = "exact_sweep"
+            plan["estimates"] = {
+                "best_cell": [int(row), int(col)],
+                "best_bound": float(best_bound),
+                "probe_points": probe_points,
+                "subset_points": subset_estimate,
+                "pruned_points": max(0, int(entry.count) - subset_estimate),
+            }
+            slack = _PRUNE_SLACK * max(1.0, abs(best_bound))
+            levels: List[Dict[str, object]] = []
+            for level in reversed(grid.levels):
+                level_bounds = grid.level_bounds(level, w, h)
+                levels.append({
+                    "scale": int(level.scale),
+                    "cells": int(level_bounds.size),
+                    "live_cells": int((level_bounds
+                                       >= best_bound - slack).sum()),
+                })
+            levels.append({
+                "scale": 1,
+                "cells": int(bounds.size),
+                "live_cells": int((bounds >= best_bound - slack).sum()),
+            })
+            plan["levels"] = levels
+            if isinstance(grid, ShardedGridIndex):
+                plan["sharding"] = {"shards": grid.shard_count,
+                                    "executor": grid.executor_name,
+                                    "tiles": grid.tile_layout()}
+            else:
+                plan["sharding"] = {"shards": 1, "executor": "local",
+                                    "tiles": []}
+            plan["backend"] = {
+                "probe": resolve_backend(self.sweep_backend,
+                                         2 * probe_points).name,
+                "refine": resolve_backend(self.sweep_backend,
+                                          2 * subset_estimate).name,
+            }
+        if result is not None:
+            first = result[0] if isinstance(result, tuple) and result \
+                else result
+            plan["actual"] = getattr(first, "cost", None)
+        return plan
+
+    def trace_profile(self, trace_id: Optional[str] = None
+                      ) -> Dict[str, object]:
+        """Per-stage self-time breakdown of retained traces.
+
+        Folds the tracer's recorded traces (all of them, or just the ones
+        matching ``trace_id``) through :func:`repro.obs.analyze.profile`;
+        spans grafted back from process workers are ordinary children by
+        the time they are retained, so cross-process stages attribute like
+        local ones.  Requires a retaining recorder (ring or tail); with the
+        default ``NullRecorder`` the profile is empty.
+        """
+        from repro.obs import analyze
+
+        recorder = self.tracer.recorder
+        traces_fn = getattr(recorder, "traces", None)
+        if traces_fn is None:
+            traces = []
+        elif trace_id is not None:
+            traces = recorder.find(trace_id)
+        else:
+            traces = traces_fn()
+        payload: Dict[str, object] = {
+            "traces": len(traces),
+            "stages": analyze.profile(traces),
+            "critical_path": (analyze.critical_path(traces[-1])
+                              if traces else []),
+        }
+        stats_fn = getattr(recorder, "stats", None)
+        if stats_fn is not None:
+            payload["recorder"] = stats_fn()
+        return payload
 
     # ------------------------------------------------------------------ #
     # Query execution
@@ -1218,7 +1558,8 @@ class MaxRSEngine:
             row, col, _ = grid.best_cell(width, height, bounds)
             probe_indices = grid.points_in_window(row, col, width, height)
             approx_span.set_attribute("probe_points", int(len(probe_indices)))
-            self.metrics.increment("swept_points", int(len(probe_indices)))
+            self._note(probe_points=int(len(probe_indices)))
+            self._count("swept_points", int(len(probe_indices)))
             probe = solve_in_memory(
                 entry.subset(probe_indices), width, height,
                 backend=self._backend_for(len(probe_indices)))
@@ -1231,14 +1572,15 @@ class MaxRSEngine:
             subset_indices = grid.points_in_mask(grid.dilate(mask, width, height))
             refine_span.set_attribute("subset_points",
                                       int(len(subset_indices)))
-            self.metrics.increment("swept_points", int(len(subset_indices)))
+            self._note(subset_points=int(len(subset_indices)))
+            self._count("swept_points", int(len(subset_indices)))
             if len(subset_indices) == entry.count:
-                self.metrics.increment("refine_unpruned")
+                self._count("refine_unpruned")
                 refine_span.set_attribute("pruned", False)
                 return solve_point_set(entry.objects, width, height,
                                        force_in_memory=True,
                                        backend=self._backend_for(entry.count))
-            self.metrics.increment("refine_pruned")
+            self._count("refine_pruned")
             refine_span.set_attribute("pruned", True)
             if np.array_equal(subset_indices, probe_indices):
                 result = probe
@@ -1264,8 +1606,9 @@ class MaxRSEngine:
             row, col, _ = grid.best_cell(diameter, diameter, bounds)
             probe_indices = grid.points_in_window(row, col, diameter, diameter)
             approx_span.set_attribute("probe_points", int(len(probe_indices)))
+            self._note(probe_points=int(len(probe_indices)))
             self._check_maxcrs_budget(len(probe_indices))
-            self.metrics.increment("swept_points", int(len(probe_indices)))
+            self._count("swept_points", int(len(probe_indices)))
             centre, weight = exact_maxcrs(entry.subset(probe_indices), diameter)
         if not spec.refine:
             return MaxCRSResult(location=centre, total_weight=weight)
@@ -1276,8 +1619,9 @@ class MaxRSEngine:
             subset_indices = grid.points_in_mask(grid.dilate(mask, diameter, diameter))
             refine_span.set_attribute("subset_points",
                                       int(len(subset_indices)))
+            self._note(subset_points=int(len(subset_indices)))
             self._check_maxcrs_budget(len(subset_indices))
-            self.metrics.increment("swept_points", int(len(subset_indices)))
+            self._count("swept_points", int(len(subset_indices)))
             if not np.array_equal(subset_indices, probe_indices):
                 centre, weight = exact_maxcrs(entry.subset(subset_indices), diameter)
             return MaxCRSResult(location=centre, total_weight=weight)
@@ -1320,13 +1664,14 @@ class MaxRSEngine:
                 gap = _certified_gap(anchor, upper)
                 span.set_attribute("live_cells", int(live.sum()))
                 span.set_attribute("gap", gap if math.isfinite(gap) else -1.0)
-                self.metrics.increment("descent_levels")
+                self._count("descent_levels")
                 if gap <= error_bound:
-                    self.metrics.increment("descent_certified")
-                    self.metrics.increment(f"descent_stop_level_{scale}")
+                    self._count("descent_certified")
+                    self._count(f"descent_stop_level_{scale}")
+                    self._note(descent_stop_scale=scale, descent_gap=gap)
                     return gap, None
                 mask = live
-        self.metrics.increment("descent_stop_exact")
+        self._count("descent_stop_exact")
         return 0.0, mask
 
     def _bounded_maxrs(self, entry: RegisteredDataset, spec: QuerySpec,
@@ -1342,11 +1687,12 @@ class MaxRSEngine:
             row, col, _ = grid.best_cell(width, height, bounds)
             probe_indices = grid.points_in_window(row, col, width, height)
             approx_span.set_attribute("probe_points", int(len(probe_indices)))
-            self.metrics.increment("swept_points", int(len(probe_indices)))
+            self._note(probe_points=int(len(probe_indices)))
+            self._count("swept_points", int(len(probe_indices)))
             probe = solve_in_memory(
                 entry.subset(probe_indices), width, height,
                 backend=self._backend_for(len(probe_indices)))
-        self.metrics.increment("pyramid_descents")
+        self._count("pyramid_descents")
         with self.metrics.time_stage("descend"):
             gap, live = self._descend(grid, width, height,
                                       probe.total_weight, spec.error_bound,
@@ -1361,7 +1707,8 @@ class MaxRSEngine:
                 grid.dilate(mask, width, height))
             refine_span.set_attribute("subset_points",
                                       int(len(subset_indices)))
-            self.metrics.increment("swept_points", int(len(subset_indices)))
+            self._note(subset_points=int(len(subset_indices)))
+            self._count("swept_points", int(len(subset_indices)))
             if np.array_equal(subset_indices, probe_indices):
                 result = probe
             else:
@@ -1383,11 +1730,12 @@ class MaxRSEngine:
             row, col, _ = grid.best_cell(diameter, diameter, bounds)
             probe_indices = grid.points_in_window(row, col, diameter, diameter)
             approx_span.set_attribute("probe_points", int(len(probe_indices)))
+            self._note(probe_points=int(len(probe_indices)))
             self._check_maxcrs_budget(len(probe_indices))
-            self.metrics.increment("swept_points", int(len(probe_indices)))
+            self._count("swept_points", int(len(probe_indices)))
             centre, weight = exact_maxcrs(entry.subset(probe_indices),
                                           diameter)
-        self.metrics.increment("pyramid_descents")
+        self._count("pyramid_descents")
         with self.metrics.time_stage("descend"):
             gap, live = self._descend(grid, diameter, diameter, weight,
                                       spec.error_bound, bounds)
@@ -1401,8 +1749,9 @@ class MaxRSEngine:
                 grid.dilate(mask, diameter, diameter))
             refine_span.set_attribute("subset_points",
                                       int(len(subset_indices)))
+            self._note(subset_points=int(len(subset_indices)))
             self._check_maxcrs_budget(len(subset_indices))
-            self.metrics.increment("swept_points", int(len(subset_indices)))
+            self._count("swept_points", int(len(subset_indices)))
             if not np.array_equal(subset_indices, probe_indices):
                 centre, weight = exact_maxcrs(entry.subset(subset_indices),
                                               diameter)
@@ -1501,3 +1850,14 @@ def _grid_layout_matches(grid_manifest, grid: "AnyGridIndex") -> bool:
 
 def _dataset_id(dataset: Union[str, DatasetHandle]) -> str:
     return dataset.dataset_id if isinstance(dataset, DatasetHandle) else dataset
+
+
+def _attach_cost(result: QueryResult, cost: Dict[str, object]) -> QueryResult:
+    """Return ``result`` carrying ``cost`` (per element for MaxkRS tuples).
+
+    ``cost`` is excluded from dataclass equality, so the returned answer
+    still compares bit-identical to the plain one.
+    """
+    if isinstance(result, tuple):
+        return tuple(replace(item, cost=cost) for item in result)
+    return replace(result, cost=cost)

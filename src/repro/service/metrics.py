@@ -39,9 +39,11 @@ import bisect
 import threading
 import time
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
-__all__ = ["EngineMetrics", "LatencyHistogram", "StageTimings"]
+__all__ = ["EngineMetrics", "LatencyHistogram", "QueryLedger", "StageTimings",
+           "active_ledger", "ledger_scope"]
 
 #: Snapshot of one stage: number of observations, total and mean seconds.
 StageTimings = Dict[str, float]
@@ -501,3 +503,65 @@ class EngineMetrics:
             self._latency.clear()
             self._gauges.clear()
             self._children.clear()
+
+
+# ---------------------------------------------------------------------- #
+# Per-query cost attribution
+# ---------------------------------------------------------------------- #
+class QueryLedger:
+    """Cost accumulator for exactly one query's computation.
+
+    The global :class:`EngineMetrics` counters answer "how much work has this
+    engine done"; a ledger answers "how much of it was *this* query".  The
+    engine opens one per cache miss (:func:`ledger_scope`), the compute path
+    double-books its counter increments into it, and downstream layers --
+    e.g. the process-pool executor attributing worker stage-seconds from
+    result envelopes -- add through :func:`active_ledger`.  By construction
+    the per-query counters sum exactly to the global counter deltas, which
+    the reconciliation property test asserts across executors.
+
+    Locked: the threaded shard executor copies the ambient context into pool
+    threads, so additions may race the query thread.
+    """
+
+    __slots__ = ("_lock", "counters", "fields")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: Summable work counters (``swept_points``, ``worker_seconds``, ...).
+        self.counters: Dict[str, float] = {}
+        #: Last-write-wins facts (``probe_points``, ``descent_stop_scale``...).
+        self.fields: Dict[str, object] = {}
+
+    def count(self, name: str, amount: float = 1) -> None:
+        """Add ``amount`` to one of the ledger's summable counters."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
+
+    def note(self, **facts: object) -> None:
+        """Record point-in-time facts about the query (last write wins)."""
+        with self._lock:
+            self.fields.update(facts)
+
+
+#: The query ledger of the computation currently running on this context
+#: (``None`` outside a metered query).  A ``ContextVar`` rather than a
+#: thread-local so the threaded shard executor's ``copy_context`` workers
+#: and the asyncio front-end's wrapped calls see their query's ledger.
+_ACTIVE_LEDGER: ContextVar[Optional[QueryLedger]] = ContextVar(
+    "repro_query_ledger", default=None)
+
+
+def active_ledger() -> Optional[QueryLedger]:
+    """The ledger of the query being computed on this context, if any."""
+    return _ACTIVE_LEDGER.get()
+
+
+@contextmanager
+def ledger_scope(ledger: QueryLedger) -> Iterator[QueryLedger]:
+    """Install ``ledger`` as the ambient query ledger for a ``with`` block."""
+    token = _ACTIVE_LEDGER.set(ledger)
+    try:
+        yield ledger
+    finally:
+        _ACTIVE_LEDGER.reset(token)

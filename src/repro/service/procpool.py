@@ -61,7 +61,7 @@ import numpy as np
 
 from repro import obs
 from repro.errors import ExecutorError
-from repro.service.metrics import EngineMetrics
+from repro.service.metrics import EngineMetrics, active_ledger
 from repro.service.shm import ColumnArena, shm_available
 
 __all__ = ["ProcessShardExecutor", "process_available"]
@@ -357,7 +357,8 @@ class _Worker:
 class _Pending:
     """One in-flight task: fulfilled by the collector thread."""
 
-    __slots__ = ("event", "value", "error", "span_payload", "worker", "parent")
+    __slots__ = ("event", "value", "error", "span_payload", "worker",
+                 "parent", "worker_seconds")
 
     def __init__(self, worker: _Worker, parent) -> None:
         self.event = threading.Event()
@@ -366,6 +367,7 @@ class _Pending:
         self.span_payload: Optional[Dict[str, Any]] = None
         self.worker = worker
         self.parent = parent
+        self.worker_seconds = 0.0
 
 
 class ProcessShardExecutor:
@@ -507,6 +509,11 @@ class ProcessShardExecutor:
             # Merge *before* fulfilling: when the caller's query returns,
             # the fleet metrics already include its worker-side work.
             self._merge_worker_state(pending.worker.index, metrics_state)
+            try:
+                pending.worker_seconds = float(sum(
+                    metrics_state.get("stage_seconds", {}).values()))
+            except Exception:  # pragma: no cover - malformed delta
+                pending.worker_seconds = 0.0
         if pending is None:
             return
         if ok:
@@ -638,6 +645,15 @@ class ProcessShardExecutor:
                     f"{process.exitcode}; process executor disabled")
         if pending.error is not None:
             raise pending.error
+        if pending.worker_seconds:
+            # _wait runs on the query's own thread, where the per-query
+            # cost ledger (a ContextVar) is visible -- unlike the collector
+            # thread that filled in `worker_seconds`.  Attributing here is
+            # what lets process-executor queries report worker-side stage
+            # time in their cost record.
+            ledger = active_ledger()
+            if ledger is not None:
+                ledger.count("worker_seconds", pending.worker_seconds)
         if pending.span_payload is not None and pending.parent is not None:
             # Re-parent the worker-side span tree under the calling span --
             # the same continuation contract as the TCP wire protocol.

@@ -1113,6 +1113,19 @@ class ShardedGridIndex(GridQueryOps):
     def shards(self) -> Tuple[GridShard, ...]:
         return tuple(self._shards)
 
+    def tile_layout(self) -> List[dict]:
+        """JSON-ready tile partitioning, one record per shard.
+
+        Powers ``engine.explain``'s shard-layout section: half-open row and
+        column ranges of each shard's tile plus the points it owns, without
+        touching shard internals (or spawning executors).
+        """
+        return [{"shard": shard.shard_id,
+                 "rows": [shard.row0, shard.row1],
+                 "cols": [shard.col0, shard.col1],
+                 "points": shard.points}
+                for shard in self._shards]
+
     # ------------------------------------------------------------------ #
     # Point retrieval
     # ------------------------------------------------------------------ #

@@ -87,10 +87,10 @@ class _BlockingEngine(MaxRSEngine):
         self.release = threading.Event()
         self.started = threading.Event()
 
-    def query(self, dataset, spec):
+    def query(self, dataset, spec, **kwargs):
         self.started.set()
         assert self.release.wait(timeout=30.0), "test never released the gate"
-        return super().query(dataset, spec)
+        return super().query(dataset, spec, **kwargs)
 
 
 # ---------------------------------------------------------------------- #

@@ -57,9 +57,9 @@ class _BlockingEngine(MaxRSEngine):
         super().__init__(**kwargs)
         self.release = threading.Event()
 
-    def query(self, dataset, spec):
+    def query(self, dataset, spec, **kwargs):
         assert self.release.wait(timeout=30.0), "test never released the gate"
-        return super().query(dataset, spec)
+        return super().query(dataset, spec, **kwargs)
 
 
 class TestRoundTrip:

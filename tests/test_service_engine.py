@@ -82,13 +82,15 @@ def test_refined_maxcrs_matches_exact_solver(objects, diameter):
 # Serving behaviour
 # ---------------------------------------------------------------------- #
 class TestQueryAndCache:
-    def test_repeated_query_hits_cache_and_returns_same_object(self, make_objects):
+    def test_repeated_query_hits_cache_and_returns_same_answer(self, make_objects):
         engine = MaxRSEngine()
         dataset = engine.register_dataset(make_objects(80, seed=1))
         spec = QuerySpec.maxrs(10.0, 10.0)
         first = engine.query(dataset, spec)
         second = engine.query(dataset, spec)
-        assert second is first
+        assert second == first            # bit-identical answer...
+        assert second.cost["cache"] == "hit"   # ...served from cache
+        assert first.cost["cache"] == "miss"
         stats = engine.stats()
         assert stats["cache"]["hits"] == 1
         assert stats["cache"]["misses"] == 1
@@ -192,7 +194,9 @@ class TestTopKAndBatch:
         assert results[0] is results[2]  # deduplicated
         for spec, result in zip(specs, results):
             direct = engine.query(dataset, spec)
-            assert direct is result       # batch populated the cache
+            assert direct == result       # batch populated the cache
+            first = direct[0] if isinstance(direct, tuple) else direct
+            assert first.cost["cache"] == "hit"
 
     def test_batch_deduplicates_work(self, make_objects):
         engine = MaxRSEngine()
